@@ -1,0 +1,68 @@
+//===- bench_compile_time.cpp - Compiler-phase micro-benchmarks -------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+// google-benchmark timings of the compiler phases themselves on the
+// benchmark suite's largest programs — useful for tracking pipeline
+// regressions (not a paper artifact).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_suite/Benchmarks.h"
+#include "parser/Desugar.h"
+#include "uniq/Uniqueness.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace fut;
+using namespace fut::bench;
+
+namespace {
+
+const std::string &kmeansSource() {
+  static const std::string Src = findBenchmark("kmeans")->Source;
+  return Src;
+}
+
+void BM_Frontend(benchmark::State &State) {
+  for (auto _ : State) {
+    NameSource NS;
+    auto P = frontend(kmeansSource(), NS);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_Frontend);
+
+void BM_UniquenessCheck(benchmark::State &State) {
+  NameSource NS;
+  auto P = frontend(kmeansSource(), NS);
+  for (auto _ : State) {
+    auto E = checkProgramUniqueness(*P);
+    benchmark::DoNotOptimize(E);
+  }
+}
+BENCHMARK(BM_UniquenessCheck);
+
+void BM_FullPipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    NameSource NS;
+    auto C = compileSource(kmeansSource(), NS);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_FullPipeline);
+
+void BM_FullPipelineAllBenchmarks(benchmark::State &State) {
+  for (auto _ : State) {
+    for (const BenchmarkDef &B : allBenchmarks()) {
+      NameSource NS;
+      auto C = compileSource(B.Source, NS);
+      benchmark::DoNotOptimize(C);
+    }
+  }
+}
+BENCHMARK(BM_FullPipelineAllBenchmarks)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+//===- bench_datasets.cpp - Table 2's dataset configurations ----------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+// Regenerates Table 2: the dataset configuration of every benchmark,
+// printing the paper's configuration next to the (scaled) synthetic
+// configuration this repository uses on the simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_suite/Benchmarks.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+using namespace fut;
+using namespace fut::bench;
+
+namespace {
+
+std::string shapeOf(const Value &V) {
+  if (V.isScalar())
+    return V.getScalar().str();
+  std::ostringstream OS;
+  for (size_t I = 0; I < V.shape().size(); ++I)
+    OS << (I ? "x" : "") << V.shape()[I];
+  OS << " " << scalarKindName(V.elemKind());
+  return OS.str();
+}
+
+} // namespace
+
+int main() {
+  // Paper Table 2 (verbatim), keyed by benchmark.
+  std::map<std::string, const char *> Paper = {
+      {"backprop", "input layer size 2^20"},
+      {"cfd", "fvcorr.domn.193K"},
+      {"hotspot", "1024x1024; 360 iterations"},
+      {"kmeans", "kdd_cup"},
+      {"lavamd", "boxes1d=10"},
+      {"myocyte", "workload=65536, xmax=3"},
+      {"nn", "default Rodinia dataset x20"},
+      {"pathfinder", "array of size 10^5"},
+      {"srad", "502x458; 100 iterations"},
+      {"locvolcalib", "large dataset"},
+      {"optionpricing", "large dataset"},
+      {"mriq", "large dataset"},
+      {"crystal", "size 2000, degree 50"},
+      {"fluid", "3000x3000; 20 iterations"},
+      {"mandelbrot", "4000x4000; 255 limit"},
+      {"nbody", "N = 10^5"},
+  };
+
+  printf("Table 2: benchmark dataset configurations\n");
+  printf("(paper datasets, and the scaled synthetic datasets used on the "
+         "simulator)\n\n");
+  printf("%-14s | %-34s | %s\n", "benchmark", "paper dataset",
+         "simulator dataset (argument shapes)");
+  for (const BenchmarkDef &B : allBenchmarks()) {
+    std::vector<Value> Inputs = B.MakeInputs();
+    std::string Shapes;
+    for (size_t I = 0; I < Inputs.size(); ++I)
+      Shapes += (I ? ", " : "") + shapeOf(Inputs[I]);
+    printf("%-14s | %-34s | %s\n", B.Name.c_str(), Paper[B.Name],
+           Shapes.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===- Benchmarks.h - The sixteen paper benchmarks --------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sixteen benchmarks of Section 6 (Rodinia, FinPar, Parboil and
+/// Accelerate ports), written in the surface language with synthetic
+/// datasets whose shapes follow Table 2 at simulator-friendly scale.
+/// Each benchmark carries the reference-implementation model (RefConfig)
+/// and the paper's measured speedups for comparison in EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_BENCH_SUITE_BENCHMARKS_H
+#define FUTHARKCC_BENCH_SUITE_BENCHMARKS_H
+
+#include "gpusim/Device.h"
+#include "interp/Value.h"
+#include "refimpl/RefImpl.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fut {
+namespace bench {
+
+struct BenchmarkDef {
+  std::string Name;
+  std::string Suite; ///< rodinia / finpar / parboil / accelerate
+  std::string Source;
+  std::function<std::vector<Value>()> MakeInputs;
+  RefConfig Ref;
+  /// Chunking-sensitive streams (the paper's programmer obligation is
+  /// relied upon, as in OptionPricing): verify against the interpreter
+  /// with this interleaved chunk count (0 = one maximal chunk), matching
+  /// the device's interleaved stream chunking.
+  int64_t VerifyInterleave = 0;
+
+  /// Paper speedups (reference time / Futhark time), Fig 13 / Table 1.
+  double PaperSpeedupGTX = 0;
+  double PaperSpeedupW8100 = 0; ///< 0: not measured in the paper.
+  const char *Notes = "";
+};
+
+/// All sixteen benchmarks, in the paper's order.
+const std::vector<BenchmarkDef> &allBenchmarks();
+
+/// Finds one by name (nullptr if unknown).
+const BenchmarkDef *findBenchmark(const std::string &Name);
+
+/// The result of running one benchmark under one configuration.
+struct BenchRun {
+  gpusim::CostReport Cost;
+  std::vector<Value> Outputs;
+};
+
+/// Compiles with \p Opts and runs on \p DP; also verifies the outputs
+/// against the reference interpreter when \p Verify is set.
+ErrorOr<BenchRun> runBenchmark(const BenchmarkDef &B,
+                               const CompilerOptions &Opts,
+                               const gpusim::DeviceParams &DP,
+                               bool Verify = false);
+
+/// Convenience: simulated speedup of the fully optimised program over the
+/// reference model on the given device (reference cycles are divided by
+/// its hand-tuning factor first).
+struct SpeedupResult {
+  double FutharkCycles = 0;
+  double RefCycles = 0;
+  double Speedup = 0;
+};
+ErrorOr<SpeedupResult> measureSpeedup(const BenchmarkDef &B,
+                                      const gpusim::DeviceParams &DP);
+
+} // namespace bench
+} // namespace fut
+
+#endif // FUTHARKCC_BENCH_SUITE_BENCHMARKS_H

@@ -1,0 +1,342 @@
+//===- Check.cpp - Internal IR consistency checking ----------------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Check.h"
+
+#include "ir/Traversal.h"
+
+using namespace fut;
+
+namespace {
+
+class Checker {
+  /// Types of names in scope.  With globally unique tags a flat map
+  /// suffices; scoping is enforced by checking *dominance* (a use must
+  /// have been bound before, in traversal order).
+  NameMap<Type> Scope;
+  NameSet EverBound;
+
+public:
+  MaybeError checkFunDef(const FunDef &F) {
+    Scope.clear();
+    EverBound.clear();
+    for (const Param &P : F.Params)
+      if (auto Err = bind(P, "parameter of " + F.Name))
+        return Err;
+    if (auto Err = checkBody(F.FBody, F.Name))
+      return Err;
+    if (F.FBody.Result.size() != F.RetTypes.size())
+      return CompilerError("function " + F.Name + " returns " +
+                           std::to_string(F.FBody.Result.size()) +
+                           " values but declares " +
+                           std::to_string(F.RetTypes.size()));
+    return MaybeError::success();
+  }
+
+private:
+  MaybeError bind(const Param &P, const std::string &Where) {
+    if (EverBound.count(P.Name))
+      return CompilerError("name " + P.Name.str() + " bound twice (" +
+                           Where + ")");
+    EverBound.insert(P.Name);
+    Scope[P.Name] = P.Ty;
+    // Dimension variables must themselves be in scope or freshly implied.
+    for (const Dim &D : P.Ty.shape())
+      if (D.isVar() && !Scope.count(D.getVar())) {
+        // Sizes are bound dynamically when unseen (existential sizes);
+        // register them so later uses are legal.
+        Scope[D.getVar()] = Type::scalar(ScalarKind::I32);
+        EverBound.insert(D.getVar());
+      }
+    return MaybeError::success();
+  }
+
+  MaybeError use(const VName &V, const std::string &Where) {
+    if (!Scope.count(V))
+      return CompilerError("use of unbound variable " + V.str() + " in " +
+                           Where);
+    return MaybeError::success();
+  }
+
+  MaybeError useSub(const SubExp &S, const std::string &Where) {
+    if (S.isVar())
+      return use(S.getVar(), Where);
+    return MaybeError::success();
+  }
+
+  MaybeError useArray(const VName &V, const std::string &Where) {
+    if (auto Err = use(V, Where))
+      return Err;
+    if (!Scope[V].isArray())
+      return CompilerError("variable " + V.str() + " used as an array in " +
+                           Where + " but has scalar type " +
+                           Scope[V].str());
+    return MaybeError::success();
+  }
+
+  /// The number of values \p E produces, or -1 when not locally decidable.
+  int arityOf(const Exp &E) const {
+    switch (E.kind()) {
+    case ExpKind::If:
+      return static_cast<int>(expCast<IfExp>(&E)->RetTypes.size());
+    case ExpKind::Loop:
+      return static_cast<int>(expCast<LoopExp>(&E)->MergeParams.size());
+    case ExpKind::Map:
+      return static_cast<int>(expCast<MapExp>(&E)->Fn.RetTypes.size());
+    case ExpKind::Reduce:
+      return static_cast<int>(expCast<ReduceExp>(&E)->Neutral.size());
+    case ExpKind::Scan:
+      return static_cast<int>(expCast<ScanExp>(&E)->Neutral.size());
+    case ExpKind::Stream:
+      return static_cast<int>(
+          expCast<StreamExp>(&E)->FoldFn.RetTypes.size());
+    case ExpKind::Kernel: {
+      const auto *K = expCast<KernelExp>(&E);
+      return static_cast<int>(K->isSegmented() ? K->Neutral.size()
+                                               : K->RetTypes.size());
+    }
+    case ExpKind::Apply:
+      return -1; // Needs the callee's signature; checked by the frontend.
+    default:
+      return 1;
+    }
+  }
+
+  MaybeError checkLambda(const Lambda &L, size_t ExpectedParams,
+                         const std::string &Where) {
+    if (L.Params.size() != ExpectedParams)
+      return CompilerError(Where + " has " +
+                           std::to_string(L.Params.size()) +
+                           " parameters; expected " +
+                           std::to_string(ExpectedParams));
+    NameMap<Type> Saved = Scope;
+    for (const Param &P : L.Params)
+      if (auto Err = bind(P, Where))
+        return Err;
+    if (auto Err = checkBody(L.B, Where))
+      return Err;
+    if (L.B.Result.size() != L.RetTypes.size())
+      return CompilerError(Where + " returns " +
+                           std::to_string(L.B.Result.size()) +
+                           " values but declares " +
+                           std::to_string(L.RetTypes.size()));
+    Scope = std::move(Saved);
+    return MaybeError::success();
+  }
+
+  MaybeError checkExp(const Exp &E, const std::string &Where) {
+    // All free operands must be in scope.
+    MaybeError OperandErr = MaybeError::success();
+    forEachFreeOperand(E, [&](const SubExp &S) {
+      if (!OperandErr)
+        if (auto Err = useSub(S, Where))
+          OperandErr = Err;
+    });
+    if (OperandErr)
+      return OperandErr;
+
+    switch (E.kind()) {
+    case ExpKind::Index: {
+      const auto *X = expCast<IndexExp>(&E);
+      if (auto Err = useArray(X->Arr, Where))
+        return Err;
+      if (static_cast<int>(X->Indices.size()) > Scope[X->Arr].rank())
+        return CompilerError("indexing " + X->Arr.str() + " of rank " +
+                             std::to_string(Scope[X->Arr].rank()) +
+                             " with " + std::to_string(X->Indices.size()) +
+                             " indices in " + Where);
+      return MaybeError::success();
+    }
+
+    case ExpKind::Update: {
+      const auto *X = expCast<UpdateExp>(&E);
+      return useArray(X->Arr, Where);
+    }
+
+    case ExpKind::Rearrange: {
+      const auto *X = expCast<RearrangeExp>(&E);
+      if (auto Err = useArray(X->Arr, Where))
+        return Err;
+      if (static_cast<int>(X->Perm.size()) != Scope[X->Arr].rank())
+        return CompilerError("rearrange permutation rank mismatch on " +
+                             X->Arr.str() + " in " + Where);
+      std::vector<bool> Seen(X->Perm.size(), false);
+      for (int P : X->Perm) {
+        if (P < 0 || P >= static_cast<int>(X->Perm.size()) || Seen[P])
+          return CompilerError("invalid permutation in " + Where);
+        Seen[P] = true;
+      }
+      return MaybeError::success();
+    }
+
+    case ExpKind::If: {
+      const auto *X = expCast<IfExp>(&E);
+      NameMap<Type> Saved = Scope;
+      if (auto Err = checkBody(X->Then, Where + " (then)"))
+        return Err;
+      Scope = Saved;
+      if (auto Err = checkBody(X->Else, Where + " (else)"))
+        return Err;
+      Scope = std::move(Saved);
+      if (X->Then.Result.size() != X->RetTypes.size() ||
+          X->Else.Result.size() != X->RetTypes.size())
+        return CompilerError("if branches disagree with the declared "
+                             "result arity in " +
+                             Where);
+      return MaybeError::success();
+    }
+
+    case ExpKind::Loop: {
+      const auto *X = expCast<LoopExp>(&E);
+      if (X->MergeInit.size() != X->MergeParams.size())
+        return CompilerError("loop merge arity mismatch in " + Where);
+      NameMap<Type> Saved = Scope;
+      if (auto Err = bind(Param(X->IndexVar,
+                                Type::scalar(ScalarKind::I32)),
+                          Where))
+        return Err;
+      for (const Param &P : X->MergeParams)
+        if (auto Err = bind(P, Where))
+          return Err;
+      if (auto Err = checkBody(X->LoopBody, Where + " (loop)"))
+        return Err;
+      Scope = std::move(Saved);
+      if (X->LoopBody.Result.size() != X->MergeParams.size())
+        return CompilerError("loop body arity mismatch in " + Where);
+      return MaybeError::success();
+    }
+
+    case ExpKind::Map: {
+      const auto *X = expCast<MapExp>(&E);
+      for (const VName &A : X->Arrays)
+        if (auto Err = useArray(A, Where))
+          return Err;
+      return checkLambda(X->Fn, X->Arrays.size(), Where + " (map fn)");
+    }
+
+    case ExpKind::Reduce: {
+      const auto *X = expCast<ReduceExp>(&E);
+      for (const VName &A : X->Arrays)
+        if (auto Err = useArray(A, Where))
+          return Err;
+      if (X->Neutral.size() != X->Arrays.size())
+        return CompilerError("reduce neutral/array arity mismatch in " +
+                             Where);
+      return checkLambda(X->Fn, 2 * X->Neutral.size(),
+                         Where + " (reduce op)");
+    }
+
+    case ExpKind::Scan: {
+      const auto *X = expCast<ScanExp>(&E);
+      for (const VName &A : X->Arrays)
+        if (auto Err = useArray(A, Where))
+          return Err;
+      if (X->Neutral.size() != X->Arrays.size())
+        return CompilerError("scan neutral/array arity mismatch in " +
+                             Where);
+      return checkLambda(X->Fn, 2 * X->Neutral.size(),
+                         Where + " (scan op)");
+    }
+
+    case ExpKind::Stream: {
+      const auto *X = expCast<StreamExp>(&E);
+      for (const VName &A : X->Arrays)
+        if (auto Err = useArray(A, Where))
+          return Err;
+      if (static_cast<int>(X->AccInit.size()) != X->NumAccs)
+        return CompilerError("stream accumulator arity mismatch in " +
+                             Where);
+      // Fold convention: chunk size, accumulators, chunk arrays.
+      size_t Expected = 1 + X->NumAccs + X->Arrays.size();
+      if (auto Err = checkLambda(X->FoldFn, Expected,
+                                 Where + " (stream fold)"))
+        return Err;
+      if (static_cast<int>(X->FoldFn.RetTypes.size()) < X->NumAccs)
+        return CompilerError("stream fold returns fewer values than "
+                             "accumulators in " +
+                             Where);
+      if (X->Form == StreamExp::FormKind::Red)
+        return checkLambda(X->ReduceFn, 2 * X->NumAccs,
+                           Where + " (stream_red op)");
+      return MaybeError::success();
+    }
+
+    case ExpKind::Kernel: {
+      const auto *K = expCast<KernelExp>(&E);
+      if (K->ThreadIndices.size() != K->GridDims.size())
+        return CompilerError("kernel thread-index/grid mismatch in " +
+                             Where);
+      for (const KernelExp::KInput &In : K->Inputs) {
+        if (auto Err = useArray(In.Arr, Where + " (kernel input)"))
+          return Err;
+        if (static_cast<int>(In.LayoutPerm.size()) != In.Ty.rank())
+          return CompilerError("kernel input layout rank mismatch for " +
+                               In.Arr.str() + " in " + Where);
+      }
+      NameMap<Type> Saved = Scope;
+      for (const VName &T : K->ThreadIndices)
+        if (auto Err = bind(Param(T, Type::scalar(ScalarKind::I32)),
+                            Where))
+          return Err;
+      if (K->isSegmented()) {
+        if (auto Err = bind(Param(K->SegIndex,
+                                  Type::scalar(ScalarKind::I32)),
+                            Where))
+          return Err;
+        if (auto Err = checkLambda(K->ReduceFn, 2 * K->Neutral.size(),
+                                   Where + " (kernel op)"))
+          return Err;
+        if (K->ThreadBody.Result.size() != K->Neutral.size())
+          return CompilerError("segmented kernel element arity "
+                               "mismatch in " +
+                               Where);
+      }
+      if (auto Err = checkBody(K->ThreadBody, Where + " (kernel)"))
+        return Err;
+      Scope = std::move(Saved);
+      return MaybeError::success();
+    }
+
+    default:
+      return MaybeError::success();
+    }
+  }
+
+  MaybeError checkBody(const Body &B, const std::string &Where) {
+    for (const Stm &S : B.Stms) {
+      if (auto Err = checkExp(*S.E, Where))
+        return Err;
+      int Arity = arityOf(*S.E);
+      if (Arity >= 0 && static_cast<int>(S.Pat.size()) != Arity)
+        return CompilerError("pattern of arity " +
+                             std::to_string(S.Pat.size()) +
+                             " bound to a " + expKindName(S.E->kind()) +
+                             " producing " + std::to_string(Arity) +
+                             " values in " + Where);
+      for (const Param &P : S.Pat)
+        if (auto Err = bind(P, Where))
+          return Err;
+    }
+    for (const SubExp &R : B.Result)
+      if (auto Err = useSub(R, Where + " (result)"))
+        return Err;
+    return MaybeError::success();
+  }
+};
+
+} // namespace
+
+MaybeError fut::checkFun(const FunDef &F) {
+  return Checker().checkFunDef(F);
+}
+
+MaybeError fut::checkProgram(const Program &P) {
+  for (const FunDef &F : P.Funs)
+    if (auto Err = checkFun(F))
+      return CompilerError("in function " + F.Name + ": " +
+                           Err.getError().Message);
+  return MaybeError::success();
+}

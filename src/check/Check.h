@@ -1,0 +1,44 @@
+//===- Check.h - Internal IR consistency checking ---------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structural validity checker for the core IR, run between compiler
+/// phases (the "Typechecking" box of Fig 3, re-checked after every
+/// transformation in tests).  Verifies:
+///
+///   * scoping: every variable use is dominated by its binding,
+///   * unique binding tags: no name is bound twice in one function,
+///   * pattern arities: each binding's pattern matches the number of
+///     values its expression produces,
+///   * lambda shapes: SOAC function arity matches the operand arrays
+///     (with the stream fold convention of a leading chunk-size param),
+///   * scalar/array kind sanity on operands where locally decidable,
+///   * kernel invariants: thread indices match grid dims, segmented
+///     kernels carry an operator of matching arity.
+///
+/// The checker is deliberately independent from the frontend's type
+/// inference: it re-derives what it can from binding annotations, so that
+/// a buggy pass cannot silently smuggle ill-formed code to the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_CHECK_CHECK_H
+#define FUTHARKCC_CHECK_CHECK_H
+
+#include "ir/IR.h"
+#include "support/Error.h"
+
+namespace fut {
+
+/// Checks the whole program; returns the first violation found.
+MaybeError checkProgram(const Program &P);
+
+/// Checks one function.
+MaybeError checkFun(const FunDef &F);
+
+} // namespace fut
+
+#endif // FUTHARKCC_CHECK_CHECK_H

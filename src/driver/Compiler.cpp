@@ -1,0 +1,67 @@
+//===- Compiler.cpp - The full pipeline of Fig 3 -------------------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "check/Check.h"
+#include "parser/Desugar.h"
+#include "uniq/Uniqueness.h"
+
+using namespace fut;
+
+ErrorOr<CompileResult> fut::compileProgram(Program P, NameSource &Names,
+                                           const CompilerOptions &Opts) {
+  auto Recheck = [&](const char *Phase) -> MaybeError {
+    if (!Opts.InternalChecks)
+      return MaybeError::success();
+    if (auto Err = checkProgram(P))
+      return CompilerError(std::string("internal error after ") + Phase +
+                           ": " + Err.getError().Message);
+    return MaybeError::success();
+  };
+
+  if (auto Err = Recheck("frontend"))
+    return Err.getError();
+  if (Opts.CheckUniqueness)
+    if (auto Err = checkProgramUniqueness(P))
+      return Err.getError();
+
+  CompileResult R;
+  if (Opts.Inline) {
+    inlineFunctions(P, Names);
+    removeDeadFunctions(P);
+  }
+  simplifyProgram(P, Names, Opts.Simplify);
+  if (auto Err = Recheck("simplification"))
+    return Err.getError();
+
+  if (Opts.EnableFusion) {
+    R.Fusion = fuseProgram(P, Names);
+    simplifyProgram(P, Names, Opts.Simplify);
+    if (auto Err = Recheck("fusion"))
+      return Err.getError();
+  }
+
+  if (Opts.ExtractKernels) {
+    R.Flatten = extractKernels(P, Names, Opts.Flatten);
+    simplifyProgram(P, Names, Opts.Simplify);
+    R.Locality = optimiseLocality(P, Opts.Locality);
+    if (auto Err = Recheck("kernel extraction"))
+      return Err.getError();
+  }
+
+  R.P = std::move(P);
+  return R;
+}
+
+ErrorOr<CompileResult> fut::compileSource(const std::string &Source,
+                                          NameSource &Names,
+                                          const CompilerOptions &Opts) {
+  auto P = frontend(Source, Names);
+  if (!P)
+    return P.getError();
+  return compileProgram(P.take(), Names, Opts);
+}

@@ -1,0 +1,60 @@
+//===- Compiler.h - The full pipeline of Fig 3 ------------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler driver: parse -> desugar/typecheck -> uniqueness check ->
+/// inline -> simplify -> fuse -> simplify -> kernel extraction ->
+/// simplify -> locality optimisation (Fig 3's architecture).  Each phase
+/// can be disabled individually, which is how the Section 6.1.1 ablation
+/// benchmarks measure the impact of fusion, coalescing and tiling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_DRIVER_COMPILER_H
+#define FUTHARKCC_DRIVER_COMPILER_H
+
+#include "flatten/Flatten.h"
+#include "fusion/Fusion.h"
+#include "ir/IR.h"
+#include "locality/Locality.h"
+#include "opt/Simplify.h"
+#include "support/Error.h"
+
+namespace fut {
+
+struct CompilerOptions {
+  bool CheckUniqueness = true;
+  bool Inline = true;
+  bool EnableFusion = true;
+  bool ExtractKernels = true;
+  /// Re-run the IR consistency checker after every phase (cheap; catches
+  /// pass bugs before they reach the simulator).
+  bool InternalChecks = true;
+
+  SimplifyOptions Simplify;
+  FlattenOptions Flatten;
+  LocalityOptions Locality;
+};
+
+struct CompileResult {
+  Program P;
+  FusionStats Fusion;
+  FlattenStats Flatten;
+  LocalityStats Locality;
+};
+
+/// Compiles surface source through the full pipeline.
+ErrorOr<CompileResult> compileSource(const std::string &Source,
+                                     NameSource &Names,
+                                     const CompilerOptions &Opts = {});
+
+/// Runs the middle- and back-end phases on an already-desugared program.
+ErrorOr<CompileResult> compileProgram(Program P, NameSource &Names,
+                                      const CompilerOptions &Opts = {});
+
+} // namespace fut
+
+#endif // FUTHARKCC_DRIVER_COMPILER_H

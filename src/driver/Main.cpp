@@ -1,0 +1,237 @@
+//===- Main.cpp - The futharkcc command-line compiler ------------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line driver: compiles a source file through the pipeline of
+/// Fig 3, optionally dumping the IR after each phase, and optionally
+/// running the entry point on the reference interpreter or the simulated
+/// GPU with arguments given on the command line.
+///
+///   futharkcc prog.fut                      # compile, report statistics
+///   futharkcc prog.fut --dump-ir            # print the final IR
+///   futharkcc prog.fut --run 4 "[1,2,3,4]"  # run main on the device
+///   futharkcc prog.fut --interp --run ...   # run on the interpreter
+///   futharkcc prog.fut --no-fusion --no-coalescing --no-tiling ...
+///   futharkcc prog.fut --device w8100 --run ...
+///
+/// Array arguments use the literal syntax [v1,v2,...]; element kind is
+/// inferred from the first element (i32 by default, f32 with a decimal
+/// point).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "gpusim/Device.h"
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+#include "parser/Desugar.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace fut;
+
+namespace {
+
+void usage() {
+  fprintf(stderr,
+          "usage: futharkcc <file.fut> [options] [--run args...]\n"
+          "  --dump-ir          print the compiled IR\n"
+          "  --interp           run on the reference interpreter\n"
+          "  --device <name>    gtx780 (default) or w8100\n"
+          "  --no-fusion        disable the fusion engine\n"
+          "  --no-coalescing    disable the coalescing transformation\n"
+          "  --no-tiling        disable block tiling\n"
+          "  --no-interchange   disable map-loop interchange (G7)\n"
+          "  --run v1 v2 ...    run main on the given arguments\n"
+          "arguments: scalars (3, 2.5, true) or arrays ([1,2,3], "
+          "[1.5,2.5])\n");
+}
+
+/// Parses a command-line value: a scalar or a [..] literal.
+ErrorOr<Value> parseValue(const std::string &S) {
+  auto ParseScalar = [](const std::string &T) -> ErrorOr<PrimValue> {
+    if (T == "true")
+      return PrimValue::makeBool(true);
+    if (T == "false")
+      return PrimValue::makeBool(false);
+    try {
+      if (T.find('.') != std::string::npos ||
+          T.find('e') != std::string::npos)
+        return PrimValue::makeF32(std::stof(T));
+      return PrimValue::makeI32(static_cast<int32_t>(std::stol(T)));
+    } catch (...) {
+      return CompilerError("cannot parse value '" + T + "'");
+    }
+  };
+
+  if (S.empty())
+    return CompilerError("empty argument");
+  if (S.front() != '[') {
+    auto P = ParseScalar(S);
+    if (!P)
+      return P.getError();
+    return Value::scalar(*P);
+  }
+  if (S.back() != ']')
+    return CompilerError("unterminated array literal");
+  std::vector<PrimValue> Elems;
+  std::string Inner = S.substr(1, S.size() - 2);
+  std::stringstream SS(Inner);
+  std::string Tok;
+  while (std::getline(SS, Tok, ',')) {
+    // Trim whitespace.
+    size_t B = Tok.find_first_not_of(" \t");
+    size_t E = Tok.find_last_not_of(" \t");
+    if (B == std::string::npos)
+      continue;
+    auto P = ParseScalar(Tok.substr(B, E - B + 1));
+    if (!P)
+      return P.getError();
+    Elems.push_back(*P);
+  }
+  if (Elems.empty())
+    return CompilerError("empty array literals need a kind; not supported");
+  ScalarKind Kind = Elems[0].kind();
+  int64_t N = static_cast<int64_t>(Elems.size());
+  for (const PrimValue &E : Elems)
+    if (E.kind() != Kind)
+      return CompilerError("mixed element kinds in array literal");
+  return Value::array(Kind, {N}, std::move(Elems));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+
+  std::string File;
+  bool DumpIR = false, UseInterp = false, Run = false;
+  CompilerOptions Opts;
+  gpusim::DeviceParams DP = gpusim::DeviceParams::gtx780();
+  std::vector<std::string> RunArgs;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (Run) {
+      RunArgs.push_back(A);
+    } else if (A == "--dump-ir") {
+      DumpIR = true;
+    } else if (A == "--interp") {
+      UseInterp = true;
+    } else if (A == "--no-fusion") {
+      Opts.EnableFusion = false;
+    } else if (A == "--no-coalescing") {
+      Opts.Locality.EnableCoalescing = false;
+    } else if (A == "--no-tiling") {
+      Opts.Locality.EnableTiling = false;
+    } else if (A == "--no-interchange") {
+      Opts.Flatten.EnableInterchange = false;
+    } else if (A == "--device") {
+      if (++I >= argc) {
+        usage();
+        return 2;
+      }
+      std::string Name = argv[I];
+      if (Name == "w8100")
+        DP = gpusim::DeviceParams::w8100();
+      else if (Name != "gtx780") {
+        fprintf(stderr, "unknown device '%s'\n", Name.c_str());
+        return 2;
+      }
+    } else if (A == "--run") {
+      Run = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      fprintf(stderr, "unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    } else {
+      File = A;
+    }
+  }
+  if (File.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(File);
+  if (!In) {
+    fprintf(stderr, "error: cannot open %s\n", File.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  NameSource Names;
+  auto C = compileSource(Source, Names, Opts);
+  if (!C) {
+    fprintf(stderr, "%s: %s\n", File.c_str(),
+            C.getError().str().c_str());
+    return 1;
+  }
+
+  fprintf(stderr,
+          "%s: %d vertical + %d redomap + %d stream + %d horizontal "
+          "fusions; %d kernels (%d seg-reduce, %d seg-scan), %d "
+          "interchanges, %d sequentialised SOACs; %d coalesced, %d tiled "
+          "inputs\n",
+          File.c_str(), C->Fusion.Vertical, C->Fusion.Redomap,
+          C->Fusion.StreamFusions, C->Fusion.Horizontal,
+          C->Flatten.kernels(), C->Flatten.SegReduces, C->Flatten.SegScans,
+          C->Flatten.Interchanges, C->Flatten.SequentialisedSOACs,
+          C->Locality.CoalescedInputs, C->Locality.TiledInputs);
+
+  if (DumpIR)
+    printf("%s\n", printProgram(C->P).c_str());
+
+  if (RunArgs.empty())
+    return 0;
+
+  std::vector<Value> Args;
+  for (const std::string &S : RunArgs) {
+    auto V = parseValue(S);
+    if (!V) {
+      fprintf(stderr, "argument error: %s\n", V.getError().Message.c_str());
+      return 1;
+    }
+    Args.push_back(std::move(*V));
+  }
+
+  std::vector<Value> Outputs;
+  if (UseInterp) {
+    InterpOptions IO;
+    IO.ConsumeOnUpdate = true;
+    Interpreter I(C->P, IO);
+    auto R = I.run(Args);
+    if (!R) {
+      fprintf(stderr, "runtime error: %s\n", R.getError().str().c_str());
+      return 1;
+    }
+    Outputs = R.take();
+  } else {
+    gpusim::Device D(DP);
+    auto R = D.runMain(C->P, Args);
+    if (!R) {
+      fprintf(stderr, "runtime error: %s\n", R.getError().str().c_str());
+      return 1;
+    }
+    Outputs = std::move(R->Outputs);
+    fprintf(stderr, "device [%s]: %s\n", D.params().Name.c_str(),
+            R->Cost.str().c_str());
+  }
+  for (const Value &V : Outputs)
+    printf("%s\n", V.str().c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+//===- Fusion.h - The fusion engine (Section 4) -----------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Producer-consumer and horizontal fusion, realised greedily at all
+/// nesting levels during a traversal of each body's dependency graph —
+/// the T2 graph-reduction discipline of Section 4: a SOAC fuses into its
+/// consumer when it is the source of exactly one dependency edge and the
+/// consumer is compatible.  Implemented rules:
+///
+///   * map ∘ map vertical fusion (the map-map rule of Section 2.1),
+///   * map ∘ reduce fusion into stream_red (the paper's redomap / F1∘F3∘F6
+///     composition),
+///   * stream_map/stream_red ∘ reduce fusion (F6, as in Fig 10a → 10b),
+///   * horizontal fusion of independent maps of equal width.
+///
+/// A SOAC is never moved past a consumption point of one of its inputs
+/// (Section 4.2's in-place-update restriction), and explicit indexing of a
+/// producer's output blocks fusion, exactly as the paper prescribes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_FUSION_FUSION_H
+#define FUTHARKCC_FUSION_FUSION_H
+
+#include "ir/IR.h"
+
+namespace fut {
+
+struct FusionStats {
+  int Vertical = 0;
+  int Redomap = 0;
+  int StreamFusions = 0;
+  int Horizontal = 0;
+
+  int total() const { return Vertical + Redomap + StreamFusions + Horizontal; }
+};
+
+/// Fuses SOACs in every function of the program, at all nesting levels.
+FusionStats fuseProgram(Program &P, NameSource &Names);
+
+/// Fuses within one body (recursively).
+FusionStats fuseBody(Body &B, NameSource &Names);
+
+} // namespace fut
+
+#endif // FUTHARKCC_FUSION_FUSION_H

@@ -1,0 +1,229 @@
+//===- StreamRules.cpp - The F1..F5 stream conversion rules -----------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fusion/StreamRules.h"
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+
+using namespace fut;
+
+namespace {
+
+/// Fresh chunk parameters mirroring the row types of the lambda \p RowTys,
+/// with outer dimension \p ChunkVar.
+std::vector<Param> chunkParams(const std::vector<Type> &RowTys,
+                               const VName &ChunkVar, NameSource &NS) {
+  std::vector<Param> Out;
+  for (const Type &T : RowTys)
+    Out.emplace_back(NS.fresh("chunk"), T.arrayOf(SubExp::var(ChunkVar)));
+  return Out;
+}
+
+std::vector<VName> paramNames(const std::vector<Param> &Ps) {
+  std::vector<VName> Out;
+  for (const Param &P : Ps)
+    Out.push_back(P.Name);
+  return Out;
+}
+
+std::vector<Type> rowTypesOf(const Lambda &Fn, size_t Begin, size_t Count) {
+  std::vector<Type> Out;
+  for (size_t I = 0; I < Count; ++I)
+    Out.push_back(Fn.Params[Begin + I].Ty);
+  return Out;
+}
+
+} // namespace
+
+ExpPtr fut::ruleF1MapToStreamMap(const MapExp &M, NameSource &NS) {
+  VName C = NS.fresh("chunksz");
+  std::vector<Type> RowTys = rowTypesOf(M.Fn, 0, M.Fn.Params.size());
+  std::vector<Param> Chunks = chunkParams(RowTys, C, NS);
+
+  BodyBuilder BB(NS);
+  std::vector<Type> MappedTys;
+  for (const Type &T : M.Fn.RetTypes)
+    MappedTys.push_back(T.arrayOf(SubExp::var(C)));
+  auto Mapped = BB.bindMulti(
+      "mapped", MappedTys,
+      std::make_unique<MapExp>(SubExp::var(C), renameLambda(M.Fn, NS),
+                               paramNames(Chunks)));
+  std::vector<SubExp> Res;
+  for (const VName &N : Mapped)
+    Res.push_back(SubExp::var(N));
+
+  std::vector<Param> Params;
+  Params.emplace_back(C, Type::scalar(ScalarKind::I32));
+  Params.insert(Params.end(), Chunks.begin(), Chunks.end());
+  Lambda Fold(std::move(Params), BB.finish(std::move(Res)), MappedTys);
+  return std::make_unique<StreamExp>(StreamExp::FormKind::Par, M.Width,
+                                     Lambda(), 0, std::vector<SubExp>{},
+                                     std::move(Fold), M.Arrays);
+}
+
+ExpPtr fut::ruleF2MapToStreamSeq(const MapExp &M, NameSource &NS) {
+  VName C = NS.fresh("chunksz");
+  std::vector<Type> RowTys = rowTypesOf(M.Fn, 0, M.Fn.Params.size());
+  std::vector<Param> Chunks = chunkParams(RowTys, C, NS);
+  // A dummy scalar accumulator (the paper's 0).
+  VName Acc = NS.fresh("dummy");
+
+  BodyBuilder BB(NS);
+  std::vector<Type> MappedTys;
+  for (const Type &T : M.Fn.RetTypes)
+    MappedTys.push_back(T.arrayOf(SubExp::var(C)));
+  auto Mapped = BB.bindMulti(
+      "mapped", MappedTys,
+      std::make_unique<MapExp>(SubExp::var(C), renameLambda(M.Fn, NS),
+                               paramNames(Chunks)));
+  std::vector<SubExp> Res{SubExp::var(Acc)};
+  for (const VName &N : Mapped)
+    Res.push_back(SubExp::var(N));
+
+  std::vector<Param> Params;
+  Params.emplace_back(C, Type::scalar(ScalarKind::I32));
+  Params.emplace_back(Acc, Type::scalar(ScalarKind::I32));
+  Params.insert(Params.end(), Chunks.begin(), Chunks.end());
+  std::vector<Type> RetTys{Type::scalar(ScalarKind::I32)};
+  RetTys.insert(RetTys.end(), MappedTys.begin(), MappedTys.end());
+  Lambda Fold(std::move(Params), BB.finish(std::move(Res)),
+              std::move(RetTys));
+  return std::make_unique<StreamExp>(
+      StreamExp::FormKind::Seq, M.Width, Lambda(), 1,
+      std::vector<SubExp>{SubExp::constant(PrimValue::makeI32(0))},
+      std::move(Fold), M.Arrays);
+}
+
+namespace {
+
+/// Shared builder for F3/F4: the fold computes
+///   accs' = op(accs, reduce op e chunk).
+Lambda reduceFold(const ReduceExp &R, NameSource &NS) {
+  VName C = NS.fresh("chunksz");
+  size_t K = R.Neutral.size();
+  std::vector<Type> AccTys = rowTypesOf(R.Fn, 0, K);
+  std::vector<Type> RowTys = rowTypesOf(R.Fn, K, K);
+
+  std::vector<Param> Accs;
+  for (const Type &T : AccTys)
+    Accs.emplace_back(NS.fresh("acc"), T);
+  std::vector<Param> Chunks = chunkParams(RowTys, C, NS);
+
+  BodyBuilder BB(NS);
+  // Per-chunk reduction, starting from the running accumulator: for an
+  // associative op, acc ⊕ (e ⊕ b1 ⊕ ... ) == reduce op acc chunk when e is
+  // neutral; we seed directly with the accumulator.
+  std::vector<SubExp> AccSE;
+  for (const Param &P : Accs)
+    AccSE.push_back(SubExp::var(P.Name));
+  auto Res = BB.bindMulti("part", AccTys,
+                          std::make_unique<ReduceExp>(
+                              SubExp::var(C), renameLambda(R.Fn, NS),
+                              AccSE, paramNames(Chunks), R.Commutative));
+  std::vector<SubExp> ResSE;
+  for (const VName &N : Res)
+    ResSE.push_back(SubExp::var(N));
+
+  std::vector<Param> Params;
+  Params.emplace_back(C, Type::scalar(ScalarKind::I32));
+  Params.insert(Params.end(), Accs.begin(), Accs.end());
+  Params.insert(Params.end(), Chunks.begin(), Chunks.end());
+  return Lambda(std::move(Params), BB.finish(std::move(ResSE)), AccTys);
+}
+
+} // namespace
+
+ExpPtr fut::ruleF3ReduceToStreamRed(const ReduceExp &R, NameSource &NS) {
+  return std::make_unique<StreamExp>(
+      StreamExp::FormKind::Red, R.Width, renameLambda(R.Fn, NS),
+      static_cast<int>(R.Neutral.size()), R.Neutral, reduceFold(R, NS),
+      R.Arrays);
+}
+
+ExpPtr fut::ruleF4ReduceToStreamSeq(const ReduceExp &R, NameSource &NS) {
+  return std::make_unique<StreamExp>(
+      StreamExp::FormKind::Seq, R.Width, Lambda(),
+      static_cast<int>(R.Neutral.size()), R.Neutral, reduceFold(R, NS),
+      R.Arrays);
+}
+
+ExpPtr fut::ruleF5ScanToStreamSeq(const ScanExp &S, NameSource &NS) {
+  VName C = NS.fresh("chunksz");
+  size_t K = S.Neutral.size();
+  std::vector<Type> AccTys = rowTypesOf(S.Fn, 0, K);
+  std::vector<Type> RowTys = rowTypesOf(S.Fn, K, K);
+
+  std::vector<Param> Accs;
+  for (const Type &T : AccTys)
+    Accs.emplace_back(NS.fresh("acc"), T);
+  std::vector<Param> Chunks = chunkParams(RowTys, C, NS);
+
+  BodyBuilder BB(NS);
+  // xc = scan op e chunk.
+  std::vector<Type> ScanTys;
+  for (const Type &T : RowTys)
+    ScanTys.push_back(T.arrayOf(SubExp::var(C)));
+  auto Xc = BB.bindMulti("xc", ScanTys,
+                         std::make_unique<ScanExp>(SubExp::var(C),
+                                                   renameLambda(S.Fn, NS),
+                                                   S.Neutral,
+                                                   paramNames(Chunks)));
+
+  // yc = map (accs op) xc: the lambda binds the op's first K params to the
+  // running accumulators.
+  Lambda Partial = renameLambda(S.Fn, NS);
+  NameMap<SubExp> Bind;
+  for (size_t I = 0; I < K; ++I)
+    Bind[Partial.Params[I].Name] = SubExp::var(Accs[I].Name);
+  substituteInBody(Bind, Partial.B);
+  Partial.Params.erase(Partial.Params.begin(), Partial.Params.begin() + K);
+  auto Yc = BB.bindMulti("yc", ScanTys,
+                         std::make_unique<MapExp>(SubExp::var(C),
+                                                  std::move(Partial), Xc));
+
+  // last yc (guarding the empty chunk).
+  VName Cm1 = NS.fresh("cm1");
+  BB.append({Param(Cm1, Type::scalar(ScalarKind::I32))},
+            std::make_unique<BinOpExp>(
+                BinOp::Sub, SubExp::var(C),
+                SubExp::constant(PrimValue::makeI32(1))));
+  VName NonEmpty = NS.fresh("nonempty");
+  BB.append({Param(NonEmpty, Type::scalar(ScalarKind::Bool))},
+            std::make_unique<BinOpExp>(
+                BinOp::Gt, SubExp::var(C),
+                SubExp::constant(PrimValue::makeI32(0))));
+  std::vector<SubExp> Res;
+  for (size_t I = 0; I < K; ++I) {
+    BodyBuilder ThenBB(NS);
+    SubExp LastI = ThenBB.index(Yc[I], {SubExp::var(Cm1)}, AccTys[I]);
+    Body Then = ThenBB.finish({LastI});
+    BodyBuilder ElseBB(NS);
+    Body Else = ElseBB.finish({SubExp::var(Accs[I].Name)});
+    VName Last = BB.bind("last", AccTys[I],
+                         std::make_unique<IfExp>(SubExp::var(NonEmpty),
+                                                 std::move(Then),
+                                                 std::move(Else),
+                                                 std::vector<Type>{
+                                                     AccTys[I]}));
+    Res.push_back(SubExp::var(Last));
+  }
+  for (const VName &N : Yc)
+    Res.push_back(SubExp::var(N));
+
+  std::vector<Param> Params;
+  Params.emplace_back(C, Type::scalar(ScalarKind::I32));
+  Params.insert(Params.end(), Accs.begin(), Accs.end());
+  Params.insert(Params.end(), Chunks.begin(), Chunks.end());
+  std::vector<Type> RetTys = AccTys;
+  RetTys.insert(RetTys.end(), ScanTys.begin(), ScanTys.end());
+  Lambda Fold(std::move(Params), BB.finish(std::move(Res)),
+              std::move(RetTys));
+  return std::make_unique<StreamExp>(StreamExp::FormKind::Seq, S.Width,
+                                     Lambda(),
+                                     static_cast<int>(S.Neutral.size()),
+                                     S.Neutral, std::move(Fold), S.Arrays);
+}

@@ -1,0 +1,38 @@
+//===- StreamRules.h - The F1..F5 stream conversion rules -------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rewrite rules of Fig 9 that convert the basic SOACs into streaming
+/// form:
+///   F1: map f b          => stream_map (\bc -> map f bc) b
+///   F2: map f b          => stream_seq (\a bc -> (0, map f bc)) 0 b
+///   F3: reduce op e b    => stream_red op (\a bc -> a op reduce op e bc) e b
+///   F4: reduce op e b    => stream_seq (\a bc -> a op reduce op e bc) e b
+///   F5: scan op e b      => stream_seq (\a bc -> let xc = scan op e bc
+///                                                let yc = map (a op) xc
+///                                                in (last yc, yc)) e b
+/// Each returns a StreamExp equivalent to the input SOAC; chunking
+/// invariance is guaranteed by associativity of the operator (a programmer
+/// obligation, as in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_FUSION_STREAMRULES_H
+#define FUTHARKCC_FUSION_STREAMRULES_H
+
+#include "ir/IR.h"
+
+namespace fut {
+
+ExpPtr ruleF1MapToStreamMap(const MapExp &M, NameSource &Names);
+ExpPtr ruleF2MapToStreamSeq(const MapExp &M, NameSource &Names);
+ExpPtr ruleF3ReduceToStreamRed(const ReduceExp &R, NameSource &Names);
+ExpPtr ruleF4ReduceToStreamSeq(const ReduceExp &R, NameSource &Names);
+ExpPtr ruleF5ScanToStreamSeq(const ScanExp &S, NameSource &Names);
+
+} // namespace fut
+
+#endif // FUTHARKCC_FUSION_STREAMRULES_H

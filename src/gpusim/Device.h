@@ -1,0 +1,135 @@
+//===- Device.h - Cycle-approximate GPU simulator ---------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hardware substrate substituting for the paper's OpenCL devices.  A
+/// Device executes a flattened program: host code runs on a simulated CPU
+/// (slow, serial, with explicit host<->device transfers), and KernelExps
+/// run on a simulated GPU with
+///
+///  * a warp-based global-memory model: a warp's simultaneous accesses
+///    that fall into the same 128-byte segment cost one transaction
+///    (coalescing); scattered accesses cost one transaction per lane,
+///  * workgroup-local scratchpad memory for tiled inputs (Section 5.2),
+///  * per-thread private memory for in-thread arrays (so the footprint
+///    effects of Fig 10's stream sequentialisation are visible),
+///  * kernel-launch overhead, and
+///  * a roofline timing model: a kernel takes
+///      launch + max(compute, global, local, private) cycles,
+///    each term being total work divided by the corresponding throughput.
+///
+/// All reported numbers are simulated cycles; two device configurations
+/// ("gtx780" and "w8100") mirror the relative properties the paper's
+/// evaluation depends on (the AMD part has higher launch overhead, which
+/// is why NN speeds up less there).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_GPUSIM_DEVICE_H
+#define FUTHARKCC_GPUSIM_DEVICE_H
+
+#include "interp/Interp.h"
+#include "ir/IR.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fut {
+namespace gpusim {
+
+struct DeviceParams {
+  std::string Name = "gtx780";
+
+  int WarpSize = 32;
+  int WorkgroupSize = 256;
+  int64_t SegmentBytes = 128;
+
+  double LaunchCycles = 5000;
+
+  /// Throughputs, in units per cycle across the whole device.
+  double ComputeOpsPerCycle = 2048; // scalar IR operations
+  double GlobalTxPerCycle = 2.5;    // 128-byte transactions
+  double LocalAccessesPerCycle = 4096;
+  double PrivateAccessesPerCycle = 8192;
+
+  /// Per-thread arrays larger than this spill out of registers/private
+  /// memory into (scattered) global memory — the reason sequentialising
+  /// large inner parallelism in-thread is expensive and the map-loop
+  /// interchange (G7) is essential for LocVolCalib.
+  int64_t PrivateSpillElems = 64;
+
+  /// Host model: serial, HostCyclesPerOp per IR step.
+  double HostCyclesPerOp = 8;
+  /// Host <-> device transfer rate (PCIe-like).
+  double TransferBytesPerCycle = 8;
+
+  /// A GTX 780 Ti-like configuration (the default).
+  static DeviceParams gtx780();
+  /// A FirePro W8100-like configuration: comparable bandwidth, slightly
+  /// lower effective compute, and much higher launch overhead.
+  static DeviceParams w8100();
+};
+
+/// Aggregated execution statistics.
+struct CostReport {
+  double TotalCycles = 0;
+
+  double KernelCycles = 0;
+  double HostCycles = 0;
+  double TransferCycles = 0;
+
+  int64_t KernelLaunches = 0;
+  int64_t GlobalTransactions = 0;
+  int64_t GlobalAccesses = 0; // individual element accesses
+  int64_t LocalAccesses = 0;
+  int64_t PrivateAccesses = 0;
+  int64_t ComputeOps = 0;
+  int64_t HostOps = 0;
+  int64_t TransferredBytes = 0;
+
+  /// Initial input upload and final result download, excluded from
+  /// TotalCycles exactly as the paper's instrumentation excludes them
+  /// (Section 6: "total runtime minus the time taken for loading program
+  /// input onto the GPU [and] reading final results back").
+  double ExcludedTransferCycles = 0;
+
+  /// Elements staged through local memory by tiling.
+  int64_t TiledElementTouches = 0;
+
+  std::string str() const;
+};
+
+struct RunResult {
+  std::vector<Value> Outputs;
+  CostReport Cost;
+};
+
+class Device {
+  DeviceParams P;
+
+public:
+  explicit Device(DeviceParams P = DeviceParams::gtx780())
+      : P(std::move(P)) {}
+
+  const DeviceParams &params() const { return P; }
+
+  /// Runs the named function of a flattened program, simulating kernels on
+  /// the device and everything else on the host.
+  ErrorOr<RunResult> run(const Program &Prog, const std::string &Fun,
+                         const std::vector<Value> &Args);
+
+  ErrorOr<RunResult> runMain(const Program &Prog,
+                             const std::vector<Value> &Args) {
+    return run(Prog, "main", Args);
+  }
+};
+
+} // namespace gpusim
+} // namespace fut
+
+#endif // FUTHARKCC_GPUSIM_DEVICE_H

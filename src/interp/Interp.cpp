@@ -1,0 +1,795 @@
+//===- Interp.cpp - Reference interpreter -----------------------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "ir/Printer.h"
+
+using namespace fut;
+
+// Local helper for propagating errors out of ErrorOr-returning calls.
+#define FUT_TRY(VAR, EXPR)                                                     \
+  auto VAR##OrErr = (EXPR);                                                    \
+  if (!VAR##OrErr)                                                             \
+    return VAR##OrErr.getError();                                              \
+  auto VAR = VAR##OrErr.take();
+
+#define FUT_CHECK(EXPR)                                                        \
+  do {                                                                         \
+    if (auto Err = (EXPR))                                                     \
+      return Err.getError();                                                   \
+  } while (false)
+
+ErrorOr<Value> fut::assembleArray(const std::vector<Value> &Elems) {
+  assert(!Elems.empty() && "cannot assemble an empty array without a type");
+  const Value &First = Elems.front();
+  if (First.isScalar()) {
+    std::vector<PrimValue> Data;
+    Data.reserve(Elems.size());
+    for (const Value &V : Elems) {
+      if (!V.isScalar() || V.getScalar().kind() != First.getScalar().kind())
+        return CompilerError("irregular array: element kind mismatch");
+      Data.push_back(V.getScalar());
+    }
+    return Value::array(First.getScalar().kind(),
+                        {static_cast<int64_t>(Elems.size())},
+                        std::move(Data));
+  }
+  std::vector<PrimValue> Data;
+  Data.reserve(Elems.size() * First.numElems());
+  for (const Value &V : Elems) {
+    if (V.isScalar() || V.shape() != First.shape() ||
+        V.elemKind() != First.elemKind())
+      return CompilerError(
+          "irregular array: all rows must have the same shape");
+    Data.insert(Data.end(), V.flat().begin(), V.flat().end());
+  }
+  std::vector<int64_t> Shape;
+  Shape.push_back(static_cast<int64_t>(Elems.size()));
+  Shape.insert(Shape.end(), First.shape().begin(), First.shape().end());
+  return Value::array(First.elemKind(), std::move(Shape), std::move(Data));
+}
+
+ErrorOr<Value> fut::concatValues(const std::vector<Value> &Vs) {
+  assert(!Vs.empty() && "cannot concat zero arrays");
+  const Value &First = Vs.front();
+  if (First.isScalar())
+    return CompilerError("cannot concat scalars");
+  std::vector<int64_t> Inner(First.shape().begin() + 1, First.shape().end());
+  int64_t Outer = 0;
+  std::vector<PrimValue> Data;
+  for (const Value &V : Vs) {
+    if (V.isScalar() || V.elemKind() != First.elemKind())
+      return CompilerError("concat: element kind mismatch");
+    std::vector<int64_t> VInner(V.shape().begin() + 1, V.shape().end());
+    if (VInner != Inner)
+      return CompilerError("concat: inner shapes differ");
+    Outer += V.outerSize();
+    Data.insert(Data.end(), V.flat().begin(), V.flat().end());
+  }
+  std::vector<int64_t> Shape;
+  Shape.push_back(Outer);
+  Shape.insert(Shape.end(), Inner.begin(), Inner.end());
+  return Value::array(First.elemKind(), std::move(Shape), std::move(Data));
+}
+
+namespace {
+
+/// Binds a parameter to a value and binds/checks the symbolic dimensions of
+/// its declared type against the value's actual shape.
+MaybeError bindParamValue(const Param &P, const Value &V,
+                          NameMap<Value> &Env) {
+  Env[P.Name] = V;
+  if (P.Ty.isScalar())
+    return MaybeError::success();
+  if (V.isScalar() || V.rank() != P.Ty.rank())
+    return CompilerError("value for " + P.Name.str() +
+                         " has wrong rank for type " + P.Ty.str());
+  for (int I = 0; I < P.Ty.rank(); ++I) {
+    const Dim &D = P.Ty.shape()[I];
+    int64_t Actual = V.shape()[I];
+    if (D.isConst()) {
+      if (D.getConst().asInt64() != Actual)
+        return CompilerError("shape mismatch for " + P.Name.str() +
+                             ": expected " + D.getConst().str() + ", got " +
+                             std::to_string(Actual));
+      continue;
+    }
+    auto It = Env.find(D.getVar());
+    if (It == Env.end()) {
+      Env[D.getVar()] = Value::scalar(
+          PrimValue::makeI32(static_cast<int32_t>(Actual)));
+      continue;
+    }
+    if (It->second.getScalar().asInt64() != Actual)
+      return CompilerError("shape mismatch for " + P.Name.str() + ": " +
+                           D.getVar().str() + " = " +
+                           It->second.getScalar().str() + " but dimension is " +
+                           std::to_string(Actual));
+  }
+  return MaybeError::success();
+}
+
+/// The integer value of a scalar, or an error for non-scalars.
+ErrorOr<int64_t> scalarInt(const Value &V, const char *What) {
+  if (!V.isScalar())
+    return CompilerError(std::string(What) + " must be a scalar");
+  return V.getScalar().asInt64();
+}
+
+PrimValue intOfKind(ScalarKind K, int64_t V) {
+  switch (K) {
+  case ScalarKind::I64:
+    return PrimValue::makeI64(V);
+  case ScalarKind::I32:
+  default:
+    return PrimValue::makeI32(static_cast<int32_t>(V));
+  }
+}
+
+} // namespace
+
+MaybeError Interpreter::step(const Exp &E) {
+  if (++Steps > Opts.MaxSteps)
+    return CompilerError(E.Loc, "interpreter step limit exceeded");
+  return MaybeError::success();
+}
+
+ErrorOr<Value> Interpreter::evalSubExp(const SubExp &S,
+                                       const NameMap<Value> &Env) {
+  if (S.isConst())
+    return Value::scalar(S.getConst());
+  auto It = Env.find(S.getVar());
+  if (It == Env.end())
+    return CompilerError("unbound variable " + S.getVar().str() +
+                         " (possibly used after being consumed)");
+  return It->second;
+}
+
+ErrorOr<std::vector<Value>>
+Interpreter::evalLambda(const Lambda &L, const std::vector<Value> &Args,
+                        const NameMap<Value> &Env) {
+  if (Args.size() != L.Params.size())
+    return CompilerError("lambda arity mismatch: expected " +
+                         std::to_string(L.Params.size()) + " arguments, got " +
+                         std::to_string(Args.size()));
+  NameMap<Value> Inner = Env;
+  for (size_t I = 0; I < Args.size(); ++I)
+    FUT_CHECK(bindParamValue(L.Params[I], Args[I], Inner));
+  return evalBody(L.B, std::move(Inner));
+}
+
+ErrorOr<std::vector<Value>> Interpreter::evalBody(const Body &B,
+                                                  NameMap<Value> Env) {
+  for (const Stm &S : B.Stms) {
+    FUT_TRY(Vals, evalExp(*S.E, Env));
+    if (Vals.size() != S.Pat.size())
+      return CompilerError(S.E->Loc,
+                           "pattern arity mismatch: " +
+                               std::to_string(S.Pat.size()) + " names for " +
+                               std::to_string(Vals.size()) + " values");
+    for (size_t I = 0; I < Vals.size(); ++I)
+      FUT_CHECK(bindParamValue(S.Pat[I], Vals[I], Env));
+  }
+  std::vector<Value> Out;
+  Out.reserve(B.Result.size());
+  for (const SubExp &S : B.Result) {
+    FUT_TRY(V, evalSubExp(S, Env));
+    Out.push_back(std::move(V));
+  }
+  return Out;
+}
+
+ErrorOr<std::vector<Value>>
+Interpreter::runFunction(const std::string &Name,
+                         const std::vector<Value> &Args) {
+  const FunDef *F = Prog.findFun(Name);
+  if (!F)
+    return CompilerError("unknown function " + Name);
+  if (Args.size() != F->Params.size())
+    return CompilerError("function " + Name + " expects " +
+                         std::to_string(F->Params.size()) + " arguments, got " +
+                         std::to_string(Args.size()));
+  NameMap<Value> Env;
+  for (size_t I = 0; I < Args.size(); ++I)
+    FUT_CHECK(bindParamValue(F->Params[I], Args[I], Env));
+  return evalBody(F->FBody, std::move(Env));
+}
+
+ErrorOr<std::vector<Value>> Interpreter::evalExp(const Exp &E,
+                                                 NameMap<Value> &Env) {
+  FUT_CHECK(step(E));
+  if (Opts.OnExp)
+    Opts.OnExp(E, Env);
+
+  switch (E.kind()) {
+  case ExpKind::SubExpE: {
+    FUT_TRY(V, evalSubExp(expCast<SubExpExp>(&E)->Val, Env));
+    return std::vector<Value>{std::move(V)};
+  }
+
+  case ExpKind::BinOpE: {
+    const auto *X = expCast<BinOpExp>(&E);
+    FUT_TRY(A, evalSubExp(X->A, Env));
+    FUT_TRY(B, evalSubExp(X->B, Env));
+    if (!A.isScalar() || !B.isScalar())
+      return CompilerError(E.Loc, "binop on non-scalar");
+    FUT_TRY(R, evalBinOp(X->Op, A.getScalar(), B.getScalar()));
+    return std::vector<Value>{Value::scalar(R)};
+  }
+
+  case ExpKind::UnOpE: {
+    const auto *X = expCast<UnOpExp>(&E);
+    FUT_TRY(A, evalSubExp(X->A, Env));
+    if (!A.isScalar())
+      return CompilerError(E.Loc, "unop on non-scalar");
+    FUT_TRY(R, evalUnOp(X->Op, A.getScalar()));
+    return std::vector<Value>{Value::scalar(R)};
+  }
+
+  case ExpKind::ConvOpE: {
+    const auto *X = expCast<ConvOpExp>(&E);
+    FUT_TRY(A, evalSubExp(X->A, Env));
+    if (!A.isScalar())
+      return CompilerError(E.Loc, "conversion of non-scalar");
+    return std::vector<Value>{Value::scalar(evalConvOp(X->Op, A.getScalar()))};
+  }
+
+  case ExpKind::If: {
+    const auto *X = expCast<IfExp>(&E);
+    FUT_TRY(C, evalSubExp(X->Cond, Env));
+    if (!C.isScalar() || C.getScalar().kind() != ScalarKind::Bool)
+      return CompilerError(E.Loc, "if condition is not a bool");
+    return evalBody(C.getScalar().getBool() ? X->Then : X->Else, Env);
+  }
+
+  case ExpKind::Index: {
+    const auto *X = expCast<IndexExp>(&E);
+    FUT_TRY(A, evalSubExp(SubExp::var(X->Arr), Env));
+    if (!A.isArray())
+      return CompilerError(E.Loc, "indexing into a scalar");
+    std::vector<int64_t> Idx;
+    for (const SubExp &S : X->Indices) {
+      FUT_TRY(I, evalSubExp(S, Env));
+      FUT_TRY(IV, scalarInt(I, "index"));
+      Idx.push_back(IV);
+    }
+    if (Idx.size() > A.shape().size())
+      return CompilerError(E.Loc, "index rank exceeds array rank");
+    if (!A.inBounds(Idx))
+      return CompilerError(E.Loc, "index out of bounds for " + X->Arr.str());
+    return std::vector<Value>{A.slice(Idx)};
+  }
+
+  case ExpKind::Apply: {
+    const auto *X = expCast<ApplyExp>(&E);
+    std::vector<Value> Args;
+    for (const SubExp &S : X->Args) {
+      FUT_TRY(V, evalSubExp(S, Env));
+      Args.push_back(std::move(V));
+    }
+    return runFunction(X->Func, Args);
+  }
+
+  case ExpKind::Loop: {
+    const auto *X = expCast<LoopExp>(&E);
+    FUT_TRY(BoundV, evalSubExp(X->Bound, Env));
+    FUT_TRY(Bound, scalarInt(BoundV, "loop bound"));
+    std::vector<Value> Merge;
+    for (const SubExp &S : X->MergeInit) {
+      FUT_TRY(V, evalSubExp(S, Env));
+      Merge.push_back(std::move(V));
+    }
+    ScalarKind IdxKind = BoundV.getScalar().kind();
+    for (int64_t I = 0; I < Bound; ++I) {
+      NameMap<Value> Inner = Env;
+      Inner[X->IndexVar] = Value::scalar(intOfKind(IdxKind, I));
+      for (size_t J = 0; J < X->MergeParams.size(); ++J)
+        FUT_CHECK(bindParamValue(X->MergeParams[J], Merge[J], Inner));
+      FUT_TRY(Next, evalBody(X->LoopBody, std::move(Inner)));
+      if (Next.size() != Merge.size())
+        return CompilerError(E.Loc, "loop body arity mismatch");
+      Merge = std::move(Next);
+    }
+    return Merge;
+  }
+
+  case ExpKind::Update: {
+    const auto *X = expCast<UpdateExp>(&E);
+    FUT_TRY(A, evalSubExp(SubExp::var(X->Arr), Env));
+    if (Opts.ConsumeOnUpdate)
+      Env.erase(X->Arr);
+    std::vector<int64_t> Idx;
+    for (const SubExp &S : X->Indices) {
+      FUT_TRY(I, evalSubExp(S, Env));
+      FUT_TRY(IV, scalarInt(I, "index"));
+      Idx.push_back(IV);
+    }
+    FUT_TRY(V, evalSubExp(X->Value, Env));
+    if (!A.inBounds(Idx))
+      return CompilerError(E.Loc, "update index out of bounds for " +
+                                      X->Arr.str());
+    if (Idx.size() == A.shape().size()) {
+      if (!V.isScalar())
+        return CompilerError(E.Loc, "updating element with non-scalar");
+      int64_t Off = A.flatIndex(Idx);
+      A.flatMut()[Off] = V.getScalar();
+      return std::vector<Value>{std::move(A)};
+    }
+    // Bulk update of a whole subarray.
+    if (V.isScalar() ||
+        static_cast<int64_t>(V.numElems()) !=
+            A.numElems() / [&] {
+              int64_t N = 1;
+              for (size_t I = 0; I < Idx.size(); ++I)
+                N *= A.shape()[I];
+              return N;
+            }())
+      return CompilerError(E.Loc, "bulk update value has wrong size");
+    int64_t Inner = V.numElems();
+    int64_t Off = 0;
+    for (size_t I = 0; I < Idx.size(); ++I)
+      Off = Off * A.shape()[I] + Idx[I];
+    Off *= Inner;
+    auto &Flat = A.flatMut();
+    for (int64_t I = 0; I < Inner; ++I)
+      Flat[Off + I] = V.flat()[I];
+    return std::vector<Value>{std::move(A)};
+  }
+
+  case ExpKind::Iota: {
+    const auto *X = expCast<IotaExp>(&E);
+    FUT_TRY(NV, evalSubExp(X->N, Env));
+    FUT_TRY(N, scalarInt(NV, "iota length"));
+    if (N < 0)
+      return CompilerError(E.Loc, "iota of negative length");
+    std::vector<PrimValue> Data;
+    Data.reserve(N);
+    for (int64_t I = 0; I < N; ++I)
+      Data.push_back(intOfKind(X->Elem, I));
+    return std::vector<Value>{Value::array(X->Elem, {N}, std::move(Data))};
+  }
+
+  case ExpKind::Replicate: {
+    const auto *X = expCast<ReplicateExp>(&E);
+    FUT_TRY(NV, evalSubExp(X->N, Env));
+    FUT_TRY(N, scalarInt(NV, "replicate count"));
+    if (N < 0)
+      return CompilerError(E.Loc, "replicate of negative count");
+    FUT_TRY(V, evalSubExp(X->Val, Env));
+    if (V.isScalar()) {
+      return std::vector<Value>{Value::filledArray(V.getScalar().kind(), {N},
+                                                   V.getScalar())};
+    }
+    std::vector<int64_t> Shape;
+    Shape.push_back(N);
+    Shape.insert(Shape.end(), V.shape().begin(), V.shape().end());
+    std::vector<PrimValue> Data;
+    Data.reserve(N * V.numElems());
+    for (int64_t I = 0; I < N; ++I)
+      Data.insert(Data.end(), V.flat().begin(), V.flat().end());
+    return std::vector<Value>{
+        Value::array(V.elemKind(), std::move(Shape), std::move(Data))};
+  }
+
+  case ExpKind::Rearrange: {
+    const auto *X = expCast<RearrangeExp>(&E);
+    FUT_TRY(A, evalSubExp(SubExp::var(X->Arr), Env));
+    if (A.rank() != static_cast<int>(X->Perm.size()))
+      return CompilerError(E.Loc, "rearrange rank mismatch");
+    std::vector<int64_t> NewShape(X->Perm.size());
+    for (size_t I = 0; I < X->Perm.size(); ++I)
+      NewShape[I] = A.shape()[X->Perm[I]];
+    std::vector<PrimValue> Data(A.numElems());
+    // For each output position, locate the source element.
+    int Rank = A.rank();
+    std::vector<int64_t> OutIdx(Rank, 0), SrcIdx(Rank, 0);
+    for (int64_t Flat = 0; Flat < A.numElems(); ++Flat) {
+      for (int I = 0; I < Rank; ++I)
+        SrcIdx[X->Perm[I]] = OutIdx[I];
+      Data[Flat] = A.at(SrcIdx);
+      // Increment OutIdx (row-major).
+      for (int I = Rank - 1; I >= 0; --I) {
+        if (++OutIdx[I] < NewShape[I])
+          break;
+        OutIdx[I] = 0;
+      }
+    }
+    return std::vector<Value>{
+        Value::array(A.elemKind(), std::move(NewShape), std::move(Data))};
+  }
+
+  case ExpKind::Reshape: {
+    const auto *X = expCast<ReshapeExp>(&E);
+    FUT_TRY(A, evalSubExp(SubExp::var(X->Arr), Env));
+    std::vector<int64_t> NewShape;
+    int64_t N = 1;
+    for (const SubExp &S : X->NewShape) {
+      FUT_TRY(DV, evalSubExp(S, Env));
+      FUT_TRY(D, scalarInt(DV, "reshape dimension"));
+      NewShape.push_back(D);
+      N *= D;
+    }
+    if (N != A.numElems())
+      return CompilerError(E.Loc, "reshape changes number of elements");
+    std::vector<PrimValue> Data = A.flat();
+    return std::vector<Value>{
+        Value::array(A.elemKind(), std::move(NewShape), std::move(Data))};
+  }
+
+  case ExpKind::Concat: {
+    const auto *X = expCast<ConcatExp>(&E);
+    std::vector<Value> Vs;
+    for (const VName &N : X->Arrays) {
+      FUT_TRY(V, evalSubExp(SubExp::var(N), Env));
+      Vs.push_back(std::move(V));
+    }
+    FUT_TRY(R, concatValues(Vs));
+    return std::vector<Value>{std::move(R)};
+  }
+
+  case ExpKind::Slice: {
+    const auto *X = expCast<SliceExp>(&E);
+    FUT_TRY(A, evalSubExp(SubExp::var(X->Arr), Env));
+    FUT_TRY(OffV, evalSubExp(X->Offset, Env));
+    FUT_TRY(Off, scalarInt(OffV, "slice offset"));
+    FUT_TRY(LenV, evalSubExp(X->Len, Env));
+    FUT_TRY(Len, scalarInt(LenV, "slice length"));
+    FUT_TRY(StrV, evalSubExp(X->Stride, Env));
+    FUT_TRY(Str, scalarInt(StrV, "slice stride"));
+    if (!A.isArray() || Off < 0 || Len < 0 || Str <= 0 ||
+        (Len > 0 && Off + (Len - 1) * Str >= A.outerSize()))
+      return CompilerError(E.Loc, "slice out of bounds");
+    std::vector<int64_t> Shape = A.shape();
+    Shape[0] = Len;
+    int64_t RowElems = A.rowElems();
+    std::vector<PrimValue> Data;
+    Data.reserve(Len * RowElems);
+    for (int64_t I = 0; I < Len; ++I) {
+      int64_t Row = Off + I * Str;
+      Data.insert(Data.end(), A.flat().begin() + Row * RowElems,
+                  A.flat().begin() + (Row + 1) * RowElems);
+    }
+    return std::vector<Value>{
+        Value::array(A.elemKind(), std::move(Shape), std::move(Data))};
+  }
+
+  case ExpKind::Copy: {
+    FUT_TRY(A, evalSubExp(SubExp::var(expCast<CopyExp>(&E)->Arr), Env));
+    if (A.isArray()) {
+      std::vector<PrimValue> Data = A.flat();
+      std::vector<int64_t> Shape = A.shape();
+      A = Value::array(A.elemKind(), std::move(Shape), std::move(Data));
+    }
+    return std::vector<Value>{std::move(A)};
+  }
+
+  case ExpKind::Map: {
+    const auto *X = expCast<MapExp>(&E);
+    FUT_TRY(WV, evalSubExp(X->Width, Env));
+    FUT_TRY(W, scalarInt(WV, "map width"));
+    std::vector<Value> Arrays;
+    for (const VName &N : X->Arrays) {
+      FUT_TRY(A, evalSubExp(SubExp::var(N), Env));
+      if (!A.isArray() || A.outerSize() != W)
+        return CompilerError(E.Loc, "map input " + N.str() +
+                                        " has wrong outer size");
+      Arrays.push_back(std::move(A));
+    }
+    size_t NumRes = X->Fn.RetTypes.size();
+    std::vector<std::vector<Value>> Columns(NumRes);
+    for (int64_t I = 0; I < W; ++I) {
+      std::vector<Value> Args;
+      Args.reserve(Arrays.size());
+      for (const Value &A : Arrays)
+        Args.push_back(A.row(I));
+      FUT_TRY(Res, evalLambda(X->Fn, Args, Env));
+      if (Res.size() != NumRes)
+        return CompilerError(E.Loc, "map function arity mismatch");
+      for (size_t J = 0; J < NumRes; ++J)
+        Columns[J].push_back(std::move(Res[J]));
+    }
+    std::vector<Value> Out;
+    for (size_t J = 0; J < NumRes; ++J) {
+      if (W == 0) {
+        // Empty result with the statically known row shape where possible.
+        Out.push_back(Value::array(X->Fn.RetTypes[J].elemKind(), {0}, {}));
+        continue;
+      }
+      FUT_TRY(Col, assembleArray(Columns[J]));
+      Out.push_back(std::move(Col));
+    }
+    return Out;
+  }
+
+  case ExpKind::Reduce: {
+    const auto *X = expCast<ReduceExp>(&E);
+    FUT_TRY(WV, evalSubExp(X->Width, Env));
+    FUT_TRY(W, scalarInt(WV, "reduce width"));
+    std::vector<Value> Acc;
+    for (const SubExp &S : X->Neutral) {
+      FUT_TRY(V, evalSubExp(S, Env));
+      Acc.push_back(std::move(V));
+    }
+    std::vector<Value> Arrays;
+    for (const VName &N : X->Arrays) {
+      FUT_TRY(A, evalSubExp(SubExp::var(N), Env));
+      if (!A.isArray() || A.outerSize() != W)
+        return CompilerError(E.Loc, "reduce input has wrong outer size");
+      Arrays.push_back(std::move(A));
+    }
+    for (int64_t I = 0; I < W; ++I) {
+      std::vector<Value> Args = Acc;
+      for (const Value &A : Arrays)
+        Args.push_back(A.row(I));
+      FUT_TRY(Res, evalLambda(X->Fn, Args, Env));
+      Acc = std::move(Res);
+    }
+    return Acc;
+  }
+
+  case ExpKind::Scan: {
+    const auto *X = expCast<ScanExp>(&E);
+    FUT_TRY(WV, evalSubExp(X->Width, Env));
+    FUT_TRY(W, scalarInt(WV, "scan width"));
+    std::vector<Value> Acc;
+    for (const SubExp &S : X->Neutral) {
+      FUT_TRY(V, evalSubExp(S, Env));
+      Acc.push_back(std::move(V));
+    }
+    std::vector<Value> Arrays;
+    for (const VName &N : X->Arrays) {
+      FUT_TRY(A, evalSubExp(SubExp::var(N), Env));
+      if (!A.isArray() || A.outerSize() != W)
+        return CompilerError(E.Loc, "scan input has wrong outer size");
+      Arrays.push_back(std::move(A));
+    }
+    std::vector<std::vector<Value>> Columns(Acc.size());
+    for (int64_t I = 0; I < W; ++I) {
+      std::vector<Value> Args = Acc;
+      for (const Value &A : Arrays)
+        Args.push_back(A.row(I));
+      FUT_TRY(Res, evalLambda(X->Fn, Args, Env));
+      Acc = std::move(Res);
+      for (size_t J = 0; J < Acc.size(); ++J)
+        Columns[J].push_back(Acc[J]);
+    }
+    std::vector<Value> Out;
+    for (size_t J = 0; J < Columns.size(); ++J) {
+      if (W == 0) {
+        Out.push_back(Value::array(X->Fn.RetTypes[J].elemKind(), {0}, {}));
+        continue;
+      }
+      FUT_TRY(Col, assembleArray(Columns[J]));
+      Out.push_back(std::move(Col));
+    }
+    return Out;
+  }
+
+  case ExpKind::Stream:
+    return evalStream(*expCast<StreamExp>(&E), Env);
+
+  case ExpKind::Kernel:
+    if (Opts.HandleKernel)
+      return Opts.HandleKernel(*expCast<KernelExp>(&E), Env);
+    return evalKernel(*expCast<KernelExp>(&E), Env);
+  }
+  return CompilerError(E.Loc, "unhandled expression kind in interpreter");
+}
+
+ErrorOr<std::vector<Value>> Interpreter::evalStream(const StreamExp &S,
+                                                    NameMap<Value> &Env) {
+  FUT_TRY(WV, evalSubExp(S.Width, Env));
+  FUT_TRY(W, scalarInt(WV, "stream width"));
+  std::vector<Value> Arrays;
+  for (const VName &N : S.Arrays) {
+    FUT_TRY(A, evalSubExp(SubExp::var(N), Env));
+    if (!A.isArray() || A.outerSize() != W)
+      return CompilerError(S.Loc, "stream input has wrong outer size");
+    Arrays.push_back(std::move(A));
+  }
+  std::vector<Value> AccInit;
+  for (const SubExp &I : S.AccInit) {
+    FUT_TRY(V, evalSubExp(I, Env));
+    AccInit.push_back(std::move(V));
+  }
+  assert(static_cast<int>(AccInit.size()) == S.NumAccs &&
+         "accumulator count mismatch");
+
+  // Partitioning: contiguous chunks of StreamChunk elements, or, when
+  // StreamInterleave is set, P interleaved chunks (chunk g holds elements
+  // g, g+P, g+2P, ... — the partitioning the compiler's device chunking
+  // uses so warp accesses coalesce).
+  int64_t Chunk = Opts.StreamChunk > 0 ? Opts.StreamChunk : (W > 0 ? W : 1);
+  int64_t Interleave = 0;
+  if (Opts.StreamInterleave > 0)
+    Interleave = std::min<int64_t>(W > 0 ? W : 1, Opts.StreamInterleave);
+  int64_t NumChunks =
+      Interleave > 0 ? Interleave : std::max<int64_t>(1, (W + Chunk - 1) /
+                                                             Chunk);
+  if (W == 0)
+    NumChunks = 1;
+  ScalarKind ChunkKind = S.FoldFn.Params.empty()
+                             ? ScalarKind::I32
+                             : S.FoldFn.Params[0].Ty.elemKind();
+
+  size_t NumMapped = S.FoldFn.RetTypes.size() - S.NumAccs;
+  std::vector<std::vector<Value>> MappedChunks(NumMapped);
+  std::vector<Value> Accs = AccInit;
+
+  for (int64_t G = 0; G < NumChunks; ++G) {
+    int64_t Start = Interleave > 0 ? G : G * Chunk;
+    int64_t Stride = Interleave > 0 ? Interleave : 1;
+    int64_t Len;
+    if (W == 0)
+      Len = 0;
+    else if (Interleave > 0)
+      Len = Start < W ? (W - Start + Interleave - 1) / Interleave : 0;
+    else
+      Len = std::min(Chunk, W - Start);
+    // Slice out this chunk of every input array.
+    std::vector<Value> Args;
+    Args.push_back(Value::scalar(intOfKind(ChunkKind, Len)));
+    std::vector<Value> ChunkAccs =
+        (S.Form == StreamExp::FormKind::Seq) ? Accs : AccInit;
+    if (S.Form != StreamExp::FormKind::Par)
+      for (const Value &A : ChunkAccs)
+        Args.push_back(A);
+    for (const Value &A : Arrays) {
+      std::vector<int64_t> Shape = A.shape();
+      Shape[0] = Len;
+      int64_t RowElems = A.rowElems();
+      std::vector<PrimValue> Data;
+      Data.reserve(Len * RowElems);
+      for (int64_t I = 0; I < Len; ++I) {
+        int64_t Row = Start + I * Stride;
+        Data.insert(Data.end(), A.flat().begin() + Row * RowElems,
+                    A.flat().begin() + (Row + 1) * RowElems);
+      }
+      Args.push_back(Value::array(A.elemKind(), std::move(Shape),
+                                  std::move(Data)));
+    }
+    FUT_TRY(Res, evalLambda(S.FoldFn, Args, Env));
+    if (Res.size() != S.FoldFn.RetTypes.size())
+      return CompilerError(S.Loc, "stream fold arity mismatch");
+
+    std::vector<Value> ChunkOut(Res.begin(), Res.begin() + S.NumAccs);
+    switch (S.Form) {
+    case StreamExp::FormKind::Par:
+      break;
+    case StreamExp::FormKind::Seq:
+      Accs = std::move(ChunkOut);
+      break;
+    case StreamExp::FormKind::Red: {
+      // Combine with the running accumulator via the associative operator.
+      std::vector<Value> CombArgs = Accs;
+      CombArgs.insert(CombArgs.end(), ChunkOut.begin(), ChunkOut.end());
+      FUT_TRY(Combined, evalLambda(S.ReduceFn, CombArgs, Env));
+      Accs = std::move(Combined);
+      break;
+    }
+    }
+    for (size_t J = 0; J < NumMapped; ++J)
+      MappedChunks[J].push_back(std::move(Res[S.NumAccs + J]));
+  }
+
+  std::vector<Value> Out = Accs;
+  for (size_t J = 0; J < NumMapped; ++J) {
+    if (MappedChunks[J].empty()) {
+      Out.push_back(Value::array(
+          S.FoldFn.RetTypes[S.NumAccs + J].elemKind(), {0}, {}));
+      continue;
+    }
+    FUT_TRY(Col, concatValues(MappedChunks[J]));
+    Out.push_back(std::move(Col));
+  }
+  return Out;
+}
+
+ErrorOr<std::vector<Value>> Interpreter::evalKernel(const KernelExp &K,
+                                                    NameMap<Value> &Env) {
+  // Resolve grid dimensions.
+  std::vector<int64_t> Grid;
+  for (const SubExp &D : K.GridDims) {
+    FUT_TRY(V, evalSubExp(D, Env));
+    FUT_TRY(I, scalarInt(V, "grid dimension"));
+    Grid.push_back(I);
+  }
+  int64_t NumGroups = 1;
+  for (int64_t G : Grid)
+    NumGroups *= G;
+
+  int64_t SegSize = 1;
+  if (K.isSegmented()) {
+    FUT_TRY(V, evalSubExp(K.SegSize, Env));
+    FUT_TRY(I, scalarInt(V, "segment size"));
+    SegSize = I;
+  }
+
+  size_t NumRes = K.isSegmented() ? K.Neutral.size() : K.RetTypes.size();
+  std::vector<std::vector<Value>> PerPos(NumRes);
+
+  std::vector<int64_t> Idx(Grid.size(), 0);
+  for (int64_t G = 0; G < NumGroups; ++G) {
+    NameMap<Value> TEnv = Env;
+    for (size_t I = 0; I < Grid.size(); ++I)
+      TEnv[K.ThreadIndices[I]] = Value::scalar(
+          PrimValue::makeI32(static_cast<int32_t>(Idx[I])));
+
+    if (!K.isSegmented()) {
+      FUT_TRY(Res, evalBody(K.ThreadBody, TEnv));
+      for (size_t J = 0; J < NumRes; ++J)
+        PerPos[J].push_back(std::move(Res[J]));
+    } else {
+      // Evaluate the per-element values, then combine within the segment.
+      std::vector<Value> Acc;
+      for (const SubExp &N : K.Neutral) {
+        FUT_TRY(V, evalSubExp(N, Env));
+        Acc.push_back(std::move(V));
+      }
+      std::vector<std::vector<Value>> ScanCols(NumRes);
+      for (int64_t S = 0; S < SegSize; ++S) {
+        NameMap<Value> SEnv = TEnv;
+        SEnv[K.SegIndex] =
+            Value::scalar(PrimValue::makeI32(static_cast<int32_t>(S)));
+        FUT_TRY(Elem, evalBody(K.ThreadBody, SEnv));
+        std::vector<Value> Args = Acc;
+        for (Value &V : Elem)
+          Args.push_back(std::move(V));
+        FUT_TRY(Comb, evalLambda(K.ReduceFn, Args, Env));
+        Acc = std::move(Comb);
+        if (K.Op == KernelExp::OpKind::SegScan)
+          for (size_t J = 0; J < NumRes; ++J)
+            ScanCols[J].push_back(Acc[J]);
+      }
+      if (K.Op == KernelExp::OpKind::SegReduce) {
+        for (size_t J = 0; J < NumRes; ++J)
+          PerPos[J].push_back(std::move(Acc[J]));
+      } else {
+        for (size_t J = 0; J < NumRes; ++J) {
+          if (SegSize == 0) {
+            PerPos[J].push_back(
+                Value::array(K.RetTypes[J].elemKind(), {0}, {}));
+            continue;
+          }
+          FUT_TRY(Col, assembleArray(ScanCols[J]));
+          PerPos[J].push_back(std::move(Col));
+        }
+      }
+    }
+
+    // Advance the multi-index row-major.
+    for (int I = static_cast<int>(Grid.size()) - 1; I >= 0; --I) {
+      if (++Idx[I] < Grid[I])
+        break;
+      Idx[I] = 0;
+    }
+  }
+
+  // Assemble results: nested per grid dimensions.
+  std::vector<Value> Out;
+  for (size_t J = 0; J < NumRes; ++J) {
+    if (Grid.empty()) {
+      Out.push_back(std::move(PerPos[J][0]));
+      continue;
+    }
+    if (NumGroups == 0) {
+      std::vector<int64_t> Shape = Grid;
+      Out.push_back(Value::array(K.RetTypes[J].elemKind(), Shape, {}));
+      continue;
+    }
+    FUT_TRY(FlatV, assembleArray(PerPos[J]));
+    // Reshape the flat outer dimension into the grid shape.
+    std::vector<int64_t> Shape = Grid;
+    const Value &First = PerPos[J][0];
+    if (First.isArray())
+      Shape.insert(Shape.end(), First.shape().begin(), First.shape().end());
+    std::vector<PrimValue> Data = FlatV.flat();
+    Out.push_back(
+        Value::array(FlatV.elemKind(), std::move(Shape), std::move(Data)));
+  }
+  return Out;
+}

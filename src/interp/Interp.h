@@ -1,0 +1,108 @@
+//===- Interp.h - Reference interpreter -------------------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct implementation of the core language's denotational semantics
+/// (Section 2.1).  The interpreter is the oracle against which every
+/// compiler pass is property-tested: a pass is correct when the transformed
+/// program computes the same values as the original.
+///
+/// Streaming SOACs take an arbitrary partitioning of their input; the chunk
+/// size is configurable so tests can verify the paper's invariant that
+/// "any partitioning leads to the same result".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_INTERP_INTERP_H
+#define FUTHARKCC_INTERP_INTERP_H
+
+#include "interp/Value.h"
+#include "ir/IR.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace fut {
+
+struct InterpOptions {
+  /// Chunk size used when splitting streaming SOAC inputs; 0 means one
+  /// maximal chunk (the "recover all inner parallelism" extreme).
+  int64_t StreamChunk = 0;
+
+  /// When positive, split streams into min(width, StreamInterleave)
+  /// interleaved chunks instead (chunk g holds elements g, g+P, ...),
+  /// matching the device chunking of compiled stream_reds.
+  int64_t StreamInterleave = 0;
+
+  /// When true, the source array of an in-place update is removed from the
+  /// environment (sound only on uniqueness-checked programs) so that the
+  /// update really is O(element size), as Section 3 promises.
+  bool ConsumeOnUpdate = false;
+
+  /// Abort with an error after this many evaluation steps (guards tests
+  /// against runaway loops).
+  int64_t MaxSteps = INT64_MAX;
+
+  /// Observation hook, invoked once per expression evaluation with the
+  /// current environment.  The GPU simulator uses it to charge host-side
+  /// costs and to track host/device residency of arrays.
+  std::function<void(const Exp &, const NameMap<Value> &)> OnExp;
+
+  /// When set, KernelExp evaluation is delegated here (the GPU simulator's
+  /// entry point); otherwise kernels are interpreted functionally.
+  std::function<ErrorOr<std::vector<Value>>(const KernelExp &,
+                                            const NameMap<Value> &)>
+      HandleKernel;
+};
+
+class Interpreter {
+  const Program &Prog;
+  InterpOptions Opts;
+  int64_t Steps = 0;
+
+public:
+  explicit Interpreter(const Program &Prog, InterpOptions Opts = {})
+      : Prog(Prog), Opts(Opts) {}
+
+  /// Runs the named function on the given arguments.
+  ErrorOr<std::vector<Value>> runFunction(const std::string &Name,
+                                          const std::vector<Value> &Args);
+
+  /// Runs "main".
+  ErrorOr<std::vector<Value>> run(const std::vector<Value> &Args) {
+    return runFunction("main", Args);
+  }
+
+  /// Evaluates a body under an initial environment (used by the GPU
+  /// simulator for host-side code and by tests).
+  ErrorOr<std::vector<Value>> evalBody(const Body &B, NameMap<Value> Env);
+
+  /// Evaluates a lambda applied to the given values.
+  ErrorOr<std::vector<Value>> evalLambda(const Lambda &L,
+                                         const std::vector<Value> &Args,
+                                         const NameMap<Value> &Env);
+
+private:
+  ErrorOr<std::vector<Value>> evalExp(const Exp &E, NameMap<Value> &Env);
+  ErrorOr<Value> evalSubExp(const SubExp &S, const NameMap<Value> &Env);
+  ErrorOr<std::vector<Value>> evalStream(const StreamExp &S,
+                                         NameMap<Value> &Env);
+  ErrorOr<std::vector<Value>> evalKernel(const KernelExp &K,
+                                         NameMap<Value> &Env);
+  MaybeError step(const Exp &E);
+};
+
+/// Concatenates rank>=1 values along the outer dimension (shapes of inner
+/// dimensions must agree).
+ErrorOr<Value> concatValues(const std::vector<Value> &Vs);
+
+/// Assembles an array value from equally-shaped element values.
+ErrorOr<Value> assembleArray(const std::vector<Value> &Elems);
+
+} // namespace fut
+
+#endif // FUTHARKCC_INTERP_INTERP_H

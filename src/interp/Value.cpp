@@ -1,0 +1,148 @@
+//===- Value.cpp - Runtime values ------------------------------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Value.h"
+
+#include <cmath>
+#include <sstream>
+
+using namespace fut;
+
+Value Value::slice(const std::vector<int64_t> &Prefix) const {
+  assert(!Scalar && "cannot slice a scalar");
+  assert(Prefix.size() <= Shape.size() && "slice rank too deep");
+  if (Prefix.size() == Shape.size())
+    return Value::scalar(at(Prefix));
+
+  // Compute the contiguous range covered by the prefix.
+  int64_t InnerElems = 1;
+  for (size_t I = Prefix.size(); I < Shape.size(); ++I)
+    InnerElems *= Shape[I];
+  int64_t Off = 0;
+  for (size_t I = 0; I < Prefix.size(); ++I) {
+    assert(Prefix[I] >= 0 && Prefix[I] < Shape[I] && "slice out of bounds");
+    Off = Off * Shape[I] + Prefix[I];
+  }
+  Off *= InnerElems;
+
+  std::vector<int64_t> NewShape(Shape.begin() + Prefix.size(), Shape.end());
+  std::vector<PrimValue> NewData(Data->begin() + Off,
+                                 Data->begin() + Off + InnerElems);
+  return Value::array(Elem, std::move(NewShape), std::move(NewData));
+}
+
+bool Value::operator==(const Value &Other) const {
+  if (Scalar != Other.Scalar)
+    return false;
+  if (Scalar)
+    return SVal == Other.SVal;
+  return Elem == Other.Elem && Shape == Other.Shape && *Data == *Other.Data;
+}
+
+namespace {
+
+bool primApproxEqual(const PrimValue &A, const PrimValue &B, double RelTol,
+                     double AbsTol) {
+  if (A.kind() != B.kind())
+    return false;
+  if (!A.isFloat())
+    return A == B;
+  double X = A.getFloat(), Y = B.getFloat();
+  if (std::isnan(X) && std::isnan(Y))
+    return true;
+  double Diff = std::fabs(X - Y);
+  return Diff <= AbsTol ||
+         Diff <= RelTol * std::fmax(std::fabs(X), std::fabs(Y));
+}
+
+} // namespace
+
+bool Value::approxEqual(const Value &Other, double RelTol,
+                        double AbsTol) const {
+  if (Scalar != Other.Scalar)
+    return false;
+  if (Scalar)
+    return primApproxEqual(SVal, Other.SVal, RelTol, AbsTol);
+  if (Elem != Other.Elem || Shape != Other.Shape)
+    return false;
+  for (size_t I = 0; I < Data->size(); ++I)
+    if (!primApproxEqual((*Data)[I], (*Other.Data)[I], RelTol, AbsTol))
+      return false;
+  return true;
+}
+
+std::string Value::str() const {
+  if (Scalar)
+    return SVal.str();
+  std::ostringstream OS;
+  // Print rank-1 inline; higher ranks as nested rows (possibly truncated).
+  const int64_t MaxShown = 32;
+  if (Shape.size() == 1) {
+    OS << "[";
+    for (int64_t I = 0; I < Shape[0] && I < MaxShown; ++I) {
+      if (I)
+        OS << ", ";
+      OS << (*Data)[I].str();
+    }
+    if (Shape[0] > MaxShown)
+      OS << ", ...";
+    OS << "]";
+    return OS.str();
+  }
+  OS << "[";
+  for (int64_t I = 0; I < Shape[0] && I < MaxShown; ++I) {
+    if (I)
+      OS << ",\n ";
+    OS << row(I).str();
+  }
+  if (Shape[0] > MaxShown)
+    OS << ", ...";
+  OS << "]";
+  return OS.str();
+}
+
+Value fut::makeVectorValue(ScalarKind K, const std::vector<double> &Xs) {
+  std::vector<PrimValue> Data;
+  Data.reserve(Xs.size());
+  for (double X : Xs) {
+    switch (K) {
+    case ScalarKind::F32:
+      Data.push_back(PrimValue::makeF32(static_cast<float>(X)));
+      break;
+    case ScalarKind::F64:
+      Data.push_back(PrimValue::makeF64(X));
+      break;
+    case ScalarKind::I32:
+      Data.push_back(PrimValue::makeI32(static_cast<int32_t>(X)));
+      break;
+    case ScalarKind::I64:
+      Data.push_back(PrimValue::makeI64(static_cast<int64_t>(X)));
+      break;
+    case ScalarKind::Bool:
+      Data.push_back(PrimValue::makeBool(X != 0));
+      break;
+    }
+  }
+  return Value::array(K, {static_cast<int64_t>(Xs.size())}, std::move(Data));
+}
+
+Value fut::makeIntVectorValue(ScalarKind K, const std::vector<int64_t> &Xs) {
+  std::vector<PrimValue> Data;
+  Data.reserve(Xs.size());
+  for (int64_t X : Xs)
+    Data.push_back(K == ScalarKind::I64 ? PrimValue::makeI64(X)
+                                        : PrimValue::makeI32(
+                                              static_cast<int32_t>(X)));
+  return Value::array(K, {static_cast<int64_t>(Xs.size())}, std::move(Data));
+}
+
+Value fut::makeMatrixValue(ScalarKind K, int64_t R, int64_t C,
+                           const std::vector<double> &Xs) {
+  assert(static_cast<int64_t>(Xs.size()) == R * C && "bad matrix payload");
+  Value V = makeVectorValue(K, Xs);
+  std::vector<PrimValue> Data = V.flat();
+  return Value::array(K, {R, C}, std::move(Data));
+}

@@ -1,0 +1,86 @@
+//===- Name.h - Tagged variable names ---------------------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Variable names in the core IR.  A VName is a human-readable base name
+/// plus a unique integer tag; after the frontend every binding in a program
+/// carries a distinct tag, which lets passes treat names as globally unique.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_IR_NAME_H
+#define FUTHARKCC_IR_NAME_H
+
+#include "support/Utils.h"
+
+#include <atomic>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fut {
+
+/// A tagged variable name.  Tag -1 marks a "source" name straight out of the
+/// parser that has not been uniquified yet.
+struct VName {
+  std::string Base;
+  int Tag = -1;
+
+  VName() = default;
+  VName(std::string Base, int Tag) : Base(std::move(Base)), Tag(Tag) {}
+  explicit VName(std::string Base) : Base(std::move(Base)), Tag(-1) {}
+
+  bool operator==(const VName &Other) const {
+    return Tag == Other.Tag && Base == Other.Base;
+  }
+  bool operator!=(const VName &Other) const { return !(*this == Other); }
+  bool operator<(const VName &Other) const {
+    if (Tag != Other.Tag)
+      return Tag < Other.Tag;
+    return Base < Other.Base;
+  }
+
+  std::string str() const {
+    if (Tag < 0)
+      return Base;
+    return Base + "_" + std::to_string(Tag);
+  }
+};
+
+struct VNameHash {
+  size_t operator()(const VName &N) const {
+    size_t Seed = std::hash<std::string>()(N.Base);
+    hashCombine(Seed, std::hash<int>()(N.Tag));
+    return Seed;
+  }
+};
+
+using NameSet = std::unordered_set<VName, VNameHash>;
+template <typename T> using NameMap = std::unordered_map<VName, T, VNameHash>;
+
+/// Produces fresh tags.  One NameSource is threaded through the whole
+/// pipeline so that freshly invented names never collide.
+class NameSource {
+  int Counter = 0;
+
+public:
+  VName fresh(const std::string &Base) { return VName(Base, Counter++); }
+
+  /// A fresh name reusing \p Old's base name (for renaming).
+  VName freshFrom(const VName &Old) { return fresh(Old.Base); }
+
+  /// Ensures future fresh names have tags strictly above \p Tag.
+  void reserveAbove(int Tag) {
+    if (Tag >= Counter)
+      Counter = Tag + 1;
+  }
+
+  int peek() const { return Counter; }
+};
+
+} // namespace fut
+
+#endif // FUTHARKCC_IR_NAME_H

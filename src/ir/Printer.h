@@ -1,0 +1,30 @@
+//===- Printer.h - Human-readable IR dumping --------------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-printing of the core IR in a syntax close to the paper's Fig 1.
+/// Used for debugging, golden tests and the --dump-ir driver options.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_IR_PRINTER_H
+#define FUTHARKCC_IR_PRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace fut {
+
+std::string printExp(const Exp &E, int Indent = 0);
+std::string printBody(const Body &B, int Indent = 0);
+std::string printLambda(const Lambda &L, int Indent = 0);
+std::string printFunDef(const FunDef &F);
+std::string printProgram(const Program &P);
+
+} // namespace fut
+
+#endif // FUTHARKCC_IR_PRINTER_H

@@ -1,0 +1,71 @@
+//===- Traversal.h - IR walking, free variables, renaming ------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic traversal utilities over the core IR: free-variable computation,
+/// capture-free substitution of names by operands (including inside the
+/// symbolic dimensions of types), and alpha-renaming used when lambdas and
+/// bodies are duplicated by fusion, inlining and flattening.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_IR_TRAVERSAL_H
+#define FUTHARKCC_IR_TRAVERSAL_H
+
+#include "ir/IR.h"
+
+#include <functional>
+
+namespace fut {
+
+/// Invokes \p Fn on every operand SubExp of \p E itself (not of nested
+/// bodies), including array-name operands wrapped as variables.
+void forEachFreeOperand(const Exp &E,
+                        const std::function<void(const SubExp &)> &Fn);
+
+/// Invokes \p Fn on every nested Body of \p E (if/loop bodies, lambda
+/// bodies, kernel thread bodies).
+void forEachChildBody(Exp &E, const std::function<void(Body &)> &Fn);
+void forEachChildBody(const Exp &E,
+                      const std::function<void(const Body &)> &Fn);
+
+/// Free variables (both scalar and array uses, and uses inside nested
+/// bodies and types).
+NameSet freeVarsInExp(const Exp &E);
+NameSet freeVarsInBody(const Body &B);
+NameSet freeVarsInLambda(const Lambda &L);
+
+/// Capture-free substitution.  Every free occurrence of a key is replaced by
+/// its mapped operand; occurrences in positions that require a variable
+/// (array operands, update targets) assert that the operand is a variable.
+/// Also rewrites symbolic dimensions inside types.
+void substituteInBody(const NameMap<SubExp> &Subst, Body &B);
+void substituteInExp(const NameMap<SubExp> &Subst, Exp &E);
+void substituteInLambda(const NameMap<SubExp> &Subst, Lambda &L);
+Type substituteInType(const NameMap<SubExp> &Subst, const Type &T);
+
+/// Alpha-renames every name bound inside the body/lambda/exp to a fresh one
+/// (free names are rewritten through \p Outer).  Used when cloning code.
+Body renameBody(const Body &B, NameSource &Names,
+                const NameMap<SubExp> &Outer = {});
+Lambda renameLambda(const Lambda &L, NameSource &Names,
+                    const NameMap<SubExp> &Outer = {});
+
+/// Ensures every tag in \p P is unique, renaming where needed; also makes
+/// \p Names produce tags above anything in \p P.
+void uniquifyProgram(Program &P, NameSource &Names);
+
+/// A shallow structural hash/equality for expressions without nested bodies
+/// (used by CSE).  Expressions with bodies hash to distinct sentinels and
+/// never compare equal.
+size_t hashExpShallow(const Exp &E);
+bool expsStructurallyEqual(const Exp &A, const Exp &B);
+/// True if \p E has no nested body and no side conditions preventing CSE.
+bool expIsCSEable(const Exp &E);
+
+} // namespace fut
+
+#endif // FUTHARKCC_IR_TRAVERSAL_H

@@ -1,0 +1,547 @@
+//===- Simplify.cpp - The simplification engine ------------------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Simplify.h"
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+
+#include <unordered_map>
+
+using namespace fut;
+
+namespace {
+
+/// One simplification round over a body: forward rewriting with a
+/// definitions table, copy propagation, CSE; then backward dead-code
+/// elimination.  Returns true if anything changed.
+class BodySimplifier {
+  NameSource &NS;
+  const SimplifyOptions &Opts;
+  bool Changed = false;
+
+  /// Definitions visible at the current program point (outer bodies
+  /// included); maps a name to the expression that bound it.
+  NameMap<const Exp *> Defs;
+
+public:
+  BodySimplifier(NameSource &NS, const SimplifyOptions &Opts)
+      : NS(NS), Opts(Opts) {}
+
+  bool run(Body &B) {
+    simplify(B);
+    return Changed;
+  }
+
+private:
+  const Exp *defOf(const SubExp &S) const {
+    if (!S.isVar())
+      return nullptr;
+    auto It = Defs.find(S.getVar());
+    return It == Defs.end() ? nullptr : It->second;
+  }
+  const Exp *defOf(const VName &V) const { return defOf(SubExp::var(V)); }
+
+  static bool isZero(const SubExp &S) {
+    return S.isConst() && S.getConst().asDouble() == 0.0 &&
+           !S.getConst().isFloat();
+  }
+  static bool isIntOne(const SubExp &S) {
+    return S.isConst() && !S.getConst().isFloat() &&
+           S.getConst().asInt64() == 1;
+  }
+
+  /// Attempts to replace \p E by a cheaper expression; returns the
+  /// replacement or null.
+  ExpPtr rewrite(const Exp &E) {
+    switch (E.kind()) {
+    case ExpKind::BinOpE: {
+      const auto *X = expCast<BinOpExp>(&E);
+      if (X->A.isConst() && X->B.isConst()) {
+        auto R = evalBinOp(X->Op, X->A.getConst(), X->B.getConst());
+        if (R) // Keep failing ops (e.g. div by zero) for runtime semantics.
+          return subExpE(SubExp::constant(R.take()));
+        return nullptr;
+      }
+      // Integer algebraic identities (float identities are unsound for
+      // NaN/-0.0 and are left alone, except the safe x*1 and x+0-like ones
+      // are also skipped for floats for simplicity).
+      switch (X->Op) {
+      case BinOp::Add:
+        if (isZero(X->A))
+          return subExpE(X->B);
+        if (isZero(X->B))
+          return subExpE(X->A);
+        break;
+      case BinOp::Sub:
+        if (isZero(X->B))
+          return subExpE(X->A);
+        break;
+      case BinOp::Mul:
+        if (isIntOne(X->A))
+          return subExpE(X->B);
+        if (isIntOne(X->B))
+          return subExpE(X->A);
+        if (isZero(X->A))
+          return subExpE(X->A);
+        if (isZero(X->B))
+          return subExpE(X->B);
+        break;
+      case BinOp::Div:
+        if (isIntOne(X->B))
+          return subExpE(X->A);
+        break;
+      default:
+        break;
+      }
+      return nullptr;
+    }
+
+    case ExpKind::UnOpE: {
+      const auto *X = expCast<UnOpExp>(&E);
+      if (X->A.isConst()) {
+        auto R = evalUnOp(X->Op, X->A.getConst());
+        if (R)
+          return subExpE(SubExp::constant(R.take()));
+      }
+      return nullptr;
+    }
+
+    case ExpKind::ConvOpE: {
+      const auto *X = expCast<ConvOpExp>(&E);
+      if (X->Op.From == X->Op.To)
+        return subExpE(X->A);
+      if (X->A.isConst())
+        return subExpE(SubExp::constant(evalConvOp(X->Op, X->A.getConst())));
+      return nullptr;
+    }
+
+    case ExpKind::Index: {
+      const auto *X = expCast<IndexExp>(&E);
+      const Exp *D = defOf(X->Arr);
+      if (!D)
+        return nullptr;
+      // iota-index: (iota n)[i] == i.
+      if (const auto *I = expDynCast<IotaExp>(D)) {
+        if (X->Indices.size() == 1) {
+          const SubExp &Idx = X->Indices[0];
+          (void)I;
+          return subExpE(Idx);
+        }
+        return nullptr;
+      }
+      // replicate-index: (replicate n v)[i, rest...] == v[rest...].
+      if (const auto *R = expDynCast<ReplicateExp>(D)) {
+        if (X->Indices.size() == 1)
+          return subExpE(R->Val);
+        if (R->Val.isVar()) {
+          std::vector<SubExp> Rest(X->Indices.begin() + 1,
+                                   X->Indices.end());
+          return std::make_unique<IndexExp>(R->Val.getVar(),
+                                            std::move(Rest));
+        }
+        return nullptr;
+      }
+      // rearrange-index (full rank): (rearrange p a)[i...] == a[p(i)...].
+      if (const auto *RA = expDynCast<RearrangeExp>(D)) {
+        if (X->Indices.size() == RA->Perm.size()) {
+          std::vector<SubExp> SrcIdx(X->Indices.size());
+          for (size_t I = 0; I < RA->Perm.size(); ++I)
+            SrcIdx[RA->Perm[I]] = X->Indices[I];
+          return std::make_unique<IndexExp>(RA->Arr, std::move(SrcIdx));
+        }
+        return nullptr;
+      }
+      return nullptr;
+    }
+
+    case ExpKind::Rearrange: {
+      const auto *X = expCast<RearrangeExp>(&E);
+      if (isIdentityPerm(X->Perm))
+        return varE(X->Arr);
+      if (const auto *Inner = expDynCast<RearrangeExp>(defOf(X->Arr)))
+        return std::make_unique<RearrangeExp>(
+            composePerms(Inner->Perm, X->Perm), Inner->Arr);
+      return nullptr;
+    }
+
+    case ExpKind::Copy: {
+      // copy of a fresh (alias-free) array is the array itself, provided
+      // the source is not consumed elsewhere; freshness means its defining
+      // expression constructs a new array.
+      const Exp *D = defOf(expCast<CopyExp>(&E)->Arr);
+      if (D && (D->kind() == ExpKind::Iota ||
+                D->kind() == ExpKind::Replicate || D->isSOAC() ||
+                D->kind() == ExpKind::Copy ||
+                D->kind() == ExpKind::Concat))
+        return varE(expCast<CopyExp>(&E)->Arr);
+      return nullptr;
+    }
+
+    default:
+      return nullptr;
+    }
+  }
+
+  struct CSEKey {
+    const Exp *E;
+    size_t Hash;
+  };
+  struct CSEKeyHash {
+    size_t operator()(const CSEKey &K) const { return K.Hash; }
+  };
+  struct CSEKeyEq {
+    bool operator()(const CSEKey &A, const CSEKey &B) const {
+      return expsStructurallyEqual(*A.E, *B.E);
+    }
+  };
+  using CSETable =
+      std::unordered_map<CSEKey, std::vector<VName>, CSEKeyHash, CSEKeyEq>;
+
+  void simplify(Body &B) {
+    NameMap<SubExp> Subst;
+    CSETable CSE;
+    std::vector<Stm> Out;
+    Out.reserve(B.Stms.size());
+
+    for (Stm &S : B.Stms) {
+      substituteInExp(Subst, *S.E);
+      for (Param &P : S.Pat)
+        P.Ty = substituteInType(Subst, P.Ty);
+
+      // Recurse into nested bodies first.
+      forEachChildBody(*S.E, [&](Body &Inner) { simplify(Inner); });
+
+      // Constant-condition if: splice the taken branch.
+      if (auto *If = expDynCast<IfExp>(S.E.get());
+          If && If->Cond.isConst()) {
+        Body &Taken = If->Cond.getConst().getBool() ? If->Then : If->Else;
+        for (Stm &Inner : Taken.Stms)
+          Out.push_back(std::move(Inner));
+        for (size_t I = 0; I < S.Pat.size(); ++I)
+          Subst[S.Pat[I].Name] = Taken.Result[I];
+        Changed = true;
+        continue;
+      }
+
+      // Rule-based rewriting to a fixed point on this one expression.
+      for (ExpPtr R = rewrite(*S.E); R; R = rewrite(*S.E)) {
+        S.E = std::move(R);
+        Changed = true;
+      }
+
+      // Copy propagation.
+      if (const auto *SE = expDynCast<SubExpExp>(S.E.get());
+          SE && S.Pat.size() == 1) {
+        Subst[S.Pat[0].Name] = SE->Val;
+        Changed = true;
+        continue;
+      }
+
+      // CSE.
+      if (Opts.EnableCSE && expIsCSEable(*S.E)) {
+        CSEKey Key{S.E.get(), hashExpShallow(*S.E)};
+        auto It = CSE.find(Key);
+        if (It != CSE.end() && It->second.size() == S.Pat.size()) {
+          for (size_t I = 0; I < S.Pat.size(); ++I)
+            Subst[S.Pat[I].Name] = SubExp::var(It->second[I]);
+          Changed = true;
+          continue;
+        }
+        std::vector<VName> Names;
+        for (const Param &P : S.Pat)
+          Names.push_back(P.Name);
+        // The key references the expression now owned by Out; push first.
+        Out.push_back(std::move(S));
+        CSE.emplace(CSEKey{Out.back().E.get(),
+                           hashExpShallow(*Out.back().E)},
+                    std::move(Names));
+        for (const Param &P : Out.back().Pat)
+          Defs[P.Name] = Out.back().E.get();
+        continue;
+      }
+
+      Out.push_back(std::move(S));
+      for (const Param &P : Out.back().Pat)
+        Defs[P.Name] = Out.back().E.get();
+    }
+
+    for (SubExp &R : B.Result)
+      if (R.isVar()) {
+        auto It = Subst.find(R.getVar());
+        if (It != Subst.end())
+          R = It->second;
+      }
+    // Also rewrite any remaining references in the collected statements'
+    // nested bodies (substitution was applied eagerly above, so nothing to
+    // do here).
+    B.Stms = std::move(Out);
+
+    deadCodeElim(B);
+  }
+
+  void deadCodeElim(Body &B) {
+    NameSet Live;
+    for (const SubExp &R : B.Result)
+      if (R.isVar())
+        Live.insert(R.getVar());
+
+    std::vector<Stm> Kept;
+    for (auto It = B.Stms.rbegin(); It != B.Stms.rend(); ++It) {
+      bool Needed = false;
+      for (const Param &P : It->Pat)
+        Needed = Needed || Live.count(P.Name);
+      if (!Needed) {
+        Changed = true;
+        continue;
+      }
+      NameSet Free = freeVarsInExp(*It->E);
+      Live.insert(Free.begin(), Free.end());
+      for (const Param &P : It->Pat)
+        for (const Dim &D : P.Ty.shape())
+          if (D.isVar())
+            Live.insert(D.getVar());
+      Kept.push_back(std::move(*It));
+    }
+    B.Stms.assign(std::make_move_iterator(Kept.rbegin()),
+                  std::make_move_iterator(Kept.rend()));
+  }
+};
+
+/// Hoists invariant, cheap bindings out of loops and SOAC lambdas
+/// (let-floating / hoisting in Fig 3).  Returns true on change.
+class Hoister {
+  bool Changed = false;
+
+public:
+  bool run(Body &B) {
+    hoistInBody(B);
+    return Changed;
+  }
+
+private:
+  /// Names bound by the binder expression itself (lambda params etc.).
+  static NameSet binderBound(const Exp &E) {
+    NameSet S;
+    switch (E.kind()) {
+    case ExpKind::Loop: {
+      const auto *L = expCast<LoopExp>(&E);
+      for (const Param &P : L->MergeParams)
+        S.insert(P.Name);
+      S.insert(L->IndexVar);
+      break;
+    }
+    case ExpKind::Map:
+      for (const Param &P : expCast<MapExp>(&E)->Fn.Params)
+        S.insert(P.Name);
+      break;
+    case ExpKind::Reduce:
+      for (const Param &P : expCast<ReduceExp>(&E)->Fn.Params)
+        S.insert(P.Name);
+      break;
+    case ExpKind::Scan:
+      for (const Param &P : expCast<ScanExp>(&E)->Fn.Params)
+        S.insert(P.Name);
+      break;
+    case ExpKind::Stream: {
+      const auto *St = expCast<StreamExp>(&E);
+      for (const Param &P : St->ReduceFn.Params)
+        S.insert(P.Name);
+      for (const Param &P : St->FoldFn.Params)
+        S.insert(P.Name);
+      break;
+    }
+    default:
+      break;
+    }
+    return S;
+  }
+
+  static bool hoistable(const Exp &E) {
+    // Cheap, pure, *total* expressions without nested bodies.  Loops and
+    // SOACs stay put.  iota/replicate hoisting is the paper's aggressive
+    // allocation hoisting.  Indexing and partial operators (div/mod/pow)
+    // are not speculated past a possibly zero-trip binder.
+    switch (E.kind()) {
+    case ExpKind::SubExpE:
+    case ExpKind::UnOpE:
+    case ExpKind::ConvOpE:
+    case ExpKind::Iota:
+    case ExpKind::Replicate:
+    case ExpKind::Rearrange:
+    case ExpKind::Reshape:
+    case ExpKind::Copy:
+      return true;
+    case ExpKind::BinOpE: {
+      BinOp Op = expCast<BinOpExp>(&E)->Op;
+      return Op != BinOp::Div && Op != BinOp::Mod && Op != BinOp::Pow;
+    }
+    default:
+      return false;
+    }
+  }
+
+  void hoistInBody(Body &B) {
+    std::vector<Stm> Out;
+    for (Stm &S : B.Stms) {
+      // First recurse so inner hoists surface to this level in one round.
+      forEachChildBody(*S.E, [&](Body &Inner) { hoistInBody(Inner); });
+
+      bool IsBinder = S.E->kind() == ExpKind::Loop || S.E->isSOAC();
+      if (IsBinder && S.E->kind() != ExpKind::If) {
+        NameSet Bound = binderBound(*S.E);
+        forEachChildBody(*S.E, [&](Body &Inner) {
+          std::vector<Stm> Stay;
+          for (Stm &IS : Inner.Stms) {
+            bool CanHoist = hoistable(*IS.E);
+            if (CanHoist) {
+              NameSet Free = freeVarsInExp(*IS.E);
+              for (const VName &V : Free)
+                if (Bound.count(V)) {
+                  CanHoist = false;
+                  break;
+                }
+            }
+            if (CanHoist) {
+              Out.push_back(std::move(IS));
+              Changed = true;
+            } else {
+              for (const Param &P : IS.Pat)
+                Bound.insert(P.Name);
+              Stay.push_back(std::move(IS));
+            }
+          }
+          Inner.Stms = std::move(Stay);
+        });
+      }
+      Out.push_back(std::move(S));
+    }
+    B.Stms = std::move(Out);
+  }
+};
+
+} // namespace
+
+void fut::simplifyBody(Body &B, NameSource &Names,
+                       const SimplifyOptions &Opts) {
+  for (int Round = 0; Round < Opts.MaxRounds; ++Round) {
+    bool Changed = BodySimplifier(Names, Opts).run(B);
+    if (Opts.EnableHoisting)
+      Changed |= Hoister().run(B);
+    if (!Changed)
+      return;
+  }
+}
+
+void fut::simplifyProgram(Program &P, NameSource &Names,
+                          const SimplifyOptions &Opts) {
+  for (FunDef &F : P.Funs)
+    simplifyBody(F.FBody, Names, Opts);
+}
+
+namespace {
+
+/// Splices calls to callees into the caller's bodies.
+class Inliner {
+  Program &P;
+  NameSource &NS;
+
+public:
+  Inliner(Program &P, NameSource &NS) : P(P), NS(NS) {}
+
+  void run() {
+    for (FunDef &F : P.Funs)
+      inlineInBody(F.FBody, F.Name);
+  }
+
+private:
+  bool callsSelf(const FunDef &F, const std::string &Name, int Depth = 0) {
+    if (Depth > 16)
+      return true; // Deep chains: conservatively treat as recursive.
+    bool Found = false;
+    scanBodyForCalls(F.FBody, [&](const std::string &Callee) {
+      if (Callee == Name)
+        Found = true;
+      else if (const FunDef *C = P.findFun(Callee))
+        Found = Found || callsSelf(*C, Name, Depth + 1);
+    });
+    return Found;
+  }
+
+  static void
+  scanBodyForCalls(const Body &B,
+                   const std::function<void(const std::string &)> &Fn) {
+    for (const Stm &S : B.Stms) {
+      if (const auto *A = expDynCast<ApplyExp>(S.E.get()))
+        Fn(A->Func);
+      forEachChildBody(*S.E,
+                       [&](const Body &Inner) { scanBodyForCalls(Inner, Fn); });
+    }
+  }
+
+  void inlineInBody(Body &B, const std::string &Current) {
+    std::vector<Stm> Out;
+    for (Stm &S : B.Stms) {
+      forEachChildBody(*S.E,
+                       [&](Body &Inner) { inlineInBody(Inner, Current); });
+      auto *A = expDynCast<ApplyExp>(S.E.get());
+      const FunDef *Callee = A ? P.findFun(A->Func) : nullptr;
+      if (!A || !Callee || A->Func == Current ||
+          callsSelf(*Callee, A->Func)) {
+        Out.push_back(std::move(S));
+        continue;
+      }
+      // Bind arguments to parameters, then alpha-rename the callee body.
+      NameMap<SubExp> Map;
+      for (size_t I = 0; I < Callee->Params.size(); ++I)
+        Map[Callee->Params[I].Name] = A->Args[I];
+      Body Spliced = renameBody(Callee->FBody, NS, Map);
+      // Recursively inline in the freshly spliced code too.
+      inlineInBody(Spliced, Current);
+      for (Stm &IS : Spliced.Stms)
+        Out.push_back(std::move(IS));
+      for (size_t I = 0; I < S.Pat.size(); ++I)
+        Out.emplace_back(std::vector<Param>{S.Pat[I]},
+                         subExpE(Spliced.Result[I]));
+    }
+    B.Stms = std::move(Out);
+  }
+};
+
+} // namespace
+
+void fut::inlineFunctions(Program &P, NameSource &Names) {
+  Inliner(P, Names).run();
+}
+
+void fut::removeDeadFunctions(Program &P) {
+  std::vector<FunDef> Kept;
+  // Reachability from main.
+  std::unordered_map<std::string, bool> Reachable;
+  std::vector<std::string> Work{"main"};
+  while (!Work.empty()) {
+    std::string Name = Work.back();
+    Work.pop_back();
+    if (Reachable[Name])
+      continue;
+    Reachable[Name] = true;
+    const FunDef *F = P.findFun(Name);
+    if (!F)
+      continue;
+    std::function<void(const Body &)> Scan = [&](const Body &B) {
+      for (const Stm &S : B.Stms) {
+        if (const auto *A = expDynCast<ApplyExp>(S.E.get()))
+          Work.push_back(A->Func);
+        forEachChildBody(*S.E, Scan);
+      }
+    };
+    Scan(F->FBody);
+  }
+  for (FunDef &F : P.Funs)
+    if (Reachable[F.Name])
+      Kept.push_back(std::move(F));
+  P.Funs = std::move(Kept);
+}

@@ -1,0 +1,751 @@
+//===- Desugar.cpp - Surface AST to core IR -----------------------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Desugar.h"
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+#include "parser/Parser.h"
+
+#include <map>
+
+using namespace fut;
+
+namespace {
+
+/// An operand together with its type — the desugarer's currency.
+struct TSub {
+  SubExp SE;
+  Type Ty;
+};
+
+struct FunSig {
+  std::vector<Param> Params;
+  std::vector<Type> RetTypes;
+};
+
+/// Lexical scope: surface names to typed operand tuples (a single value is
+/// a one-element tuple).  Dimension names map to the operand standing for
+/// that size.
+using Scope = std::map<std::string, std::vector<TSub>>;
+
+void bindOne(Scope &Sc, const std::string &N, TSub V) {
+  Sc[N] = std::vector<TSub>{std::move(V)};
+}
+
+class Desugarer {
+  NameSource &NS;
+  std::map<std::string, FunSig> FunSigs;
+
+public:
+  explicit Desugarer(NameSource &NS) : NS(NS) {}
+
+  ErrorOr<Program> run(const SProgram &SP) {
+    Program P;
+    // Two passes so that mutual recursion and forward calls work.
+    for (const SFun &F : SP.Funs) {
+      if (FunSigs.count(F.Name))
+        return CompilerError(F.Loc, "duplicate function " + F.Name);
+      auto Sig = makeSignature(F);
+      if (!Sig)
+        return Sig.getError();
+      FunSigs[F.Name] = std::move(*Sig);
+    }
+    for (const SFun &F : SP.Funs) {
+      auto D = desugarFun(F);
+      if (!D)
+        return D.getError();
+      P.Funs.push_back(std::move(*D));
+    }
+    return P;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  /// Converts a non-tuple surface type.  Dimension names are resolved in
+  /// \p Sc; unknown names are freshly bound (as i32 sizes) when \p BindDims,
+  /// otherwise they become fresh, unconstrained size variables.
+  Type typeFromSurface(const SType &ST, Scope &Sc, bool BindDims) {
+    assert(!ST.IsTuple && "tuple type in scalar position");
+    std::vector<Dim> Dims;
+    for (const SDim &D : ST.Dims) {
+      switch (D.K) {
+      case SDim::Kind::Const:
+        Dims.push_back(SubExp::constant(
+            PrimValue::makeI32(static_cast<int32_t>(D.Const))));
+        break;
+      case SDim::Kind::Anon:
+        Dims.push_back(SubExp::var(NS.fresh("anon_dim")));
+        break;
+      case SDim::Kind::Name: {
+        auto It = Sc.find(D.Name);
+        if (It != Sc.end() && It->second.size() == 1) {
+          Dims.push_back(It->second.front().SE);
+          break;
+        }
+        VName V = NS.fresh(D.Name);
+        Dims.push_back(SubExp::var(V));
+        if (BindDims)
+          bindOne(Sc, D.Name,
+                  {SubExp::var(V), Type::scalar(ScalarKind::I32)});
+        break;
+      }
+      }
+    }
+    Type T(ST.Elem, std::move(Dims));
+    return ST.Unique ? T.asUnique() : T;
+  }
+
+  std::vector<Type> typesFromSurface(const SType &ST, Scope &Sc,
+                                     bool BindDims) {
+    std::vector<SType> Flat;
+    ST.flattenInto(Flat);
+    std::vector<Type> Out;
+    Out.reserve(Flat.size());
+    for (const SType &S : Flat)
+      Out.push_back(typeFromSurface(S, Sc, BindDims));
+    return Out;
+  }
+
+  /// Coerces a constant operand to the wanted kind where that is a safe
+  /// literal re-typing (int literal -> any numeric kind; float literal ->
+  /// float kind).  Variables are never coerced.
+  MaybeError coerceConst(TSub &V, ScalarKind Want, SrcLoc Loc) {
+    if (!V.Ty.isScalar())
+      return CompilerError(Loc, "expected a scalar value");
+    ScalarKind Have = V.Ty.elemKind();
+    if (Have == Want)
+      return MaybeError::success();
+    if (!V.SE.isConst())
+      return CompilerError(Loc, std::string("type mismatch: expected ") +
+                                    scalarKindName(Want) + ", got " +
+                                    scalarKindName(Have));
+    const PrimValue &C = V.SE.getConst();
+    bool Ok = (isIntKind(Have) && (isIntKind(Want) || isFloatKind(Want))) ||
+              (isFloatKind(Have) && isFloatKind(Want));
+    if (!Ok)
+      return CompilerError(Loc, std::string("cannot use a ") +
+                                    scalarKindName(Have) + " literal as " +
+                                    scalarKindName(Want));
+    V.SE = SubExp::constant(evalConvOp({Have, Want}, C));
+    V.Ty = Type::scalar(Want);
+    return MaybeError::success();
+  }
+
+  /// Unifies the kinds of two scalar operands, coercing constants.
+  MaybeError unifyScalars(TSub &A, TSub &B, SrcLoc Loc) {
+    if (!A.Ty.isScalar() || !B.Ty.isScalar())
+      return CompilerError(Loc, "expected scalar operands");
+    if (A.Ty.elemKind() == B.Ty.elemKind())
+      return MaybeError::success();
+    if (A.SE.isConst() && !B.SE.isConst())
+      return coerceConst(A, B.Ty.elemKind(), Loc);
+    if (B.SE.isConst() && !A.SE.isConst())
+      return coerceConst(B, A.Ty.elemKind(), Loc);
+    if (A.SE.isConst() && B.SE.isConst()) {
+      // Prefer the float kind; otherwise the wider kind.
+      ScalarKind Want;
+      if (isFloatKind(A.Ty.elemKind()) || isFloatKind(B.Ty.elemKind()))
+        Want = isFloatKind(A.Ty.elemKind()) ? A.Ty.elemKind()
+                                            : B.Ty.elemKind();
+      else
+        Want = ScalarKind::I64;
+      if (auto Err = coerceConst(A, Want, Loc))
+        return Err;
+      return coerceConst(B, Want, Loc);
+    }
+    return CompilerError(Loc, std::string("operand kinds differ: ") +
+                                  scalarKindName(A.Ty.elemKind()) + " vs " +
+                                  scalarKindName(B.Ty.elemKind()));
+  }
+
+  /// The operand standing for an array variable.  Non-variable operands of
+  /// array type cannot occur (arrays are always let-bound), so this asserts.
+  static VName arrayVar(const TSub &V) {
+    assert(V.SE.isVar() && "array operand must be a variable");
+    return V.SE.getVar();
+  }
+
+  /// Materialises an operand as an array variable name.
+  ErrorOr<VName> asArrayVar(const TSub &V, SrcLoc Loc) {
+    if (!V.Ty.isArray())
+      return CompilerError(Loc, "expected an array");
+    if (!V.SE.isVar())
+      return CompilerError(Loc, "expected an array variable");
+    return V.SE.getVar();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  ErrorOr<std::vector<TSub>> desugarExp(const SExp &E, Scope &Sc,
+                                        BodyBuilder &BB) {
+    switch (E.K) {
+    case SExpKind::IntLit: {
+      ScalarKind K = ScalarKind::I32;
+      if (E.Suffix == "i64")
+        K = ScalarKind::I64;
+      PrimValue V = K == ScalarKind::I64
+                        ? PrimValue::makeI64(E.IntVal)
+                        : PrimValue::makeI32(static_cast<int32_t>(E.IntVal));
+      return std::vector<TSub>{{SubExp::constant(V), Type::scalar(K)}};
+    }
+    case SExpKind::FloatLit: {
+      ScalarKind K = E.Suffix == "f64" ? ScalarKind::F64 : ScalarKind::F32;
+      PrimValue V = K == ScalarKind::F64
+                        ? PrimValue::makeF64(E.FloatVal)
+                        : PrimValue::makeF32(static_cast<float>(E.FloatVal));
+      return std::vector<TSub>{{SubExp::constant(V), Type::scalar(K)}};
+    }
+    case SExpKind::BoolLit:
+      return std::vector<TSub>{{SubExp::constant(
+                                    PrimValue::makeBool(E.BoolVal)),
+                                Type::scalar(ScalarKind::Bool)}};
+    case SExpKind::Var: {
+      auto It = Sc.find(E.Name);
+      if (It == Sc.end())
+        return CompilerError(E.Loc, "unbound variable '" + E.Name + "'");
+      return It->second;
+    }
+    case SExpKind::Tuple: {
+      std::vector<TSub> Out;
+      for (const SExpPtr &A : E.Args) {
+        auto V = desugarExp(*A, Sc, BB);
+        if (!V)
+          return V;
+        for (TSub &T : *V)
+          Out.push_back(std::move(T));
+      }
+      return Out;
+    }
+    case SExpKind::BinOpE:
+      return desugarBinOp(E, Sc, BB);
+    case SExpKind::UnOpE:
+      return desugarUnOp(E, Sc, BB);
+    case SExpKind::If:
+      return desugarIf(E, Sc, BB);
+    case SExpKind::Index:
+      return desugarIndex(E, Sc, BB);
+    case SExpKind::With:
+      return desugarWith(E, Sc, BB);
+    case SExpKind::Let: {
+      auto RHS = desugarExp(*E.Args[0], Sc, BB);
+      if (!RHS)
+        return RHS;
+      Scope Inner = Sc;
+      if (auto Err = bindPattern(E.Pat, *RHS, Inner, E.Loc))
+        return Err.getError();
+      return desugarExp(*E.Args[1], Inner, BB);
+    }
+    case SExpKind::LetWith: {
+      // let a[i,...] = v in body  ==  let a' = a with [i,...] <- v in body
+      // with a rebound to a'.
+      auto It = Sc.find(E.Name);
+      if (It == Sc.end() || It->second.size() != 1)
+        return CompilerError(E.Loc, "unbound array '" + E.Name + "'");
+      TSub Arr = It->second.front();
+      size_t NumIdx = E.Args.size() - 2;
+      auto Upd = buildUpdate(Arr, E.Args, 0, NumIdx,
+                             *E.Args[NumIdx], E.Loc, Sc, BB);
+      if (!Upd)
+        return Upd.getError();
+      Scope Inner = Sc;
+      bindOne(Inner, E.Name, *Upd);
+      return desugarExp(*E.Args[NumIdx + 1], Inner, BB);
+    }
+    case SExpKind::Loop:
+      return desugarLoop(E, Sc, BB);
+    case SExpKind::Apply:
+      return desugarApply(E, Sc, BB);
+    case SExpKind::Lambda:
+      return CompilerError(E.Loc,
+                           "a lambda may only appear as a SOAC argument");
+    case SExpKind::OpSection:
+      return CompilerError(
+          E.Loc, "an operator section may only appear as a SOAC argument");
+    }
+    return CompilerError(E.Loc, "unhandled surface expression");
+  }
+
+  MaybeError bindPattern(const SPat &Pat, const std::vector<TSub> &Vals,
+                         Scope &Sc, SrcLoc Loc) {
+    // A single name may bind a whole tuple of values.
+    if (Pat.size() == 1 && Vals.size() != 1) {
+      Sc[Pat[0].Name] = Vals;
+      return MaybeError::success();
+    }
+    if (Pat.size() != Vals.size())
+      return CompilerError(Loc, "pattern binds " +
+                                    std::to_string(Pat.size()) +
+                                    " names but expression produces " +
+                                    std::to_string(Vals.size()) + " values");
+    for (size_t I = 0; I < Pat.size(); ++I) {
+      bindOne(Sc, Pat[I].Name, Vals[I]);
+      if (Pat[I].Ty)
+        bindAnnotationDims(*Pat[I].Ty, Vals[I].Ty, Sc);
+    }
+    return MaybeError::success();
+  }
+
+  /// Binds the dimension names of a surface annotation to the actual dims
+  /// of the inferred type, e.g. "(chunk: [csz]f32)" binds csz.
+  void bindAnnotationDims(const SType &Ann, const Type &Actual, Scope &Sc) {
+    if (Ann.IsTuple)
+      return;
+    for (size_t I = 0;
+         I < Ann.Dims.size() && I < Actual.shape().size(); ++I) {
+      const SDim &D = Ann.Dims[I];
+      if (D.K == SDim::Kind::Name && !Sc.count(D.Name))
+        bindOne(Sc, D.Name,
+                {Actual.shape()[I], Type::scalar(ScalarKind::I32)});
+    }
+  }
+
+  ErrorOr<std::vector<TSub>> desugarBinOp(const SExp &E, Scope &Sc,
+                                          BodyBuilder &BB) {
+    // Short-circuit && and || via if, preserving the language's dynamic
+    // checks (e.g. "i < n && a[i] > 0").
+    if (E.Bin == BinOp::LogAnd || E.Bin == BinOp::LogOr) {
+      auto A = desugarSingle(*E.Args[0], Sc, BB);
+      if (!A)
+        return A.getError();
+      if (A->Ty.elemKind() != ScalarKind::Bool)
+        return CompilerError(E.Loc, "logical operand is not bool");
+      BodyBuilder ThenBB(NS), ElseBB(NS);
+      Scope ThenSc = Sc, ElseSc = Sc;
+      Body ThenB, ElseB;
+      if (E.Bin == BinOp::LogAnd) {
+        auto B = desugarSingle(*E.Args[1], ThenSc, ThenBB);
+        if (!B)
+          return B.getError();
+        if (B->Ty.elemKind() != ScalarKind::Bool)
+          return CompilerError(E.Loc, "logical operand is not bool");
+        ThenB = ThenBB.finish({B->SE});
+        ElseB = ElseBB.finish({boolc(false)});
+      } else {
+        ThenB = ThenBB.finish({boolc(true)});
+        auto B = desugarSingle(*E.Args[1], ElseSc, ElseBB);
+        if (!B)
+          return B.getError();
+        if (B->Ty.elemKind() != ScalarKind::Bool)
+          return CompilerError(E.Loc, "logical operand is not bool");
+        ElseB = ElseBB.finish({B->SE});
+      }
+      Type BoolT = Type::scalar(ScalarKind::Bool);
+      VName R = BB.bind("b", BoolT,
+                        std::make_unique<IfExp>(A->SE, std::move(ThenB),
+                                                std::move(ElseB),
+                                                std::vector<Type>{BoolT}));
+      return std::vector<TSub>{{SubExp::var(R), BoolT}};
+    }
+
+    auto A = desugarSingle(*E.Args[0], Sc, BB);
+    if (!A)
+      return A.getError();
+    auto B = desugarSingle(*E.Args[1], Sc, BB);
+    if (!B)
+      return B.getError();
+    if (auto Err = unifyScalars(*A, *B, E.Loc))
+      return Err.getError();
+    ScalarKind K = A->Ty.elemKind();
+    if (!binOpDefinedOn(E.Bin, K))
+      return CompilerError(E.Loc, std::string("operator ") +
+                                      binOpName(E.Bin) + " undefined on " +
+                                      scalarKindName(K));
+    SubExp R = BB.binOp(E.Bin, A->SE, B->SE, K);
+    return std::vector<TSub>{{R, Type::scalar(binOpResultKind(E.Bin, K))}};
+  }
+
+  ErrorOr<std::vector<TSub>> desugarUnOp(const SExp &E, Scope &Sc,
+                                         BodyBuilder &BB) {
+    auto A = desugarSingle(*E.Args[0], Sc, BB);
+    if (!A)
+      return A.getError();
+    if (!A->Ty.isScalar())
+      return CompilerError(E.Loc, "unary operator on non-scalar");
+    ScalarKind K = A->Ty.elemKind();
+    if (!unOpDefinedOn(E.Un, K))
+      return CompilerError(E.Loc, std::string("operator ") + unOpName(E.Un) +
+                                      " undefined on " + scalarKindName(K));
+    SubExp R = BB.unOp(E.Un, A->SE, K);
+    return std::vector<TSub>{{R, Type::scalar(unOpResultKind(E.Un, K))}};
+  }
+
+  ErrorOr<std::vector<TSub>> desugarIf(const SExp &E, Scope &Sc,
+                                       BodyBuilder &BB) {
+    auto C = desugarSingle(*E.Args[0], Sc, BB);
+    if (!C)
+      return C.getError();
+    if (!C->Ty.isScalar() || C->Ty.elemKind() != ScalarKind::Bool)
+      return CompilerError(E.Loc, "if condition is not a bool");
+
+    BodyBuilder ThenBB(NS), ElseBB(NS);
+    Scope ThenSc = Sc, ElseSc = Sc;
+    auto TV = desugarExp(*E.Args[1], ThenSc, ThenBB);
+    if (!TV)
+      return TV;
+    auto EV = desugarExp(*E.Args[2], ElseSc, ElseBB);
+    if (!EV)
+      return EV;
+    if (TV->size() != EV->size())
+      return CompilerError(E.Loc, "if branches produce different arities");
+    // Unify constant kinds between branches.
+    for (size_t I = 0; I < TV->size(); ++I) {
+      TSub &A = (*TV)[I];
+      TSub &B = (*EV)[I];
+      if (A.Ty.isScalar() && B.Ty.isScalar()) {
+        if (auto Err = unifyScalars(A, B, E.Loc))
+          return Err.getError();
+      } else if (!A.Ty.equalRankAndElem(B.Ty)) {
+        return CompilerError(E.Loc, "if branches produce different types: " +
+                                        A.Ty.str() + " vs " + B.Ty.str());
+      }
+    }
+    std::vector<SubExp> ThenRes, ElseRes;
+    std::vector<Type> RetTypes;
+    for (size_t I = 0; I < TV->size(); ++I) {
+      ThenRes.push_back((*TV)[I].SE);
+      ElseRes.push_back((*EV)[I].SE);
+      RetTypes.push_back((*TV)[I].Ty.asNonUnique());
+    }
+    Body ThenB = ThenBB.finish(std::move(ThenRes));
+    Body ElseB = ElseBB.finish(std::move(ElseRes));
+    auto Names = BB.bindMulti("r", RetTypes,
+                              std::make_unique<IfExp>(C->SE, std::move(ThenB),
+                                                      std::move(ElseB),
+                                                      RetTypes));
+    std::vector<TSub> Out;
+    for (size_t I = 0; I < Names.size(); ++I)
+      Out.push_back({SubExp::var(Names[I]), RetTypes[I]});
+    return Out;
+  }
+
+  ErrorOr<std::vector<TSub>> desugarIndex(const SExp &E, Scope &Sc,
+                                          BodyBuilder &BB) {
+    auto Arr = desugarSingle(*E.Args[0], Sc, BB);
+    if (!Arr)
+      return Arr.getError();
+    auto ArrV = asArrayVar(*Arr, E.Loc);
+    if (!ArrV)
+      return ArrV.getError();
+    std::vector<SubExp> Idx;
+    for (size_t I = 1; I < E.Args.size(); ++I) {
+      auto V = desugarSingle(*E.Args[I], Sc, BB);
+      if (!V)
+        return V.getError();
+      if (!V->Ty.isScalar() || !isIntKind(V->Ty.elemKind()))
+        return CompilerError(E.Loc, "array index is not an integer");
+      Idx.push_back(V->SE);
+    }
+    int K = static_cast<int>(Idx.size());
+    if (K > Arr->Ty.rank())
+      return CompilerError(E.Loc, "too many indices for array of rank " +
+                                      std::to_string(Arr->Ty.rank()));
+    Type RT = Arr->Ty.peel(K).asNonUnique();
+    VName R = BB.bind("elem", RT,
+                      std::make_unique<IndexExp>(*ArrV, std::move(Idx)));
+    return std::vector<TSub>{{SubExp::var(R), RT}};
+  }
+
+  /// Builds "arr with [indices] <- value".  Indices are E.Args[IdxBegin ..
+  /// IdxBegin+NumIdx).
+  ErrorOr<TSub> buildUpdate(const TSub &Arr,
+                            const std::vector<SExpPtr> &Args, size_t IdxBegin,
+                            size_t NumIdx, const SExp &ValueE, SrcLoc Loc,
+                            Scope &Sc, BodyBuilder &BB) {
+    auto ArrV = asArrayVar(Arr, Loc);
+    if (!ArrV)
+      return ArrV.getError();
+    std::vector<SubExp> Idx;
+    for (size_t I = 0; I < NumIdx; ++I) {
+      auto V = desugarSingle(*Args[IdxBegin + I], Sc, BB);
+      if (!V)
+        return V.getError();
+      if (!V->Ty.isScalar() || !isIntKind(V->Ty.elemKind()))
+        return CompilerError(Loc, "update index is not an integer");
+      Idx.push_back(V->SE);
+    }
+    auto Val = desugarSingle(ValueE, Sc, BB);
+    if (!Val)
+      return Val.getError();
+    Type Want = Arr.Ty.peel(static_cast<int>(NumIdx));
+    if (Want.isScalar()) {
+      if (auto Err = coerceConst(*Val, Want.elemKind(), Loc))
+        return Err.getError();
+    } else if (!Val->Ty.equalRankAndElem(Want)) {
+      return CompilerError(Loc, "update value has wrong type");
+    }
+    Type RT = Arr.Ty.asNonUnique();
+    VName R = BB.bind(ArrV->Base, RT,
+                      std::make_unique<UpdateExp>(*ArrV, std::move(Idx),
+                                                  Val->SE));
+    return TSub{SubExp::var(R), RT};
+  }
+
+  ErrorOr<std::vector<TSub>> desugarWith(const SExp &E, Scope &Sc,
+                                         BodyBuilder &BB) {
+    auto Arr = desugarSingle(*E.Args[0], Sc, BB);
+    if (!Arr)
+      return Arr.getError();
+    size_t NumIdx = E.Args.size() - 2;
+    auto R = buildUpdate(*Arr, E.Args, 1, NumIdx, *E.Args[NumIdx + 1], E.Loc,
+                         Sc, BB);
+    if (!R)
+      return R.getError();
+    return std::vector<TSub>{std::move(*R)};
+  }
+
+  ErrorOr<std::vector<TSub>> desugarLoop(const SExp &E, Scope &Sc,
+                                         BodyBuilder &BB) {
+    // Args: {bound, body, inits...}.  Each merge entry may bind a tuple.
+    std::vector<std::vector<TSub>> Inits;
+    size_t InitIdx = 2;
+    for (const auto &[Names, HasInit] : E.LoopMerge) {
+      if (HasInit) {
+        auto V = desugarExp(*E.Args[InitIdx++], Sc, BB);
+        if (!V)
+          return V;
+        if (Names.size() > 1 && V->size() != Names.size())
+          return CompilerError(E.Loc, "loop pattern binds " +
+                                          std::to_string(Names.size()) +
+                                          " names but the initialiser "
+                                          "produces " +
+                                          std::to_string(V->size()) +
+                                          " values");
+        Inits.push_back(std::move(*V));
+      } else {
+        auto It = Sc.find(Names[0]);
+        if (It == Sc.end())
+          return CompilerError(E.Loc, "loop variable '" + Names[0] +
+                                          "' has no initial value in scope");
+        Inits.push_back(It->second);
+      }
+    }
+    auto Bound = desugarSingle(*E.Args[0], Sc, BB);
+    if (!Bound)
+      return Bound.getError();
+    if (!Bound->Ty.isScalar() || !isIntKind(Bound->Ty.elemKind()))
+      return CompilerError(E.Loc, "loop bound is not an integer");
+
+    // Fresh merge parameters and index variable.
+    Scope Inner = Sc;
+    std::vector<Param> MergeParams;
+    std::vector<SubExp> MergeInit;
+    for (size_t I = 0; I < E.LoopMerge.size(); ++I) {
+      const auto &Names = E.LoopMerge[I].first;
+      std::vector<TSub> Bound1;
+      for (size_t J = 0; J < Inits[I].size(); ++J) {
+        const TSub &Init = Inits[I][J];
+        VName P = NS.fresh(Names.size() == 1 ? Names[0] : Names[J]);
+        Type PT = Init.Ty.asNonUnique();
+        MergeParams.emplace_back(P, PT);
+        MergeInit.push_back(Init.SE);
+        Bound1.push_back({SubExp::var(P), PT});
+      }
+      if (Names.size() == 1) {
+        Inner[Names[0]] = std::move(Bound1);
+      } else {
+        for (size_t J = 0; J < Names.size(); ++J)
+          bindOne(Inner, Names[J], Bound1[J]);
+      }
+    }
+    VName IVar = NS.fresh(E.Name2);
+    bindOne(Inner, E.Name2, {SubExp::var(IVar), Bound->Ty});
+
+    BodyBuilder LoopBB(NS);
+    auto Res = desugarExp(*E.Args[1], Inner, LoopBB);
+    if (!Res)
+      return Res;
+    if (Res->size() != MergeParams.size())
+      return CompilerError(E.Loc, "loop body produces " +
+                                      std::to_string(Res->size()) +
+                                      " values for " +
+                                      std::to_string(MergeParams.size()) +
+                                      " loop variables");
+    std::vector<SubExp> BodyRes;
+    for (size_t I = 0; I < Res->size(); ++I) {
+      TSub &V = (*Res)[I];
+      if (V.Ty.isScalar())
+        if (auto Err = coerceConst(V, MergeParams[I].Ty.elemKind(), E.Loc))
+          return Err.getError();
+      BodyRes.push_back(V.SE);
+    }
+    Body LoopBody = LoopBB.finish(std::move(BodyRes));
+
+    std::vector<Type> RetTypes;
+    for (const Param &P : MergeParams)
+      RetTypes.push_back(P.Ty);
+    auto Names = BB.bindMulti(
+        "loopres", RetTypes,
+        std::make_unique<LoopExp>(std::move(MergeParams),
+                                  std::move(MergeInit), IVar, Bound->SE,
+                                  std::move(LoopBody)));
+    std::vector<TSub> Out;
+    for (size_t I = 0; I < Names.size(); ++I)
+      Out.push_back({SubExp::var(Names[I]), RetTypes[I]});
+    return Out;
+  }
+
+  ErrorOr<TSub> desugarSingle(const SExp &E, Scope &Sc, BodyBuilder &BB) {
+    auto V = desugarExp(E, Sc, BB);
+    if (!V)
+      return V.getError();
+    if (V->size() != 1)
+      return CompilerError(E.Loc, "expected a single value, got " +
+                                      std::to_string(V->size()));
+    return std::move((*V)[0]);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Applications: builtins, SOACs, user functions
+  //===--------------------------------------------------------------------===//
+
+  ErrorOr<std::vector<TSub>> desugarApply(const SExp &E, Scope &Sc,
+                                          BodyBuilder &BB);
+
+  /// Desugars a SOAC function argument into a core Lambda given the
+  /// positional parameter types.
+  ErrorOr<Lambda> desugarFunArg(const SExp &F,
+                                const std::vector<Type> &ParamTypes,
+                                Scope &Sc);
+
+  ErrorOr<Lambda> desugarLambda(const SExp &L,
+                                const std::vector<Type> &ParamTypes,
+                                Scope &Sc);
+
+  /// Desugars a streaming fold function: the surface lambda takes acc
+  /// params then chunk-array params; the core lambda gets a fresh leading
+  /// chunk-size parameter whose name is bound to any annotation dim.
+  ErrorOr<Lambda> desugarStreamFold(const SExp &L,
+                                    const std::vector<Type> &AccTypes,
+                                    const std::vector<Type> &RowTypes,
+                                    Scope &Sc);
+
+  /// Desugars SOAC array arguments (each may contribute several arrays via
+  /// zip) and checks the common outer size.
+  ErrorOr<std::vector<TSub>>
+  desugarArrayArgs(const std::vector<SExpPtr> &Args, size_t Begin, Scope &Sc,
+                   BodyBuilder &BB, SrcLoc Loc) {
+    std::vector<TSub> Arrays;
+    for (size_t I = Begin; I < Args.size(); ++I) {
+      auto V = desugarExp(*Args[I], Sc, BB);
+      if (!V)
+        return V;
+      for (TSub &T : *V) {
+        if (!T.Ty.isArray())
+          return CompilerError(Loc, "SOAC argument is not an array");
+        Arrays.push_back(std::move(T));
+      }
+    }
+    if (Arrays.empty())
+      return CompilerError(Loc, "SOAC without array arguments");
+    return Arrays;
+  }
+
+  ErrorOr<std::vector<TSub>> emitSOACResult(BodyBuilder &BB,
+                                            const std::vector<Type> &Types,
+                                            ExpPtr Exp,
+                                            const std::string &Base) {
+    auto Names = BB.bindMulti(Base, Types, std::move(Exp));
+    std::vector<TSub> Out;
+    for (size_t I = 0; I < Names.size(); ++I)
+      Out.push_back({SubExp::var(Names[I]), Types[I]});
+    return Out;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Functions
+  //===--------------------------------------------------------------------===//
+
+  ErrorOr<FunSig> makeSignature(const SFun &F) {
+    Scope Sc;
+    FunSig Sig;
+    for (const auto &[Name, ST] : F.Params) {
+      if (ST.IsTuple)
+        return CompilerError(F.Loc,
+                             "tuple-typed parameters are not supported; "
+                             "pass the components separately");
+      Type T = typeFromSurface(ST, Sc, /*BindDims=*/true);
+      VName V = NS.fresh(Name);
+      Sig.Params.emplace_back(V, T);
+      bindOne(Sc, Name, {SubExp::var(V), T.asNonUnique()});
+    }
+    // Map the dim names used above to the actual fresh names: handled by
+    // typeFromSurface having placed them in Sc already.
+    Sig.RetTypes = typesFromSurface(F.RetType, Sc, /*BindDims=*/false);
+    return Sig;
+  }
+
+  ErrorOr<FunDef> desugarFun(const SFun &F) {
+    // Recreate the scope so that dim names map to the *same* VNames used in
+    // the signature.
+    const FunSig &Sig = FunSigs.at(F.Name);
+    Scope Sc;
+    for (size_t I = 0; I < F.Params.size(); ++I) {
+      const auto &[Name, ST] = F.Params[I];
+      const Param &P = Sig.Params[I];
+      bindOne(Sc, Name, {SubExp::var(P.Name), P.Ty.asNonUnique()});
+      // Dim names bind to the signature's dim operands.
+      for (size_t D = 0; D < ST.Dims.size(); ++D)
+        if (ST.Dims[D].K == SDim::Kind::Name && !Sc.count(ST.Dims[D].Name))
+          bindOne(Sc, ST.Dims[D].Name,
+                  {P.Ty.shape()[D], Type::scalar(ScalarKind::I32)});
+    }
+
+    BodyBuilder BB(NS);
+    auto Res = desugarExp(*F.Body, Sc, BB);
+    if (!Res)
+      return Res.getError();
+    if (Res->size() != Sig.RetTypes.size())
+      return CompilerError(F.Loc, "function " + F.Name + " returns " +
+                                      std::to_string(Res->size()) +
+                                      " values but declares " +
+                                      std::to_string(Sig.RetTypes.size()));
+    std::vector<SubExp> Result;
+    for (size_t I = 0; I < Res->size(); ++I) {
+      TSub &V = (*Res)[I];
+      const Type &Want = Sig.RetTypes[I];
+      if (V.Ty.isScalar() && Want.isScalar()) {
+        if (auto Err = coerceConst(V, Want.elemKind(), F.Loc))
+          return Err.getError();
+      } else if (!V.Ty.equalRankAndElem(Want)) {
+        return CompilerError(F.Loc, "function " + F.Name +
+                                        " returns a value of type " +
+                                        V.Ty.str() + " where " + Want.str() +
+                                        " is declared");
+      }
+      Result.push_back(V.SE);
+    }
+
+    FunDef D;
+    D.Name = F.Name;
+    D.Params = Sig.Params;
+    D.RetTypes = Sig.RetTypes;
+    D.FBody = BB.finish(std::move(Result));
+    return D;
+  }
+
+  friend ErrorOr<Program> fut::desugarProgram(const SProgram &, NameSource &);
+};
+
+#include "parser/DesugarApply.inc"
+
+} // namespace
+
+ErrorOr<Program> fut::desugarProgram(const SProgram &SP, NameSource &Names) {
+  return Desugarer(Names).run(SP);
+}
+
+ErrorOr<Program> fut::frontend(const std::string &Source, NameSource &Names) {
+  auto SP = parseProgram(Source);
+  if (!SP)
+    return SP.getError();
+  return desugarProgram(*SP, Names);
+}

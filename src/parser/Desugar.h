@@ -1,0 +1,33 @@
+//===- Desugar.h - Surface AST to core IR -----------------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates the surface AST into the tuple-free ANF core IR of Fig 1,
+/// inferring and checking types as it goes (the "Desugaring/Typechecking"
+/// stages of the pipeline in Fig 3).  Tuples become multi-value bindings,
+/// arrays-of-tuples become tuples-of-arrays, operator sections become
+/// lambdas, and every intermediate expression is let-bound to a fresh name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_PARSER_DESUGAR_H
+#define FUTHARKCC_PARSER_DESUGAR_H
+
+#include "ir/IR.h"
+#include "parser/SurfaceAST.h"
+#include "support/Error.h"
+
+namespace fut {
+
+/// Desugars a parsed program.  Fresh names are drawn from \p Names.
+ErrorOr<Program> desugarProgram(const SProgram &SP, NameSource &Names);
+
+/// Convenience: parse + desugar.
+ErrorOr<Program> frontend(const std::string &Source, NameSource &Names);
+
+} // namespace fut
+
+#endif // FUTHARKCC_PARSER_DESUGAR_H

@@ -1,0 +1,234 @@
+//===- Lexer.cpp - Tokeniser for the surface language -----------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+
+using namespace fut;
+
+namespace {
+
+class Lexer {
+  const std::string &Src;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+
+public:
+  explicit Lexer(const std::string &Src) : Src(Src) {}
+
+  ErrorOr<std::vector<Token>> lexAll() {
+    std::vector<Token> Out;
+    for (;;) {
+      skipWhitespaceAndComments();
+      Token T;
+      T.Loc = {Line, Col};
+      if (atEnd()) {
+        T.Kind = TokKind::Eof;
+        Out.push_back(T);
+        return Out;
+      }
+      char C = peek();
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        lexIdent(T);
+      } else if (std::isdigit(static_cast<unsigned char>(C))) {
+        if (auto Err = lexNumber(T))
+          return Err.getError();
+      } else {
+        if (auto Err = lexPunct(T))
+          return Err.getError();
+      }
+      Out.push_back(std::move(T));
+    }
+  }
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipWhitespaceAndComments() {
+    for (;;) {
+      while (!atEnd() && std::isspace(static_cast<unsigned char>(peek())))
+        advance();
+      if (peek() == '-' && peek(1) == '-') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  void lexIdent(Token &T) {
+    std::string S;
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_' || peek() == '\''))
+      S += advance();
+    T.Kind = TokKind::Id;
+    T.Text = std::move(S);
+  }
+
+  MaybeError lexNumber(Token &T) {
+    std::string S;
+    bool IsFloat = false;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      S += advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      S += advance();
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        S += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char Next = peek(1);
+      char Next2 = peek(2);
+      if (std::isdigit(static_cast<unsigned char>(Next)) ||
+          ((Next == '+' || Next == '-') &&
+           std::isdigit(static_cast<unsigned char>(Next2)))) {
+        IsFloat = true;
+        S += advance();
+        if (peek() == '+' || peek() == '-')
+          S += advance();
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+          S += advance();
+      }
+    }
+    // Optional kind suffix: i32, i64, f32, f64.
+    std::string Suffix;
+    if ((peek() == 'i' || peek() == 'f') && std::isdigit(
+            static_cast<unsigned char>(peek(1)))) {
+      Suffix += advance();
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Suffix += advance();
+      if (Suffix != "i32" && Suffix != "i64" && Suffix != "f32" &&
+          Suffix != "f64")
+        return CompilerError(T.Loc, "unknown numeric suffix '" + Suffix + "'");
+    }
+    if (!Suffix.empty() && Suffix[0] == 'f')
+      IsFloat = true;
+    T.Suffix = Suffix;
+    if (IsFloat) {
+      T.Kind = TokKind::FloatLit;
+      T.FloatVal = std::stod(S);
+    } else {
+      T.Kind = TokKind::IntLit;
+      T.IntVal = std::stoll(S);
+    }
+    return MaybeError::success();
+  }
+
+  MaybeError lexPunct(Token &T) {
+    char C = advance();
+    auto Two = [&](char Next, TokKind K2, TokKind K1) {
+      if (peek() == Next) {
+        advance();
+        T.Kind = K2;
+      } else {
+        T.Kind = K1;
+      }
+    };
+    switch (C) {
+    case '(':
+      T.Kind = TokKind::LParen;
+      break;
+    case ')':
+      T.Kind = TokKind::RParen;
+      break;
+    case '[':
+      T.Kind = TokKind::LBracket;
+      break;
+    case ']':
+      T.Kind = TokKind::RBracket;
+      break;
+    case ',':
+      T.Kind = TokKind::Comma;
+      break;
+    case ':':
+      T.Kind = TokKind::Colon;
+      break;
+    case '\\':
+      T.Kind = TokKind::Backslash;
+      break;
+    case '+':
+      T.Kind = TokKind::Plus;
+      break;
+    case '%':
+      T.Kind = TokKind::Percent;
+      break;
+    case '/':
+      T.Kind = TokKind::Slash;
+      break;
+    case '*':
+      Two('*', TokKind::StarStar, TokKind::Star);
+      break;
+    case '=':
+      Two('=', TokKind::EqEq, TokKind::Equals);
+      break;
+    case '!':
+      Two('=', TokKind::NotEq, TokKind::Bang);
+      break;
+    case '-':
+      if (peek() == '>') {
+        advance();
+        T.Kind = TokKind::Arrow;
+      } else {
+        T.Kind = TokKind::Minus;
+      }
+      break;
+    case '<':
+      if (peek() == '-') {
+        advance();
+        T.Kind = TokKind::LeftArrow;
+      } else if (peek() == '=') {
+        advance();
+        T.Kind = TokKind::Leq;
+      } else {
+        T.Kind = TokKind::Lt;
+      }
+      break;
+    case '>':
+      Two('=', TokKind::Geq, TokKind::Gt);
+      break;
+    case '&':
+      if (peek() == '&') {
+        advance();
+        T.Kind = TokKind::AmpAmp;
+        break;
+      }
+      return CompilerError(T.Loc, "expected '&&'");
+    case '|':
+      if (peek() == '|') {
+        advance();
+        T.Kind = TokKind::PipePipe;
+        break;
+      }
+      return CompilerError(T.Loc, "expected '||'");
+    default:
+      return CompilerError(T.Loc, std::string("unexpected character '") + C +
+                                      "'");
+    }
+    return MaybeError::success();
+  }
+};
+
+} // namespace
+
+ErrorOr<std::vector<Token>> fut::lexSource(const std::string &Source) {
+  return Lexer(Source).lexAll();
+}

@@ -1,0 +1,76 @@
+//===- Lexer.h - Tokeniser for the surface language -------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenises the Futhark-like surface syntax of Fig 1 and the paper's
+/// examples: fun/let/loop/if, SOAC names, lambdas, in-place updates
+/// ("a with [i] <- v", "let a[i] = v"), type annotations with shapes and
+/// uniqueness (*[n]f32), and '--' line comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_PARSER_LEXER_H
+#define FUTHARKCC_PARSER_LEXER_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fut {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Id,        // identifiers and keywords (keyword test by text)
+  IntLit,    // 123, 123i64
+  FloatLit,  // 1.5, 1.5f64, 1e-3
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Colon,
+  Equals,
+  Arrow,      // ->
+  LeftArrow,  // <-
+  Backslash,
+  Star,
+  Plus,
+  Minus,
+  Slash,
+  Percent,
+  StarStar,
+  EqEq,
+  NotEq,
+  Lt,
+  Leq,
+  Gt,
+  Geq,
+  AmpAmp,
+  PipePipe,
+  Bang,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   // for Id
+  int64_t IntVal = 0; // for IntLit
+  double FloatVal = 0;
+  std::string Suffix; // numeric suffix, e.g. "i64", "f32"
+  SrcLoc Loc;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isId(const char *S) const { return Kind == TokKind::Id && Text == S; }
+};
+
+/// Tokenises \p Source in full; returns an error on malformed input.
+ErrorOr<std::vector<Token>> lexSource(const std::string &Source);
+
+} // namespace fut
+
+#endif // FUTHARKCC_PARSER_LEXER_H

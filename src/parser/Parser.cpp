@@ -1,0 +1,751 @@
+//===- Parser.cpp - Recursive-descent parser ---------------------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "parser/Lexer.h"
+
+#include <cassert>
+
+using namespace fut;
+
+namespace {
+
+/// Keywords that terminate an application's argument list.
+bool isStopKeyword(const Token &T) {
+  if (T.Kind != TokKind::Id)
+    return false;
+  static const char *Stops[] = {"then", "else", "do",  "in",   "let",
+                                "for",  "with", "fun", "loop", "if"};
+  for (const char *S : Stops)
+    if (T.Text == S)
+      return true;
+  return false;
+}
+
+/// Binary operator tokens with precedence; Prec 0 = not a binop.
+int binOpPrec(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return 1;
+  case TokKind::AmpAmp:
+    return 2;
+  case TokKind::EqEq:
+  case TokKind::NotEq:
+  case TokKind::Lt:
+  case TokKind::Leq:
+  case TokKind::Gt:
+  case TokKind::Geq:
+    return 3;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 4;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 5;
+  case TokKind::StarStar:
+    return 6;
+  default:
+    return 0;
+  }
+}
+
+BinOp tokToBinOp(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return BinOp::LogOr;
+  case TokKind::AmpAmp:
+    return BinOp::LogAnd;
+  case TokKind::EqEq:
+    return BinOp::Eq;
+  case TokKind::NotEq:
+    return BinOp::Neq;
+  case TokKind::Lt:
+    return BinOp::Lt;
+  case TokKind::Leq:
+    return BinOp::Leq;
+  case TokKind::Gt:
+    return BinOp::Gt;
+  case TokKind::Geq:
+    return BinOp::Geq;
+  case TokKind::Plus:
+    return BinOp::Add;
+  case TokKind::Minus:
+    return BinOp::Sub;
+  case TokKind::Star:
+    return BinOp::Mul;
+  case TokKind::Slash:
+    return BinOp::Div;
+  case TokKind::Percent:
+    return BinOp::Mod;
+  case TokKind::StarStar:
+    return BinOp::Pow;
+  default:
+    assert(false && "not a binop token");
+    return BinOp::Add;
+  }
+}
+
+class Parser {
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+
+public:
+  explicit Parser(std::vector<Token> Toks) : Toks(std::move(Toks)) {}
+
+  ErrorOr<SProgram> parse() {
+    SProgram P;
+    while (!cur().is(TokKind::Eof)) {
+      auto F = parseFun();
+      if (!F)
+        return F.getError();
+      P.Funs.push_back(std::move(*F));
+    }
+    if (P.Funs.empty())
+      return CompilerError(cur().Loc, "empty program");
+    return P;
+  }
+
+private:
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  Token advance() { return Toks[Pos < Toks.size() - 1 ? Pos++ : Pos]; }
+
+  bool accept(TokKind K) {
+    if (!cur().is(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool acceptId(const char *S) {
+    if (!cur().isId(S))
+      return false;
+    advance();
+    return true;
+  }
+
+  MaybeError expect(TokKind K, const char *What) {
+    if (accept(K))
+      return MaybeError::success();
+    return CompilerError(cur().Loc, std::string("expected ") + What);
+  }
+  MaybeError expectId(const char *S) {
+    if (acceptId(S))
+      return MaybeError::success();
+    return CompilerError(cur().Loc, std::string("expected '") + S + "'");
+  }
+
+  ErrorOr<std::string> expectIdent(const char *What) {
+    if (cur().Kind != TokKind::Id || isStopKeyword(cur()))
+      return CompilerError(cur().Loc, std::string("expected ") + What);
+    return advance().Text;
+  }
+
+  SExpPtr mk(SExpKind K, SrcLoc Loc) {
+    auto E = std::make_unique<SExp>(K);
+    E->Loc = Loc;
+    return E;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  static bool scalarKindFromName(const std::string &S, ScalarKind &K) {
+    if (S == "i32" || S == "int") {
+      K = ScalarKind::I32;
+      return true;
+    }
+    if (S == "i64") {
+      K = ScalarKind::I64;
+      return true;
+    }
+    if (S == "f32" || S == "real") {
+      K = ScalarKind::F32;
+      return true;
+    }
+    if (S == "f64") {
+      K = ScalarKind::F64;
+      return true;
+    }
+    if (S == "bool") {
+      K = ScalarKind::Bool;
+      return true;
+    }
+    return false;
+  }
+
+  ErrorOr<SType> parseSType() {
+    if (accept(TokKind::LParen)) {
+      std::vector<SType> Elems;
+      do {
+        auto T = parseSType();
+        if (!T)
+          return T.getError();
+        Elems.push_back(std::move(*T));
+      } while (accept(TokKind::Comma));
+      if (auto Err = expect(TokKind::RParen, "')' in type"))
+        return Err.getError();
+      if (Elems.size() == 1)
+        return Elems[0];
+      SType T;
+      T.IsTuple = true;
+      T.Elems = std::move(Elems);
+      return T;
+    }
+
+    SType T;
+    if (accept(TokKind::Star))
+      T.Unique = true;
+    while (accept(TokKind::LBracket)) {
+      if (accept(TokKind::RBracket)) {
+        T.Dims.push_back(SDim::anon());
+        continue;
+      }
+      if (cur().is(TokKind::IntLit)) {
+        T.Dims.push_back(SDim::constant(advance().IntVal));
+      } else if (cur().is(TokKind::Id)) {
+        T.Dims.push_back(SDim::name(advance().Text));
+      } else {
+        return CompilerError(cur().Loc, "expected dimension in type");
+      }
+      if (auto Err = expect(TokKind::RBracket, "']' in type"))
+        return Err.getError();
+    }
+    auto Base = expectIdent("base type");
+    if (!Base)
+      return Base.getError();
+    if (!scalarKindFromName(*Base, T.Elem))
+      return CompilerError(cur().Loc, "unknown base type '" + *Base + "'");
+    return T;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Patterns
+  //===--------------------------------------------------------------------===//
+
+  /// Parses "x" or "(x, y, ...)" with optional ": type" per element.
+  ErrorOr<SPat> parsePattern() {
+    SPat Pat;
+    if (cur().is(TokKind::Id) && !isStopKeyword(cur())) {
+      SPatElem E;
+      E.Name = advance().Text;
+      Pat.push_back(std::move(E));
+      return Pat;
+    }
+    if (auto Err = expect(TokKind::LParen, "pattern"))
+      return Err.getError();
+    do {
+      // A nested parenthesised element: "(x: t)".
+      bool Nested = accept(TokKind::LParen);
+      auto Name = expectIdent("pattern variable");
+      if (!Name)
+        return Name.getError();
+      SPatElem E;
+      E.Name = std::move(*Name);
+      if (accept(TokKind::Colon)) {
+        auto T = parseSType();
+        if (!T)
+          return T.getError();
+        E.Ty = std::move(*T);
+      }
+      if (Nested)
+        if (auto Err = expect(TokKind::RParen, "')' in pattern"))
+          return Err.getError();
+      Pat.push_back(std::move(E));
+    } while (accept(TokKind::Comma));
+    if (auto Err = expect(TokKind::RParen, "')' in pattern"))
+      return Err.getError();
+    return Pat;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  ErrorOr<SExpPtr> parseExp() {
+    if (cur().isId("let"))
+      return parseLet();
+    if (cur().isId("loop"))
+      return parseLoop();
+    if (cur().isId("if"))
+      return parseIf();
+
+    auto E = parseBinOps(1);
+    if (!E)
+      return E;
+
+    // Postfix in-place update: e with [i, ...] <- v.
+    if (cur().isId("with")) {
+      SrcLoc Loc = advance().Loc;
+      auto W = mk(SExpKind::With, Loc);
+      W->Args.push_back(std::move(*E));
+      if (auto Err = expect(TokKind::LBracket, "'[' after 'with'"))
+        return Err.getError();
+      do {
+        auto I = parseExp();
+        if (!I)
+          return I;
+        W->Args.push_back(std::move(*I));
+      } while (accept(TokKind::Comma));
+      if (auto Err = expect(TokKind::RBracket, "']' in update"))
+        return Err.getError();
+      if (auto Err = expect(TokKind::LeftArrow, "'<-' in update"))
+        return Err.getError();
+      auto V = parseExp();
+      if (!V)
+        return V;
+      W->Args.push_back(std::move(*V));
+      return W;
+    }
+    return E;
+  }
+
+  ErrorOr<SExpPtr> parseLet() {
+    SrcLoc Loc = cur().Loc;
+    if (auto Err = expectId("let"))
+      return Err.getError();
+
+    // "let x[i, ...] = v" sugar.
+    if (cur().is(TokKind::Id) && peek().is(TokKind::LBracket) &&
+        !isStopKeyword(cur())) {
+      std::string Arr = advance().Text;
+      advance(); // '['
+      auto E = mk(SExpKind::LetWith, Loc);
+      E->Name = Arr;
+      do {
+        auto I = parseExp();
+        if (!I)
+          return I;
+        E->Args.push_back(std::move(*I));
+      } while (accept(TokKind::Comma));
+      if (auto Err = expect(TokKind::RBracket, "']' in let-with"))
+        return Err.getError();
+      if (auto Err = expect(TokKind::Equals, "'=' in let-with"))
+        return Err.getError();
+      auto RHS = parseExp();
+      if (!RHS)
+        return RHS;
+      E->Args.push_back(std::move(*RHS));
+      auto BodyE = parseLetBody();
+      if (!BodyE)
+        return BodyE;
+      E->Args.push_back(std::move(*BodyE));
+      return E;
+    }
+
+    auto Pat = parsePattern();
+    if (!Pat)
+      return Pat.getError();
+    if (auto Err = expect(TokKind::Equals, "'=' in let"))
+      return Err.getError();
+    auto RHS = parseExp();
+    if (!RHS)
+      return RHS;
+    auto BodyE = parseLetBody();
+    if (!BodyE)
+      return BodyE;
+    auto E = mk(SExpKind::Let, Loc);
+    E->Pat = std::move(*Pat);
+    E->Args.push_back(std::move(*RHS));
+    E->Args.push_back(std::move(*BodyE));
+    return E;
+  }
+
+  /// After a let binding: either "in e" or an immediately following "let"
+  /// (the paper's examples chain lets without "in").
+  ErrorOr<SExpPtr> parseLetBody() {
+    if (acceptId("in"))
+      return parseExp();
+    if (cur().isId("let"))
+      return parseLet();
+    if (cur().isId("loop"))
+      return parseLoop();
+    return CompilerError(cur().Loc, "expected 'in' or another 'let'");
+  }
+
+  ErrorOr<SExpPtr> parseLoop() {
+    SrcLoc Loc = cur().Loc;
+    if (auto Err = expectId("loop"))
+      return Err.getError();
+    if (auto Err = expect(TokKind::LParen, "'(' after loop"))
+      return Err.getError();
+
+    auto E = mk(SExpKind::Loop, Loc);
+    std::vector<SExpPtr> Inits;
+    do {
+      std::vector<std::string> Names;
+      if (accept(TokKind::LParen)) {
+        // A tuple pattern: loop ((a, b) = e).
+        do {
+          auto Name = expectIdent("loop variable");
+          if (!Name)
+            return Name.getError();
+          Names.push_back(std::move(*Name));
+        } while (accept(TokKind::Comma));
+        if (auto Err = expect(TokKind::RParen, "')' in loop pattern"))
+          return Err.getError();
+      } else {
+        auto Name = expectIdent("loop variable");
+        if (!Name)
+          return Name.getError();
+        Names.push_back(std::move(*Name));
+      }
+      bool HasInit = accept(TokKind::Equals);
+      if (HasInit) {
+        auto Init = parseExp();
+        if (!Init)
+          return Init;
+        Inits.push_back(std::move(*Init));
+      } else if (Names.size() != 1) {
+        return CompilerError(cur().Loc,
+                             "tuple loop pattern needs an initialiser");
+      }
+      E->LoopMerge.emplace_back(std::move(Names), HasInit);
+    } while (accept(TokKind::Comma));
+    if (auto Err = expect(TokKind::RParen, "')' in loop header"))
+      return Err.getError();
+
+    if (auto Err = expectId("for"))
+      return Err.getError();
+    auto IVar = expectIdent("loop index");
+    if (!IVar)
+      return IVar.getError();
+    E->Name2 = std::move(*IVar);
+    if (auto Err = expect(TokKind::Lt, "'<' in loop header"))
+      return Err.getError();
+    auto Bound = parseExp();
+    if (!Bound)
+      return Bound;
+    if (auto Err = expectId("do"))
+      return Err.getError();
+    auto BodyE = parseExp();
+    if (!BodyE)
+      return BodyE;
+
+    E->Args.push_back(std::move(*Bound));
+    E->Args.push_back(std::move(*BodyE));
+    for (auto &I : Inits)
+      E->Args.push_back(std::move(I));
+    return E;
+  }
+
+  ErrorOr<SExpPtr> parseIf() {
+    SrcLoc Loc = cur().Loc;
+    if (auto Err = expectId("if"))
+      return Err.getError();
+    auto C = parseExp();
+    if (!C)
+      return C;
+    if (auto Err = expectId("then"))
+      return Err.getError();
+    auto T = parseExp();
+    if (!T)
+      return T;
+    if (auto Err = expectId("else"))
+      return Err.getError();
+    auto F = parseExp();
+    if (!F)
+      return F;
+    auto E = mk(SExpKind::If, Loc);
+    E->Args.push_back(std::move(*C));
+    E->Args.push_back(std::move(*T));
+    E->Args.push_back(std::move(*F));
+    return E;
+  }
+
+  ErrorOr<SExpPtr> parseBinOps(int MinPrec) {
+    auto LHS = parseUnary();
+    if (!LHS)
+      return LHS;
+    for (;;) {
+      int Prec = binOpPrec(cur().Kind);
+      if (Prec == 0 || Prec < MinPrec)
+        return LHS;
+      // Left-section lookahead: "(e op)" — leave the operator for the
+      // enclosing parenthesis handler.
+      if (peek().is(TokKind::RParen))
+        return LHS;
+      TokKind OpTok = cur().Kind;
+      SrcLoc Loc = advance().Loc;
+      int NextMin = OpTok == TokKind::StarStar ? Prec : Prec + 1;
+      auto RHS = parseBinOps(NextMin);
+      if (!RHS)
+        return RHS;
+      auto E = mk(SExpKind::BinOpE, Loc);
+      E->Bin = tokToBinOp(OpTok);
+      E->Args.push_back(std::move(*LHS));
+      E->Args.push_back(std::move(*RHS));
+      LHS = ErrorOr<SExpPtr>(std::move(E));
+    }
+  }
+
+  ErrorOr<SExpPtr> parseUnary() {
+    if (cur().is(TokKind::Minus)) {
+      SrcLoc Loc = advance().Loc;
+      auto A = parseUnary();
+      if (!A)
+        return A;
+      auto E = mk(SExpKind::UnOpE, Loc);
+      E->Un = UnOp::Neg;
+      E->Args.push_back(std::move(*A));
+      return E;
+    }
+    if (cur().is(TokKind::Bang)) {
+      SrcLoc Loc = advance().Loc;
+      auto A = parseUnary();
+      if (!A)
+        return A;
+      auto E = mk(SExpKind::UnOpE, Loc);
+      E->Un = UnOp::Not;
+      E->Args.push_back(std::move(*A));
+      return E;
+    }
+    return parseApply();
+  }
+
+  bool startsAtom() const {
+    switch (cur().Kind) {
+    case TokKind::IntLit:
+    case TokKind::FloatLit:
+    case TokKind::LParen:
+    case TokKind::Backslash:
+      return true;
+    case TokKind::Id:
+      return !isStopKeyword(cur());
+    default:
+      return false;
+    }
+  }
+
+  ErrorOr<SExpPtr> parseApply() {
+    SrcLoc Loc = cur().Loc;
+    auto Head = parseAtom();
+    if (!Head)
+      return Head;
+    if (!startsAtom())
+      return Head;
+
+    std::vector<SExpPtr> Args;
+    while (startsAtom()) {
+      auto A = parseAtom();
+      if (!A)
+        return A;
+      Args.push_back(std::move(*A));
+    }
+    auto E = mk(SExpKind::Apply, Loc);
+    SExp *H = Head->get();
+    if (H->K == SExpKind::Var) {
+      E->Name = H->Name;
+    } else {
+      // Immediate application of a lambda or section: keep the head as the
+      // first argument with an empty name.
+      E->Args.push_back(std::move(*Head));
+    }
+    for (auto &A : Args)
+      E->Args.push_back(std::move(A));
+    return E;
+  }
+
+  ErrorOr<SExpPtr> parseAtom() {
+    auto Base = parseAtomBase();
+    if (!Base)
+      return Base;
+    // Indexing suffixes (repeatable): a[i][j] etc.
+    while (cur().is(TokKind::LBracket)) {
+      SrcLoc Loc = advance().Loc;
+      auto E = mk(SExpKind::Index, Loc);
+      E->Args.push_back(std::move(*Base));
+      do {
+        auto I = parseExp();
+        if (!I)
+          return I;
+        E->Args.push_back(std::move(*I));
+      } while (accept(TokKind::Comma));
+      if (auto Err = expect(TokKind::RBracket, "']' in index"))
+        return Err.getError();
+      Base = ErrorOr<SExpPtr>(std::move(E));
+    }
+    return Base;
+  }
+
+  ErrorOr<SExpPtr> parseAtomBase() {
+    SrcLoc Loc = cur().Loc;
+
+    if (cur().is(TokKind::IntLit)) {
+      Token T = advance();
+      auto E = mk(SExpKind::IntLit, Loc);
+      E->IntVal = T.IntVal;
+      E->Suffix = T.Suffix;
+      return E;
+    }
+    if (cur().is(TokKind::FloatLit)) {
+      Token T = advance();
+      auto E = mk(SExpKind::FloatLit, Loc);
+      E->FloatVal = T.FloatVal;
+      E->Suffix = T.Suffix;
+      return E;
+    }
+    if (cur().is(TokKind::Id)) {
+      Token T = advance();
+      if (T.Text == "true" || T.Text == "false") {
+        auto E = mk(SExpKind::BoolLit, Loc);
+        E->BoolVal = T.Text == "true";
+        return E;
+      }
+      auto E = mk(SExpKind::Var, Loc);
+      E->Name = T.Text;
+      return E;
+    }
+    if (cur().is(TokKind::Backslash))
+      return parseLambda();
+    if (cur().is(TokKind::LParen))
+      return parseParenExp();
+    return CompilerError(Loc, "expected an expression");
+  }
+
+  ErrorOr<SExpPtr> parseLambda() {
+    SrcLoc Loc = cur().Loc;
+    if (auto Err = expect(TokKind::Backslash, "lambda"))
+      return Err.getError();
+    auto E = mk(SExpKind::Lambda, Loc);
+    while (cur().is(TokKind::Id) && !isStopKeyword(cur()) ? true
+           : cur().is(TokKind::LParen)) {
+      auto P = parsePattern();
+      if (!P)
+        return P.getError();
+      E->LParams.push_back(std::move(*P));
+    }
+    if (E->LParams.empty())
+      return CompilerError(Loc, "lambda without parameters");
+    if (accept(TokKind::Colon)) {
+      auto T = parseSType();
+      if (!T)
+        return T.getError();
+      E->LRet = std::move(*T);
+    }
+    if (auto Err = expect(TokKind::Arrow, "'->' in lambda"))
+      return Err.getError();
+    auto BodyE = parseExp();
+    if (!BodyE)
+      return BodyE;
+    E->Args.push_back(std::move(*BodyE));
+    return E;
+  }
+
+  ErrorOr<SExpPtr> parseParenExp() {
+    SrcLoc Loc = cur().Loc;
+    if (auto Err = expect(TokKind::LParen, "'('"))
+      return Err.getError();
+
+    // Operator section: "(+)", "(+ e)"; '-' only as a bare section.
+    int Prec = binOpPrec(cur().Kind);
+    if (Prec != 0 &&
+        (cur().Kind != TokKind::Minus || peek().is(TokKind::RParen))) {
+      TokKind OpTok = advance().Kind;
+      auto E = mk(SExpKind::OpSection, Loc);
+      E->Bin = tokToBinOp(OpTok);
+      if (accept(TokKind::RParen))
+        return E;
+      auto A = parseExp();
+      if (!A)
+        return A;
+      E->Args.push_back(std::move(*A));
+      E->SectionLeftBound = false;
+      if (auto Err = expect(TokKind::RParen, "')' in operator section"))
+        return Err.getError();
+      return E;
+    }
+
+    auto First = parseExp();
+    if (!First)
+      return First;
+
+    // Left operator section: "(e +)".
+    if (binOpPrec(cur().Kind) != 0 && peek().is(TokKind::RParen)) {
+      TokKind OpTok = advance().Kind;
+      advance(); // ')'
+      auto E = mk(SExpKind::OpSection, Loc);
+      E->Bin = tokToBinOp(OpTok);
+      E->Args.push_back(std::move(*First));
+      E->SectionLeftBound = true;
+      return E;
+    }
+
+    if (accept(TokKind::RParen))
+      return First;
+
+    if (auto Err = expect(TokKind::Comma, "',' or ')'"))
+      return Err.getError();
+    auto E = mk(SExpKind::Tuple, Loc);
+    E->Args.push_back(std::move(*First));
+    do {
+      auto Elem = parseExp();
+      if (!Elem)
+        return Elem;
+      E->Args.push_back(std::move(*Elem));
+    } while (accept(TokKind::Comma));
+    if (auto Err = expect(TokKind::RParen, "')' in tuple"))
+      return Err.getError();
+    return E;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Functions
+  //===--------------------------------------------------------------------===//
+
+  ErrorOr<SFun> parseFun() {
+    SFun F;
+    F.Loc = cur().Loc;
+    if (auto Err = expectId("fun"))
+      return Err.getError();
+    auto Name = expectIdent("function name");
+    if (!Name)
+      return Name.getError();
+    F.Name = std::move(*Name);
+
+    while (cur().is(TokKind::LParen)) {
+      advance();
+      auto PName = expectIdent("parameter name");
+      if (!PName)
+        return PName.getError();
+      if (auto Err = expect(TokKind::Colon, "':' in parameter"))
+        return Err.getError();
+      auto T = parseSType();
+      if (!T)
+        return T.getError();
+      if (auto Err = expect(TokKind::RParen, "')' in parameter"))
+        return Err.getError();
+      F.Params.emplace_back(std::move(*PName), std::move(*T));
+    }
+    if (auto Err = expect(TokKind::Colon, "':' before return type"))
+      return Err.getError();
+    auto RT = parseSType();
+    if (!RT)
+      return RT.getError();
+    F.RetType = std::move(*RT);
+    if (auto Err = expect(TokKind::Equals, "'=' before function body"))
+      return Err.getError();
+    auto B = parseExp();
+    if (!B)
+      return B.getError();
+    F.Body = std::move(*B);
+    return F;
+  }
+};
+
+} // namespace
+
+ErrorOr<SProgram> fut::parseProgram(const std::string &Source) {
+  auto Toks = lexSource(Source);
+  if (!Toks)
+    return Toks.getError();
+  return Parser(std::move(*Toks)).parse();
+}

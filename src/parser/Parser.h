@@ -1,0 +1,25 @@
+//===- Parser.h - Recursive-descent parser ----------------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the surface syntax into an SProgram.  See SurfaceAST.h for the
+/// shape of the result and Desugar.h for the translation to core IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_PARSER_PARSER_H
+#define FUTHARKCC_PARSER_PARSER_H
+
+#include "parser/SurfaceAST.h"
+#include "support/Error.h"
+
+namespace fut {
+
+ErrorOr<SProgram> parseProgram(const std::string &Source);
+
+} // namespace fut
+
+#endif // FUTHARKCC_PARSER_PARSER_H

@@ -1,0 +1,147 @@
+//===- SurfaceAST.h - Parsed surface syntax ---------------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax produced by the parser, before desugaring to the
+/// core IR.  Surface expressions are full trees (not ANF) and may contain
+/// tuples, lambdas with tuple patterns, operator sections, and the `let
+/// x[i] = v` / `a with [i] <- v` in-place update sugar of Section 2.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_PARSER_SURFACEAST_H
+#define FUTHARKCC_PARSER_SURFACEAST_H
+
+#include "ir/Prim.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fut {
+
+/// A dimension in a surface type annotation.
+struct SDim {
+  enum class Kind { Anon, Name, Const } K = Kind::Anon;
+  std::string Name;
+  int64_t Const = 0;
+
+  static SDim anon() { return SDim(); }
+  static SDim name(std::string N) {
+    SDim D;
+    D.K = Kind::Name;
+    D.Name = std::move(N);
+    return D;
+  }
+  static SDim constant(int64_t C) {
+    SDim D;
+    D.K = Kind::Const;
+    D.Const = C;
+    return D;
+  }
+};
+
+/// A surface type: either a scalar/array type or a tuple of such.
+struct SType {
+  bool IsTuple = false;
+  std::vector<SType> Elems; // when IsTuple
+
+  bool Unique = false;
+  std::vector<SDim> Dims;
+  ScalarKind Elem = ScalarKind::I32;
+
+  /// Flattens tuples into a list of non-tuple surface types.
+  void flattenInto(std::vector<SType> &Out) const {
+    if (!IsTuple) {
+      Out.push_back(*this);
+      return;
+    }
+    for (const SType &T : Elems)
+      T.flattenInto(Out);
+  }
+};
+
+struct SExp;
+using SExpPtr = std::unique_ptr<SExp>;
+
+/// One element of a (possibly tuple-) pattern.
+struct SPatElem {
+  std::string Name;
+  std::optional<SType> Ty;
+};
+using SPat = std::vector<SPatElem>;
+
+enum class SExpKind : uint8_t {
+  IntLit,
+  FloatLit,
+  BoolLit,
+  Var,
+  BinOpE,
+  UnOpE,
+  If,      // Args = {cond, then, else}
+  Index,   // Args = {arr, i...}
+  Apply,   // Name = head (builtin/function), Args = arguments
+  Lambda,  // LParams, LRet, Args = {body}
+  OpSection, // Bin; Args empty = (op); one element = bound operand
+  Let,     // Pat, Args = {rhs, body}
+  LetWith, // Name = array, Args = {i..., rhs, body}
+  With,    // Args = {arr, i..., value}
+  Loop,    // LoopMerge, Name2 = index var, Args = {bound, body,
+           //                                       init... (aligned w/ merge)}
+  Tuple,   // Args = elements
+};
+
+struct SExp {
+  SExpKind K;
+  SrcLoc Loc;
+
+  // Literals.
+  int64_t IntVal = 0;
+  double FloatVal = 0;
+  bool BoolVal = false;
+  std::string Suffix; ///< Numeric literal suffix ("", "i32", "f64", ...).
+
+  std::string Name;  ///< Var / Apply head / LetWith array.
+  std::string Name2; ///< Loop index variable.
+
+  BinOp Bin = BinOp::Add;
+  UnOp Un = UnOp::Neg;
+  bool SectionLeftBound = false; ///< (e op) vs (op e).
+
+  std::vector<SExpPtr> Args;
+
+  // Lambda.
+  std::vector<SPat> LParams;
+  std::optional<SType> LRet;
+
+  // Let / Loop.
+  SPat Pat;
+  /// Loop merge entries: a group of names (one, or a tuple pattern) and
+  /// whether an init expression was given (inits are stored in Args after
+  /// bound and body).
+  std::vector<std::pair<std::vector<std::string>, bool>> LoopMerge;
+
+  explicit SExp(SExpKind K) : K(K) {}
+};
+
+/// A surface function definition.
+struct SFun {
+  std::string Name;
+  std::vector<std::pair<std::string, SType>> Params;
+  SType RetType;
+  SExpPtr Body;
+  SrcLoc Loc;
+};
+
+struct SProgram {
+  std::vector<SFun> Funs;
+};
+
+} // namespace fut
+
+#endif // FUTHARKCC_PARSER_SURFACEAST_H

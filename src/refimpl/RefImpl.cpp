@@ -1,0 +1,19 @@
+//===- RefImpl.cpp - Reference-implementation models ---------------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "refimpl/RefImpl.h"
+
+using namespace fut;
+
+CompilerOptions fut::refCompilerOptions(const RefConfig &R) {
+  CompilerOptions O;
+  O.EnableFusion = R.Fusion;
+  O.Locality.EnableCoalescing = R.Coalescing;
+  O.Locality.EnableTiling = R.Tiling;
+  O.Flatten.EnableSegReduce = R.SegReduceInterchange;
+  O.Flatten.KernelizeReduce = !R.ReduceOnHost;
+  return O;
+}

@@ -1,0 +1,54 @@
+//===- RefImpl.h - Reference-implementation models --------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models of the hand-written reference implementations the paper compares
+/// against (Section 6).  Each reference is the same benchmark program
+/// compiled with a configuration that reproduces the structural properties
+/// the paper reports for that reference:
+///
+///  * ReduceOnHost      — Rodinia NN/Backprop/K-means leave reductions
+///                        sequential on the CPU (host cycles + transfers),
+///  * Fusion off        — Accelerate executes one combinator at a time,
+///  * Coalescing off    — Myocyte/MRI-Q references are not coalesced,
+///  * Tiling off        — references without local-memory staging,
+///  * SegReduce (G5) off— histogram-style vectorised reductions.
+///
+/// Residual hand-tuning effects our simulator cannot express structurally
+/// (time tiling in HotSpot, the expert-tuned LocVolCalib kernels, general
+/// micro-optimisation) are modelled by a per-device calibration factor on
+/// the reference's cycle count, documented per benchmark in
+/// EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_REFIMPL_REFIMPL_H
+#define FUTHARKCC_REFIMPL_REFIMPL_H
+
+#include "driver/Compiler.h"
+
+namespace fut {
+
+struct RefConfig {
+  bool Fusion = true;
+  bool Coalescing = true;
+  bool Tiling = true;
+  bool SegReduceInterchange = true;
+  bool ReduceOnHost = false;
+
+  /// Calibration of hand-tuning effects: the reference's simulated cycles
+  /// are divided by this factor (>1 = the reference is faster than its
+  /// structural model; <1 = slower, e.g. framework overheads).
+  double HandTuningGTX = 1.0;
+  double HandTuningW8100 = 1.0;
+};
+
+/// The compiler configuration realising a reference model.
+CompilerOptions refCompilerOptions(const RefConfig &R);
+
+} // namespace fut
+
+#endif // FUTHARKCC_REFIMPL_REFIMPL_H

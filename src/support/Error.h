@@ -1,0 +1,113 @@
+//===- Error.h - Lightweight error propagation utilities -------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error handling for the compiler pipeline.  Library code never throws;
+/// fallible stages return ErrorOr<T> carrying either a value or a
+/// CompilerError with a source location and message, in the spirit of LLVM's
+/// Expected<T>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_SUPPORT_ERROR_H
+#define FUTHARKCC_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fut {
+
+/// A position in a source file, 1-based; line 0 means "unknown".
+struct SrcLoc {
+  int Line = 0;
+  int Col = 0;
+
+  bool isKnown() const { return Line > 0; }
+  std::string str() const {
+    if (!isKnown())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+/// A diagnostic produced by any compiler stage.  The message follows the
+/// LLVM style: starts lowercase, no trailing period.
+struct CompilerError {
+  SrcLoc Loc;
+  std::string Message;
+
+  CompilerError() = default;
+  CompilerError(std::string Msg) : Message(std::move(Msg)) {}
+  CompilerError(SrcLoc Loc, std::string Msg)
+      : Loc(Loc), Message(std::move(Msg)) {}
+
+  std::string str() const {
+    if (Loc.isKnown())
+      return Loc.str() + ": error: " + Message;
+    return "error: " + Message;
+  }
+};
+
+/// Either a T or a CompilerError.  Implicitly convertible to bool (true on
+/// success); the value is accessed with operator* / operator->.
+template <typename T> class ErrorOr {
+  std::variant<T, CompilerError> Storage;
+
+public:
+  ErrorOr(T Value) : Storage(std::move(Value)) {}
+  ErrorOr(CompilerError Err) : Storage(std::move(Err)) {}
+
+  explicit operator bool() const { return Storage.index() == 0; }
+
+  T &operator*() {
+    assert(*this && "accessing value of failed ErrorOr");
+    return std::get<0>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "accessing value of failed ErrorOr");
+    return std::get<0>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  const CompilerError &getError() const {
+    assert(!*this && "accessing error of successful ErrorOr");
+    return std::get<1>(Storage);
+  }
+
+  /// Moves the contained value out; only valid on success.
+  T take() {
+    assert(*this && "taking value of failed ErrorOr");
+    return std::move(std::get<0>(Storage));
+  }
+};
+
+/// Result of a stage that produces no value.  Success is the default state.
+class MaybeError {
+  bool Failed = false;
+  CompilerError Err;
+
+public:
+  MaybeError() = default;
+  MaybeError(CompilerError E) : Failed(true), Err(std::move(E)) {}
+
+  static MaybeError success() { return MaybeError(); }
+
+  /// True when an error is present (mirrors llvm::Error's convention).
+  explicit operator bool() const { return Failed; }
+
+  const CompilerError &getError() const {
+    assert(Failed && "no error present");
+    return Err;
+  }
+};
+
+} // namespace fut
+
+#endif // FUTHARKCC_SUPPORT_ERROR_H

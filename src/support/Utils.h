@@ -1,0 +1,73 @@
+//===- Utils.h - Small string/sequence helpers ------------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String-joining and hashing helpers shared across the compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_SUPPORT_UTILS_H
+#define FUTHARKCC_SUPPORT_UTILS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fut {
+
+/// Joins the str()/to_string representations produced by \p Fn over \p Items
+/// with \p Sep between elements.
+template <typename Seq, typename Fn>
+std::string joinMapped(const Seq &Items, const char *Sep, Fn Format) {
+  std::string Out;
+  bool First = true;
+  for (const auto &Item : Items) {
+    if (!First)
+      Out += Sep;
+    First = false;
+    Out += Format(Item);
+  }
+  return Out;
+}
+
+/// Combines a hash value into a running seed (boost::hash_combine style).
+inline void hashCombine(size_t &Seed, size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+/// A deterministic splitmix64-based PRNG used by tests and workload
+/// generators so results are reproducible across platforms.
+class SplitMix64 {
+  uint64_t State;
+
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) { return Bound ? next() % Bound : 0; }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [Lo, Hi).
+  double nextDouble(double Lo, double Hi) {
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+};
+
+} // namespace fut
+
+#endif // FUTHARKCC_SUPPORT_UTILS_H

@@ -1,0 +1,38 @@
+//===- Uniqueness.h - Alias analysis and in-place update checking -*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniqueness type system of Section 3: alias analysis (the judgment
+/// Σ ⊢ e ⇒ ⟨σ₁,…,σₙ⟩ of Fig 5) and in-place-update safety checking (the
+/// occurrence traces ⟨C,O⟩, the sequencing judgment ≫, and the parameter
+/// substitution judgment △ of Fig 6).  An expression may observe a variable
+/// only before any alias of it is consumed; a variable is consumed by being
+/// the source of an in-place update or by being passed as a unique function
+/// argument; lambdas may consume only their own parameters (which counts as
+/// consuming the corresponding SOAC input, preserving map's parallel
+/// semantics); function bodies may consume only unique parameters; and a
+/// unique function result must not alias any non-unique parameter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_UNIQ_UNIQUENESS_H
+#define FUTHARKCC_UNIQ_UNIQUENESS_H
+
+#include "ir/IR.h"
+#include "support/Error.h"
+
+namespace fut {
+
+/// Checks the whole program; returns the first violation found.
+MaybeError checkProgramUniqueness(const Program &P);
+
+/// Checks a single function (callees are looked up in \p P for their
+/// uniqueness signatures).
+MaybeError checkFunUniqueness(const Program &P, const FunDef &F);
+
+} // namespace fut
+
+#endif // FUTHARKCC_UNIQ_UNIQUENESS_H

@@ -1,0 +1,136 @@
+//===- benchmarks_test.cpp - Integration tests for the 16 benchmarks -------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+// Every benchmark must compile through the full pipeline, pass the
+// uniqueness checker, run on the simulated device, and produce the same
+// values as the reference interpreter.  The reference configurations must
+// also compile and run.  Finally, the headline properties of the paper's
+// evaluation must hold: Futhark wins where the paper says it wins, and
+// loses where it loses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_suite/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+using namespace fut::bench;
+
+namespace {
+
+class BenchmarkSweep : public ::testing::TestWithParam<std::string> {};
+
+std::vector<std::string> benchmarkNames() {
+  std::vector<std::string> Out;
+  for (const BenchmarkDef &B : allBenchmarks())
+    Out.push_back(B.Name);
+  return Out;
+}
+
+} // namespace
+
+TEST_P(BenchmarkSweep, CompilesRunsAndMatchesReference) {
+  const BenchmarkDef *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  auto R = runBenchmark(*B, CompilerOptions{},
+                        gpusim::DeviceParams::gtx780(), /*Verify=*/true);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError().str();
+  EXPECT_GT(R->Cost.TotalCycles, 0);
+  EXPECT_GE(R->Cost.KernelLaunches, 1)
+      << "every benchmark must actually use the device";
+}
+
+TEST_P(BenchmarkSweep, ReferenceConfigurationRuns) {
+  const BenchmarkDef *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  auto R = runBenchmark(*B, refCompilerOptions(B->Ref),
+                        gpusim::DeviceParams::gtx780());
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError().str();
+  EXPECT_GT(R->Cost.TotalCycles, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BenchmarkSweep,
+                         ::testing::ValuesIn(benchmarkNames()),
+                         [](const ::testing::TestParamInfo<std::string> &I) {
+                           return I.param;
+                         });
+
+TEST(BenchmarkShape, WinnersAndLosersMatchThePaper) {
+  // The paper's qualitative claims: Futhark wins big on NN, wins on
+  // K-means/Backprop/Myocyte/Crystal/N-body, and loses on CFD/HotSpot/
+  // LavaMD (GTX).  Checked with loose bounds so the test is robust to
+  // cost-model adjustments.
+  struct Expect {
+    const char *Name;
+    double Lo, Hi;
+  };
+  const Expect Cases[] = {
+      {"nn", 8, 40},         {"kmeans", 1.5, 6},   {"backprop", 1.3, 5},
+      {"myocyte", 2, 10},    {"crystal", 2.5, 10}, {"nbody", 3, 14},
+      {"cfd", 0.5, 1.0},     {"hotspot", 0.5, 1.0}, {"lavamd", 0.4, 1.0},
+      {"locvolcalib", 0.4, 1.0},
+  };
+  for (const Expect &E : Cases) {
+    const BenchmarkDef *B = findBenchmark(E.Name);
+    ASSERT_NE(B, nullptr) << E.Name;
+    auto S = measureSpeedup(*B, gpusim::DeviceParams::gtx780());
+    ASSERT_TRUE(static_cast<bool>(S)) << E.Name << ": "
+                                      << S.getError().str();
+    EXPECT_GE(S->Speedup, E.Lo) << E.Name;
+    EXPECT_LE(S->Speedup, E.Hi) << E.Name;
+  }
+}
+
+TEST(BenchmarkShape, NNGainsLessOnTheAMDDevice) {
+  // Section 6.1: NN's speedup is smaller on the W8100 because of kernel
+  // launch overhead.
+  const BenchmarkDef *B = findBenchmark("nn");
+  auto G = measureSpeedup(*B, gpusim::DeviceParams::gtx780());
+  auto A = measureSpeedup(*B, gpusim::DeviceParams::w8100());
+  ASSERT_TRUE(static_cast<bool>(G) && static_cast<bool>(A));
+  EXPECT_LT(A->Speedup, G->Speedup / 1.5);
+}
+
+TEST(BenchmarkShape, HotSpotCrossoverBetweenDevices) {
+  // The reference's time tiling pays off on the NVIDIA-like device but
+  // not on the AMD-like one: the speedup crosses 1.0 between them.
+  const BenchmarkDef *B = findBenchmark("hotspot");
+  auto G = measureSpeedup(*B, gpusim::DeviceParams::gtx780());
+  auto A = measureSpeedup(*B, gpusim::DeviceParams::w8100());
+  ASSERT_TRUE(static_cast<bool>(G) && static_cast<bool>(A));
+  EXPECT_LT(G->Speedup, 1.0);
+  EXPECT_GT(A->Speedup, 1.0);
+}
+
+TEST(BenchmarkShape, AblationDirectionsHold) {
+  // Disabling an optimisation never helps the benchmarks the paper lists
+  // as depending on it.
+  struct Case {
+    const char *Bench;
+    enum { Fusion, Coalescing, Tiling } What;
+  };
+  const Case Cases[] = {{"crystal", Case::Fusion},
+                        {"myocyte", Case::Coalescing},
+                        {"nbody", Case::Tiling},
+                        {"mriq", Case::Tiling}};
+  for (const Case &C : Cases) {
+    const BenchmarkDef *B = findBenchmark(C.Bench);
+    ASSERT_NE(B, nullptr);
+    CompilerOptions Off;
+    if (C.What == Case::Fusion)
+      Off.EnableFusion = false;
+    else if (C.What == Case::Coalescing)
+      Off.Locality.EnableCoalescing = false;
+    else
+      Off.Locality.EnableTiling = false;
+    auto Full = runBenchmark(*B, CompilerOptions{},
+                             gpusim::DeviceParams::gtx780());
+    auto Disabled = runBenchmark(*B, Off, gpusim::DeviceParams::gtx780());
+    ASSERT_TRUE(static_cast<bool>(Full) && static_cast<bool>(Disabled))
+        << C.Bench;
+    EXPECT_GT(Disabled->Cost.TotalCycles, Full->Cost.TotalCycles * 1.05)
+        << C.Bench << ": disabling the optimisation should cost >5%";
+  }
+}

@@ -1,0 +1,154 @@
+//===- driver_test.cpp - Tests for the pipeline driver ----------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "gpusim/Device.h"
+#include "interp/Interp.h"
+#include "ir/Traversal.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+using namespace fut::test;
+
+namespace {
+
+Value iv(int32_t V) { return Value::scalar(PrimValue::makeI32(V)); }
+Value ivec(const std::vector<int64_t> &Xs) {
+  return makeIntVectorValue(ScalarKind::I32, Xs);
+}
+
+int countKernelsIn(const Body &B) {
+  int N = 0;
+  for (const Stm &S : B.Stms) {
+    if (S.E->kind() == ExpKind::Kernel)
+      ++N;
+    forEachChildBody(*S.E,
+                     [&](const Body &In) { N += countKernelsIn(In); });
+  }
+  return N;
+}
+
+} // namespace
+
+TEST(DriverTest, FrontendErrorsPropagate) {
+  NameSource NS;
+  EXPECT_ERR_CONTAINS(compileSource("fun main (x: i32): i32 = y", NS),
+                      "unbound variable");
+}
+
+TEST(DriverTest, UniquenessErrorsPropagate) {
+  NameSource NS;
+  EXPECT_ERR_CONTAINS(
+      compileSource("fun main (n: i32) (a: [n]i32): [n]i32 =\n"
+                    "  a with [0] <- 1",
+                    NS),
+      "not consumable");
+}
+
+TEST(DriverTest, UniquenessCheckCanBeDisabled) {
+  // (Useful for compiling deliberately unsafe code in tests; the
+  // interpreter still computes the persistent-update semantics.)
+  NameSource NS;
+  CompilerOptions O;
+  O.CheckUniqueness = false;
+  auto C = compileSource("fun main (n: i32) (a: [n]i32): [n]i32 =\n"
+                         "  a with [0] <- 1",
+                         NS, O);
+  ASSERT_OK(C);
+}
+
+TEST(DriverTest, PhaseTogglesActuallyToggle) {
+  const char *Src = "fun main (n: i32) (xs: [n]i32): i32 =\n"
+                    "  reduce (+) 0 (map (+1) xs)";
+
+  NameSource NS1;
+  auto Full = compileSource(Src, NS1);
+  ASSERT_OK(Full);
+  EXPECT_EQ(Full->Fusion.Redomap, 1);
+  EXPECT_GE(countKernelsIn(Full->P.Funs[0].FBody), 1);
+
+  NameSource NS2;
+  CompilerOptions NoFuse;
+  NoFuse.EnableFusion = false;
+  auto Unfused = compileSource(Src, NS2, NoFuse);
+  ASSERT_OK(Unfused);
+  EXPECT_EQ(Unfused->Fusion.total(), 0);
+
+  NameSource NS3;
+  CompilerOptions NoKernels;
+  NoKernels.ExtractKernels = false;
+  auto HostOnly = compileSource(Src, NS3, NoKernels);
+  ASSERT_OK(HostOnly);
+  EXPECT_EQ(countKernelsIn(HostOnly->P.Funs[0].FBody), 0);
+}
+
+TEST(DriverTest, AllConfigurationsAgreeSemantically) {
+  const char *Src =
+      "fun main (n: i32) (xs: [n]i32): ([n]i32, i32) =\n"
+      "  let ys = map (\\(x: i32): i32 -> x * x + 1) xs\n"
+      "  let s = reduce max 0 ys\n"
+      "  in (map (\\(y: i32): i32 -> y % (s + 1)) ys, s)";
+  std::vector<Value> Args = {iv(9), ivec(randomInts(9, 5, 0, 9))};
+
+  std::vector<CompilerOptions> Configs(5);
+  Configs[1].EnableFusion = false;
+  Configs[2].Locality.EnableCoalescing = false;
+  Configs[3].Locality.EnableTiling = false;
+  Configs[4].ExtractKernels = false;
+
+  std::vector<Value> Want;
+  for (size_t I = 0; I < Configs.size(); ++I) {
+    NameSource NS;
+    auto C = compileSource(Src, NS, Configs[I]);
+    ASSERT_OK(C);
+    gpusim::Device D;
+    auto R = D.runMain(C->P, Args);
+    ASSERT_TRUE(static_cast<bool>(R)) << "config " << I << ": "
+                                      << R.getError().str();
+    if (I == 0) {
+      Want = R->Outputs;
+      continue;
+    }
+    ASSERT_EQ(R->Outputs.size(), Want.size());
+    for (size_t J = 0; J < Want.size(); ++J)
+      EXPECT_TRUE(R->Outputs[J].approxEqual(Want[J]))
+          << "config " << I << ", output " << J;
+  }
+}
+
+TEST(DriverTest, InternalChecksCatchMalformedPasses) {
+  // Simulate a buggy pass by compiling, mangling the program, and
+  // re-entering the pipeline: the re-check must fire.
+  NameSource NS;
+  auto C = compileSource("fun main (x: i32): i32 = x + 1", NS);
+  ASSERT_OK(C);
+  Program P = std::move(C->P);
+  ASSERT_FALSE(P.Funs[0].FBody.Stms.empty());
+  // Reference a bogus name.
+  P.Funs[0].FBody.Result = {SubExp::var(VName("bogus", 999999))};
+  auto Again = compileProgram(std::move(P), NS);
+  EXPECT_ERR_CONTAINS(Again, "internal error");
+}
+
+TEST(DriverTest, MultiFunctionProgramsInlineAndCompile) {
+  const char *Src =
+      "fun scale (n: i32) (xs: [n]i32) (c: i32): [n]i32 =\n"
+      "  map (\\(x: i32): i32 -> x * c) xs\n"
+      "fun main (n: i32) (xs: [n]i32): i32 =\n"
+      "  reduce (+) 0 (scale n xs 3)";
+  NameSource NS;
+  auto C = compileSource(Src, NS);
+  ASSERT_OK(C);
+  // After inlining + dead-function removal only main remains.
+  EXPECT_EQ(C->P.Funs.size(), 1u);
+  gpusim::Device D;
+  auto R = D.runMain(C->P, {iv(4), ivec({1, 2, 3, 4})});
+  ASSERT_OK(R);
+  EXPECT_EQ(R->Outputs[0], iv(30));
+}

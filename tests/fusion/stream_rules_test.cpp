@@ -1,0 +1,133 @@
+//===- stream_rules_test.cpp - Tests for the F1..F5 stream rules -----------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+// Property tests: each Fig 9 conversion rule preserves semantics for every
+// chunking of the stream input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fusion/StreamRules.h"
+
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+#include "ir/Traversal.h"
+#include "parser/Desugar.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+using namespace fut::test;
+
+namespace {
+
+Value iv(int32_t V) { return Value::scalar(PrimValue::makeI32(V)); }
+Value ivec(const std::vector<int64_t> &Xs) {
+  return makeIntVectorValue(ScalarKind::I32, Xs);
+}
+
+/// Compiles a program, applies a rule to its sole SOAC of the given kind,
+/// and checks that results agree for several chunk sizes.
+template <typename SOAC>
+void checkRule(const char *Src,
+               ExpPtr (*Rule)(const SOAC &, NameSource &),
+               const std::vector<Value> &Args) {
+  NameSource NS;
+  auto POrErr = frontend(Src, NS);
+  ASSERT_OK(POrErr);
+  Program P = POrErr.take();
+
+  Interpreter Ref(P);
+  auto Want = Ref.run(Args);
+  ASSERT_OK(Want);
+
+  // Rewrite the first matching SOAC.  Conversions to stream_seq add
+  // leading accumulator results, so the binding pattern gains fresh names
+  // for them.
+  bool Rewritten = false;
+  std::function<void(Body &)> Visit = [&](Body &B) {
+    for (Stm &S : B.Stms) {
+      if (!Rewritten)
+        if (auto *X = expDynCast<SOAC>(S.E.get())) {
+          S.E = Rule(*X, NS);
+          Rewritten = true;
+          const auto *St = expCast<StreamExp>(S.E.get());
+          size_t NumResults = St->FoldFn.RetTypes.size();
+          while (S.Pat.size() < NumResults) {
+            size_t I = NumResults - S.Pat.size() - 1;
+            S.Pat.insert(S.Pat.begin(),
+                         Param(NS.fresh("extra_acc"),
+                               St->FoldFn.RetTypes[I]));
+          }
+          return;
+        }
+      forEachChildBody(*S.E, Visit);
+    }
+  };
+  Visit(P.Funs[0].FBody);
+  ASSERT_TRUE(Rewritten) << "no SOAC found to rewrite";
+
+  for (int64_t Chunk : {0, 1, 2, 3, 5, 100}) {
+    InterpOptions Opts;
+    Opts.StreamChunk = Chunk;
+    Interpreter I(P, Opts);
+    auto Got = I.run(Args);
+    ASSERT_OK(Got);
+    ASSERT_EQ(Got->size(), Want->size());
+    for (size_t J = 0; J < Want->size(); ++J)
+      EXPECT_TRUE((*Got)[J].approxEqual((*Want)[J]))
+          << "chunk " << Chunk << ", result " << J << ": "
+          << (*Got)[J].str() << " vs " << (*Want)[J].str() << "\n"
+          << printProgram(P);
+  }
+}
+
+const char *MapSrc = "fun main (n: i32) (xs: [n]i32): [n]i32 =\n"
+                     "  map (\\(x: i32): i32 -> x * 2 + 1) xs";
+const char *ReduceSrc = "fun main (n: i32) (xs: [n]i32): i32 =\n"
+                        "  reduce (+) 0 xs";
+const char *ReduceMaxSrc = "fun main (n: i32) (xs: [n]i32): i32 =\n"
+                           "  reduce max 0 xs";
+const char *ScanSrc = "fun main (n: i32) (xs: [n]i32): [n]i32 =\n"
+                      "  scan (+) 0 xs";
+
+std::vector<Value> args() {
+  return {iv(11), ivec({3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5})};
+}
+
+} // namespace
+
+TEST(StreamRulesTest, F1MapToStreamMap) {
+  checkRule<MapExp>(MapSrc, ruleF1MapToStreamMap, args());
+}
+
+TEST(StreamRulesTest, F2MapToStreamSeq) {
+  checkRule<MapExp>(MapSrc, ruleF2MapToStreamSeq, args());
+}
+
+TEST(StreamRulesTest, F3ReduceToStreamRed) {
+  checkRule<ReduceExp>(ReduceSrc, ruleF3ReduceToStreamRed, args());
+}
+
+TEST(StreamRulesTest, F3ReduceMaxToStreamRed) {
+  checkRule<ReduceExp>(ReduceMaxSrc, ruleF3ReduceToStreamRed, args());
+}
+
+TEST(StreamRulesTest, F4ReduceToStreamSeq) {
+  checkRule<ReduceExp>(ReduceSrc, ruleF4ReduceToStreamSeq, args());
+}
+
+TEST(StreamRulesTest, F5ScanToStreamSeq) {
+  checkRule<ScanExp>(ScanSrc, ruleF5ScanToStreamSeq, args());
+}
+
+TEST(StreamRulesTest, F5ScanMaxToStreamSeq) {
+  checkRule<ScanExp>("fun main (n: i32) (xs: [n]i32): [n]i32 =\n"
+                     "  scan max 0 xs",
+                     ruleF5ScanToStreamSeq, args());
+}
+
+TEST(StreamRulesTest, F5ScanEmptyInput) {
+  checkRule<ScanExp>(ScanSrc, ruleF5ScanToStreamSeq, {iv(0), ivec({})});
+}

@@ -1,0 +1,385 @@
+//===- interp_test.cpp - Tests for the reference interpreter ---------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "ir/Builder.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+#include <numeric>
+
+using namespace fut;
+using namespace fut::test;
+
+namespace {
+
+Type i32s() { return Type::scalar(ScalarKind::I32); }
+Type i32v(SubExp D) { return Type::array(ScalarKind::I32, {D}); }
+
+/// fun main (n: i32) (xs: [n]i32): ... with a body built by Fn.
+Program vecProgram(
+    const std::function<Body(NameSource &, VName N, VName Xs)> &MkBody,
+    std::vector<Type> RetTypes) {
+  NameSource NS;
+  VName N = NS.fresh("n");
+  VName Xs = NS.fresh("xs");
+  Body B = MkBody(NS, N, Xs);
+  return singleFun({Param(N, i32s()), Param(Xs, i32v(SubExp::var(N)))},
+                   std::move(RetTypes), std::move(B));
+}
+
+Value vec(const std::vector<int64_t> &Xs) {
+  return makeIntVectorValue(ScalarKind::I32, Xs);
+}
+Value i32val(int32_t V) { return Value::scalar(PrimValue::makeI32(V)); }
+
+} // namespace
+
+TEST(InterpTest, MapAddsOne) {
+  Program P = vecProgram(
+      [](NameSource &NS, VName N, VName Xs) {
+        BodyBuilder BB(NS);
+        VName X = NS.fresh("x");
+        BodyBuilder LB(NS);
+        SubExp R = LB.binOp(BinOp::Add, SubExp::var(X), i32(1),
+                            ScalarKind::I32);
+        Lambda Fn({Param(X, i32s())}, LB.finish({R}), {i32s()});
+        VName Out = BB.bind("out", i32v(SubExp::var(N)),
+                            std::make_unique<MapExp>(
+                                SubExp::var(N), std::move(Fn),
+                                std::vector<VName>{Xs}));
+        return BB.finish({SubExp::var(Out)});
+      },
+      {i32v(SubExp())});
+
+  auto R = runOk(P, {i32val(4), vec({1, 2, 3, 4})});
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0], vec({2, 3, 4, 5}));
+}
+
+TEST(InterpTest, ReduceSums) {
+  Program P = vecProgram(
+      [](NameSource &NS, VName N, VName Xs) {
+        BodyBuilder BB(NS);
+        Lambda Fn = binOpLambda(BinOp::Add, ScalarKind::I32, NS);
+        VName Out = BB.bind("out", i32s(),
+                            std::make_unique<ReduceExp>(
+                                SubExp::var(N), std::move(Fn),
+                                std::vector<SubExp>{i32(0)},
+                                std::vector<VName>{Xs}));
+        return BB.finish({SubExp::var(Out)});
+      },
+      {i32s()});
+
+  auto R = runOk(P, {i32val(5), vec({1, 2, 3, 4, 5})});
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0], i32val(15));
+}
+
+TEST(InterpTest, ScanComputesPrefixSums) {
+  Program P = vecProgram(
+      [](NameSource &NS, VName N, VName Xs) {
+        BodyBuilder BB(NS);
+        Lambda Fn = binOpLambda(BinOp::Add, ScalarKind::I32, NS);
+        VName Out = BB.bind("out", i32v(SubExp::var(N)),
+                            std::make_unique<ScanExp>(
+                                SubExp::var(N), std::move(Fn),
+                                std::vector<SubExp>{i32(0)},
+                                std::vector<VName>{Xs}));
+        return BB.finish({SubExp::var(Out)});
+      },
+      {i32v(SubExp())});
+
+  auto R = runOk(P, {i32val(4), vec({1, 2, 3, 4})});
+  EXPECT_EQ(R[0], vec({1, 3, 6, 10}));
+}
+
+TEST(InterpTest, LoopAccumulates) {
+  // loop (acc = 0) for i < n do acc + xs[i]
+  Program P = vecProgram(
+      [](NameSource &NS, VName N, VName Xs) {
+        BodyBuilder BB(NS);
+        VName Acc = NS.fresh("acc");
+        VName I = NS.fresh("i");
+        BodyBuilder LB(NS);
+        SubExp Xi = LB.index(Xs, {SubExp::var(I)}, i32s());
+        SubExp R = LB.binOp(BinOp::Add, SubExp::var(Acc), Xi,
+                            ScalarKind::I32);
+        VName Out = BB.bind(
+            "out", i32s(),
+            std::make_unique<LoopExp>(
+                std::vector<Param>{Param(Acc, i32s())},
+                std::vector<SubExp>{i32(0)}, I, SubExp::var(N),
+                LB.finish({R})));
+        return BB.finish({SubExp::var(Out)});
+      },
+      {i32s()});
+
+  auto R = runOk(P, {i32val(4), vec({10, 20, 30, 40})});
+  EXPECT_EQ(R[0], i32val(100));
+}
+
+TEST(InterpTest, InPlaceUpdate) {
+  Program P = vecProgram(
+      [](NameSource &NS, VName N, VName Xs) {
+        BodyBuilder BB(NS);
+        VName Ys = BB.bind("ys", i32v(SubExp::var(N)),
+                           std::make_unique<UpdateExp>(
+                               Xs, std::vector<SubExp>{i32(1)}, i32(99)));
+        return BB.finish({SubExp::var(Ys)});
+      },
+      {i32v(SubExp())});
+
+  auto R = runOk(P, {i32val(3), vec({1, 2, 3})});
+  EXPECT_EQ(R[0], vec({1, 99, 3}));
+}
+
+TEST(InterpTest, UpdateOutOfBoundsFails) {
+  Program P = vecProgram(
+      [](NameSource &NS, VName N, VName Xs) {
+        BodyBuilder BB(NS);
+        VName Ys = BB.bind("ys", i32v(SubExp::var(N)),
+                           std::make_unique<UpdateExp>(
+                               Xs, std::vector<SubExp>{i32(7)}, i32(0)));
+        return BB.finish({SubExp::var(Ys)});
+      },
+      {i32v(SubExp())});
+  Interpreter I(P);
+  EXPECT_ERR_CONTAINS(I.run({i32val(3), vec({1, 2, 3})}), "out of bounds");
+}
+
+TEST(InterpTest, IotaReplicateConcat) {
+  NameSource NS;
+  BodyBuilder BB(NS);
+  VName A = BB.bind("a", i32v(i32(3)),
+                    std::make_unique<IotaExp>(i32(3), ScalarKind::I32));
+  VName B = BB.bind("b", i32v(i32(2)),
+                    std::make_unique<ReplicateExp>(i32(2), i32(7), i32s()));
+  VName C = BB.bind("c", i32v(i32(5)),
+                    std::make_unique<ConcatExp>(std::vector<VName>{A, B}));
+  Program P = singleFun({}, {i32v(i32(5))}, BB.finish({SubExp::var(C)}));
+  auto R = runOk(P, {});
+  EXPECT_EQ(R[0], vec({0, 1, 2, 7, 7}));
+}
+
+TEST(InterpTest, RearrangeTransposes) {
+  NameSource NS;
+  VName M = NS.fresh("m");
+  BodyBuilder BB(NS);
+  VName T = BB.bind("t", Type::array(ScalarKind::I32, {i32(3), i32(2)}),
+                    std::make_unique<RearrangeExp>(std::vector<int>{1, 0}, M));
+  Program P = singleFun({Param(M, Type::array(ScalarKind::I32,
+                                              {i32(2), i32(3)}))},
+                        {Type::array(ScalarKind::I32, {i32(3), i32(2)})},
+                        BB.finish({SubExp::var(T)}));
+  Value In = Value::array(ScalarKind::I32, {2, 3},
+                          {PrimValue::makeI32(1), PrimValue::makeI32(2),
+                           PrimValue::makeI32(3), PrimValue::makeI32(4),
+                           PrimValue::makeI32(5), PrimValue::makeI32(6)});
+  auto R = runOk(P, {In});
+  Value Want = Value::array(ScalarKind::I32, {3, 2},
+                            {PrimValue::makeI32(1), PrimValue::makeI32(4),
+                             PrimValue::makeI32(2), PrimValue::makeI32(5),
+                             PrimValue::makeI32(3), PrimValue::makeI32(6)});
+  EXPECT_EQ(R[0], Want);
+}
+
+TEST(InterpTest, IfBranches) {
+  NameSource NS;
+  VName C = NS.fresh("c");
+  BodyBuilder BB(NS);
+  BodyBuilder TB(NS);
+  Body Then = TB.finish({i32(1)});
+  BodyBuilder EB(NS);
+  Body Else = EB.finish({i32(2)});
+  VName R = BB.bind("r", i32s(),
+                    std::make_unique<IfExp>(SubExp::var(C), std::move(Then),
+                                            std::move(Else),
+                                            std::vector<Type>{i32s()}));
+  Program P = singleFun({Param(C, Type::scalar(ScalarKind::Bool))}, {i32s()},
+                        BB.finish({SubExp::var(R)}));
+  EXPECT_EQ(runOk(P, {Value::scalar(PrimValue::makeBool(true))})[0],
+            i32val(1));
+  EXPECT_EQ(runOk(P, {Value::scalar(PrimValue::makeBool(false))})[0],
+            i32val(2));
+}
+
+TEST(InterpTest, IrregularMapFails) {
+  // map (\i -> iota i) (iota n) produces irregular rows -> dynamic error,
+  // matching the paper's dynamically checked regularity.
+  NameSource NS;
+  VName N = NS.fresh("n");
+  BodyBuilder BB(NS);
+  VName Is = BB.bind("is", i32v(SubExp::var(N)),
+                     std::make_unique<IotaExp>(SubExp::var(N),
+                                               ScalarKind::I32));
+  VName I = NS.fresh("i");
+  BodyBuilder LB(NS);
+  VName Row = LB.bind("row", i32v(SubExp::var(I)),
+                      std::make_unique<IotaExp>(SubExp::var(I),
+                                                ScalarKind::I32));
+  Lambda Fn({Param(I, i32s())}, LB.finish({SubExp::var(Row)}),
+            {i32v(SubExp::var(I))});
+  VName Out = BB.bind("out",
+                      Type::array(ScalarKind::I32, {SubExp::var(N),
+                                                    SubExp::var(N)}),
+                      std::make_unique<MapExp>(SubExp::var(N), std::move(Fn),
+                                               std::vector<VName>{Is}));
+  Program P = singleFun({Param(N, i32s())},
+                        {Type::array(ScalarKind::I32, {SubExp::var(N)})},
+                        BB.finish({SubExp::var(Out)}));
+  Interpreter In(P);
+  EXPECT_ERR_CONTAINS(In.run({i32val(3)}), "irregular");
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming SOACs: the chunking-invariance property of Section 4.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// stream_red (+) (\m acc chunk -> acc + sum chunk) 0 xs.
+Program streamRedSum() {
+  NameSource NS;
+  VName N = NS.fresh("n");
+  VName Xs = NS.fresh("xs");
+  BodyBuilder BB(NS);
+
+  Lambda Red = binOpLambda(BinOp::Add, ScalarKind::I32, NS);
+
+  VName M = NS.fresh("m");
+  VName Acc = NS.fresh("acc");
+  VName Chunk = NS.fresh("chunk");
+  BodyBuilder FB(NS);
+  Lambda SumFn = binOpLambda(BinOp::Add, ScalarKind::I32, NS);
+  VName S = FB.bind("s", i32s(),
+                    std::make_unique<ReduceExp>(
+                        SubExp::var(M), std::move(SumFn),
+                        std::vector<SubExp>{i32(0)},
+                        std::vector<VName>{Chunk}));
+  SubExp R = FB.binOp(BinOp::Add, SubExp::var(Acc), SubExp::var(S),
+                      ScalarKind::I32);
+  Lambda Fold({Param(M, i32s()), Param(Acc, i32s()),
+               Param(Chunk, i32v(SubExp::var(M)))},
+              FB.finish({R}), {i32s()});
+
+  VName Out = BB.bind("out", i32s(),
+                      std::make_unique<StreamExp>(
+                          StreamExp::FormKind::Red, SubExp::var(N),
+                          std::move(Red), 1, std::vector<SubExp>{i32(0)},
+                          std::move(Fold), std::vector<VName>{Xs}));
+  return singleFun({Param(N, i32s()), Param(Xs, i32v(SubExp::var(N)))},
+                   {i32s()}, BB.finish({SubExp::var(Out)}));
+}
+
+} // namespace
+
+class StreamChunkingSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(StreamChunkingSweep, StreamRedIsChunkInvariant) {
+  Program P = streamRedSum();
+  std::vector<int64_t> Data = randomInts(37, 123);
+  int64_t Want = std::accumulate(Data.begin(), Data.end(), int64_t(0));
+  InterpOptions Opts;
+  Opts.StreamChunk = GetParam();
+  auto R = runOk(P, {i32val(37), vec(Data)}, Opts);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].getScalar().getInt(), Want);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, StreamChunkingSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 36, 37, 100));
+
+TEST(InterpTest, StreamSeqThreadsAccumulator) {
+  // stream_seq (\m acc chunk -> (acc + sum chunk, map (+acc) chunk)) 0 xs:
+  // per-chunk results depend on the running accumulator.
+  NameSource NS;
+  VName N = NS.fresh("n");
+  VName Xs = NS.fresh("xs");
+  BodyBuilder BB(NS);
+
+  VName M = NS.fresh("m");
+  VName Acc = NS.fresh("acc");
+  VName Chunk = NS.fresh("chunk");
+  BodyBuilder FB(NS);
+  Lambda SumFn = binOpLambda(BinOp::Add, ScalarKind::I32, NS);
+  VName S = FB.bind("s", i32s(),
+                    std::make_unique<ReduceExp>(
+                        SubExp::var(M), std::move(SumFn),
+                        std::vector<SubExp>{i32(0)},
+                        std::vector<VName>{Chunk}));
+  SubExp NewAcc = FB.binOp(BinOp::Add, SubExp::var(Acc), SubExp::var(S),
+                           ScalarKind::I32);
+  VName X = NS.fresh("x");
+  BodyBuilder MB(NS);
+  SubExp MR = MB.binOp(BinOp::Add, SubExp::var(X), SubExp::var(Acc),
+                       ScalarKind::I32);
+  Lambda MapFn({Param(X, i32s())}, MB.finish({MR}), {i32s()});
+  VName Mapped = FB.bind("mapped", i32v(SubExp::var(M)),
+                         std::make_unique<MapExp>(SubExp::var(M),
+                                                  std::move(MapFn),
+                                                  std::vector<VName>{Chunk}));
+  Lambda Fold({Param(M, i32s()), Param(Acc, i32s()),
+               Param(Chunk, i32v(SubExp::var(M)))},
+              FB.finish({NewAcc, SubExp::var(Mapped)}),
+              {i32s(), i32v(SubExp::var(M))});
+
+  auto Outs = BB.bindMulti("out", {i32s(), i32v(SubExp::var(N))},
+                           std::make_unique<StreamExp>(
+                               StreamExp::FormKind::Seq, SubExp::var(N),
+                               Lambda(), 1, std::vector<SubExp>{i32(0)},
+                               std::move(Fold), std::vector<VName>{Xs}));
+  Program P = singleFun({Param(N, i32s()), Param(Xs, i32v(SubExp::var(N)))},
+                        {i32s(), i32v(SubExp::var(N))},
+                        BB.finish({SubExp::var(Outs[0]),
+                                   SubExp::var(Outs[1])}));
+
+  // With chunk size 2 on [1,2,3,4]: chunk1 acc 0 -> mapped [1,2], acc 3;
+  // chunk2 acc 3 -> mapped [6,7], acc 10.
+  InterpOptions Opts;
+  Opts.StreamChunk = 2;
+  auto R = runOk(P, {i32val(4), vec({1, 2, 3, 4})}, Opts);
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R[0], i32val(10));
+  EXPECT_EQ(R[1], vec({1, 2, 6, 7}));
+}
+
+TEST(InterpTest, ShapeMismatchDetected) {
+  Program P = vecProgram(
+      [](NameSource &NS, VName N, VName Xs) {
+        BodyBuilder BB(NS);
+        return BB.finish({SubExp::var(Xs)});
+      },
+      {i32v(SubExp())});
+  Interpreter I(P);
+  // Claim n=5 but pass 3 elements.
+  EXPECT_ERR_CONTAINS(I.run({i32val(5), vec({1, 2, 3})}), "shape mismatch");
+}
+
+TEST(InterpTest, StepLimitGuards) {
+  // loop (x=0) for i < 1000000 do x+1 with a tiny step budget.
+  Program P = vecProgram(
+      [](NameSource &NS, VName N, VName Xs) {
+        BodyBuilder BB(NS);
+        VName Acc = NS.fresh("acc");
+        VName I = NS.fresh("i");
+        BodyBuilder LB(NS);
+        SubExp R = LB.binOp(BinOp::Add, SubExp::var(Acc), i32(1),
+                            ScalarKind::I32);
+        VName Out = BB.bind("out", i32s(),
+                            std::make_unique<LoopExp>(
+                                std::vector<Param>{Param(Acc, i32s())},
+                                std::vector<SubExp>{i32(0)}, I,
+                                i32(1000000), LB.finish({R})));
+        return BB.finish({SubExp::var(Out)});
+      },
+      {i32s()});
+  InterpOptions Opts;
+  Opts.MaxSteps = 1000;
+  Interpreter I(P, Opts);
+  EXPECT_ERR_CONTAINS(I.run({i32val(0), vec({})}), "step limit");
+}

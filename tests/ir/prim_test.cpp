@@ -1,0 +1,163 @@
+//===- prim_test.cpp - Tests for primitive values and operators ------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Prim.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+
+TEST(PrimValueTest, KindsAndAccessors) {
+  EXPECT_EQ(PrimValue::makeI32(42).getInt(), 42);
+  EXPECT_EQ(PrimValue::makeI64(1LL << 40).getInt(), 1LL << 40);
+  EXPECT_FLOAT_EQ(PrimValue::makeF32(1.5f).getFloat(), 1.5f);
+  EXPECT_DOUBLE_EQ(PrimValue::makeF64(2.5).getFloat(), 2.5);
+  EXPECT_TRUE(PrimValue::makeBool(true).getBool());
+}
+
+TEST(PrimValueTest, I32Truncates) {
+  PrimValue V = PrimValue::makeI32(static_cast<int32_t>(0x1'0000'0001LL));
+  EXPECT_EQ(V.getInt(), 1);
+}
+
+TEST(PrimValueTest, ZeroOf) {
+  EXPECT_EQ(PrimValue::zeroOf(ScalarKind::I32), PrimValue::makeI32(0));
+  EXPECT_EQ(PrimValue::zeroOf(ScalarKind::F64), PrimValue::makeF64(0.0));
+  EXPECT_EQ(PrimValue::zeroOf(ScalarKind::Bool), PrimValue::makeBool(false));
+}
+
+TEST(PrimValueTest, EqualityIsKindSensitive) {
+  EXPECT_NE(PrimValue::makeI32(1), PrimValue::makeI64(1));
+  EXPECT_EQ(PrimValue::makeI32(7), PrimValue::makeI32(7));
+}
+
+TEST(PrimOpsTest, IntegerArithmetic) {
+  auto Eval = [](BinOp Op, int64_t A, int64_t B) {
+    auto R = evalBinOp(Op, PrimValue::makeI32(static_cast<int32_t>(A)),
+                       PrimValue::makeI32(static_cast<int32_t>(B)));
+    EXPECT_TRUE(static_cast<bool>(R));
+    return R.take().getInt();
+  };
+  EXPECT_EQ(Eval(BinOp::Add, 3, 4), 7);
+  EXPECT_EQ(Eval(BinOp::Sub, 3, 4), -1);
+  EXPECT_EQ(Eval(BinOp::Mul, 3, 4), 12);
+  EXPECT_EQ(Eval(BinOp::Min, 3, 4), 3);
+  EXPECT_EQ(Eval(BinOp::Max, 3, 4), 4);
+  EXPECT_EQ(Eval(BinOp::Pow, 2, 10), 1024);
+}
+
+TEST(PrimOpsTest, FloorDivisionSemantics) {
+  // Futhark-style floor division: -7 / 2 == -4, -7 % 2 == 1.
+  auto Div = evalBinOp(BinOp::Div, PrimValue::makeI32(-7),
+                       PrimValue::makeI32(2));
+  auto Mod = evalBinOp(BinOp::Mod, PrimValue::makeI32(-7),
+                       PrimValue::makeI32(2));
+  ASSERT_OK(Div);
+  ASSERT_OK(Mod);
+  EXPECT_EQ(Div.take().getInt(), -4);
+  EXPECT_EQ(Mod.take().getInt(), 1);
+}
+
+TEST(PrimOpsTest, DivisionByZeroFails) {
+  EXPECT_ERR_CONTAINS(evalBinOp(BinOp::Div, PrimValue::makeI32(1),
+                                PrimValue::makeI32(0)),
+                      "division by zero");
+  EXPECT_ERR_CONTAINS(evalBinOp(BinOp::Mod, PrimValue::makeI64(1),
+                                PrimValue::makeI64(0)),
+                      "modulo by zero");
+}
+
+TEST(PrimOpsTest, MismatchedKindsFail) {
+  EXPECT_ERR_CONTAINS(evalBinOp(BinOp::Add, PrimValue::makeI32(1),
+                                PrimValue::makeF32(1.0f)),
+                      "mismatched kinds");
+}
+
+TEST(PrimOpsTest, ComparisonsYieldBool) {
+  auto R = evalBinOp(BinOp::Lt, PrimValue::makeF64(1.0),
+                     PrimValue::makeF64(2.0));
+  ASSERT_OK(R);
+  EXPECT_EQ(R.take(), PrimValue::makeBool(true));
+  EXPECT_EQ(binOpResultKind(BinOp::Lt, ScalarKind::F64), ScalarKind::Bool);
+  EXPECT_EQ(binOpResultKind(BinOp::Add, ScalarKind::F64), ScalarKind::F64);
+}
+
+TEST(PrimOpsTest, F32ArithmeticRoundsToSinglePrecision) {
+  auto R = evalBinOp(BinOp::Add, PrimValue::makeF32(1e8f),
+                     PrimValue::makeF32(1.0f));
+  ASSERT_OK(R);
+  // In f32, 1e8 + 1 == 1e8.
+  EXPECT_FLOAT_EQ(static_cast<float>(R.take().getFloat()), 1e8f);
+}
+
+TEST(PrimOpsTest, UnaryOps) {
+  auto Abs = evalUnOp(UnOp::Abs, PrimValue::makeI32(-5));
+  ASSERT_OK(Abs);
+  EXPECT_EQ(Abs.take().getInt(), 5);
+
+  auto Sqrt = evalUnOp(UnOp::Sqrt, PrimValue::makeF64(9.0));
+  ASSERT_OK(Sqrt);
+  EXPECT_DOUBLE_EQ(Sqrt.take().getFloat(), 3.0);
+
+  auto Neg = evalUnOp(UnOp::Neg, PrimValue::makeF32(2.0f));
+  ASSERT_OK(Neg);
+  EXPECT_FLOAT_EQ(static_cast<float>(Neg.take().getFloat()), -2.0f);
+
+  EXPECT_ERR_CONTAINS(evalUnOp(UnOp::Sqrt, PrimValue::makeI32(4)),
+                      "undefined");
+}
+
+TEST(PrimOpsTest, LogicalOps) {
+  auto R = evalBinOp(BinOp::LogAnd, PrimValue::makeBool(true),
+                     PrimValue::makeBool(false));
+  ASSERT_OK(R);
+  EXPECT_FALSE(R.take().getBool());
+  EXPECT_ERR_CONTAINS(evalBinOp(BinOp::LogAnd, PrimValue::makeI32(1),
+                                PrimValue::makeI32(1)),
+                      "undefined");
+}
+
+TEST(PrimOpsTest, Conversions) {
+  EXPECT_EQ(evalConvOp({ScalarKind::F64, ScalarKind::I32},
+                       PrimValue::makeF64(3.9)),
+            PrimValue::makeI32(3));
+  EXPECT_EQ(evalConvOp({ScalarKind::I32, ScalarKind::F64},
+                       PrimValue::makeI32(3)),
+            PrimValue::makeF64(3.0));
+  EXPECT_EQ(evalConvOp({ScalarKind::I64, ScalarKind::I32},
+                       PrimValue::makeI64((1LL << 32) + 5)),
+            PrimValue::makeI32(5));
+}
+
+class BinOpKindSweep
+    : public ::testing::TestWithParam<std::tuple<BinOp, ScalarKind>> {};
+
+TEST_P(BinOpKindSweep, DefinedOpsEvaluateAndPreserveKind) {
+  auto [Op, K] = GetParam();
+  if (!binOpDefinedOn(Op, K))
+    GTEST_SKIP() << "op not defined on kind";
+  PrimValue A = PrimValue::zeroOf(K);
+  PrimValue B = K == ScalarKind::Bool
+                    ? PrimValue::makeBool(true)
+                    : (isIntKind(K) ? PrimValue::makeI32(1) : A);
+  // Normalise B to the right kind.
+  B = evalConvOp({B.kind(), K}, B);
+  auto R = evalBinOp(Op, A, B);
+  ASSERT_OK(R);
+  EXPECT_EQ(R.take().kind(), binOpResultKind(Op, K));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpsAllKinds, BinOpKindSweep,
+    ::testing::Combine(
+        ::testing::Values(BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Min,
+                          BinOp::Max, BinOp::LogAnd, BinOp::LogOr, BinOp::Eq,
+                          BinOp::Neq, BinOp::Lt, BinOp::Leq, BinOp::Gt,
+                          BinOp::Geq),
+        ::testing::Values(ScalarKind::Bool, ScalarKind::I32, ScalarKind::I64,
+                          ScalarKind::F32, ScalarKind::F64)));

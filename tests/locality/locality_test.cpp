@@ -1,0 +1,180 @@
+//===- locality_test.cpp - Tests for coalescing and tiling ------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "locality/Locality.h"
+
+#include "driver/Compiler.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "ir/Traversal.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+
+namespace {
+
+/// Compiles through the pipeline up to and including the locality pass.
+CompileResult compiled(const std::string &Src, LocalityOptions L = {}) {
+  NameSource NS;
+  CompilerOptions O;
+  O.Locality = L;
+  auto C = compileSource(Src, NS, O);
+  EXPECT_TRUE(static_cast<bool>(C)) << C.getError().str();
+  return C ? C.take() : CompileResult{};
+}
+
+/// Finds the first kernel in a body (recursively).
+const KernelExp *firstKernel(const Body &B) {
+  for (const Stm &S : B.Stms) {
+    if (const auto *K = expDynCast<KernelExp>(S.E.get()))
+      return K;
+    const KernelExp *Found = nullptr;
+    forEachChildBody(*S.E, [&](const Body &Inner) {
+      if (!Found)
+        Found = firstKernel(Inner);
+    });
+    if (Found)
+      return Found;
+  }
+  return nullptr;
+}
+
+bool anyInputTransposed(const Body &B) {
+  bool Found = false;
+  std::function<void(const Body &)> Scan = [&](const Body &Bo) {
+    for (const Stm &S : Bo.Stms) {
+      if (const auto *K = expDynCast<KernelExp>(S.E.get()))
+        for (const KernelExp::KInput &In : K->Inputs)
+          Found = Found || !isIdentityPerm(In.LayoutPerm);
+      forEachChildBody(*S.E, Scan);
+    }
+  };
+  Scan(B);
+  return Found;
+}
+
+bool anyInputTiled(const Body &B) {
+  bool Found = false;
+  std::function<void(const Body &)> Scan = [&](const Body &Bo) {
+    for (const Stm &S : Bo.Stms) {
+      if (const auto *K = expDynCast<KernelExp>(S.E.get()))
+        for (const KernelExp::KInput &In : K->Inputs)
+          Found = Found || In.Tiled;
+      forEachChildBody(*S.E, Scan);
+    }
+  };
+  Scan(B);
+  return Found;
+}
+
+} // namespace
+
+TEST(LocalityTest, RowSumsGetColumnMajorLayout) {
+  // The paper's canonical example: map (\xs -> reduce (+) 0 xs) xss is
+  // resolved by making xss column-major.
+  CompileResult C = compiled("fun main (a: [n][m]f32): [n]f32 =\n"
+                             "  map (\\(row: [m]f32): f32 ->\n"
+                             "         reduce (+) 0.0 row) a");
+  EXPECT_GE(C.Locality.CoalescedInputs, 1);
+  EXPECT_TRUE(anyInputTransposed(C.P.Funs[0].FBody))
+      << printProgram(C.P);
+}
+
+TEST(LocalityTest, ElementwiseMapNeedsNoTransposition) {
+  CompileResult C = compiled(
+      "fun main (n: i32) (xs: [n]f32): [n]f32 = map (\\(x: f32): f32 -> "
+      "x * 2.0) xs");
+  EXPECT_FALSE(anyInputTransposed(C.P.Funs[0].FBody));
+  EXPECT_FALSE(anyInputTiled(C.P.Funs[0].FBody));
+}
+
+TEST(LocalityTest, TwoDimensionalMapIsAlreadyCoalesced) {
+  // a[i][j] with j the fast thread index: identity layout is right.
+  CompileResult C = compiled(
+      "fun main (a: [n][m]f32): [n][m]f32 =\n"
+      "  map (\\(row: [m]f32): [m]f32 -> map (\\(x: f32): f32 -> x + "
+      "1.0) row) a");
+  EXPECT_FALSE(anyInputTransposed(C.P.Funs[0].FBody))
+      << printProgram(C.P);
+}
+
+TEST(LocalityTest, InvariantArrayIsTiled) {
+  CompileResult C = compiled(
+      "fun main (n: i32) (bodies: [n]f32): [n]f32 =\n"
+      "  map (\\(p: f32): f32 ->\n"
+      "         reduce (+) 0.0 (map (\\(q: f32): f32 -> q - p) bodies))\n"
+      "      bodies");
+  EXPECT_GE(C.Locality.TiledInputs, 1);
+  EXPECT_TRUE(anyInputTiled(C.P.Funs[0].FBody)) << printProgram(C.P);
+}
+
+TEST(LocalityTest, TilingCanBeDisabled) {
+  LocalityOptions L;
+  L.EnableTiling = false;
+  CompileResult C = compiled(
+      "fun main (n: i32) (bodies: [n]f32): [n]f32 =\n"
+      "  map (\\(p: f32): f32 ->\n"
+      "         reduce (+) 0.0 (map (\\(q: f32): f32 -> q - p) bodies))\n"
+      "      bodies",
+      L);
+  EXPECT_EQ(C.Locality.TiledInputs, 0);
+  EXPECT_FALSE(anyInputTiled(C.P.Funs[0].FBody));
+}
+
+TEST(LocalityTest, IndirectIndexedArrayIsTiled) {
+  // The LavaMD pattern: pos[nb][j] where nb comes from a neighbour list.
+  CompileResult C = compiled(
+      "fun main (p: i32) (pos: [b][p]f32) (nbrs: [b][4]i32): [b]f32 =\n"
+      "  map (\\(bi: i32): f32 ->\n"
+      "         loop (f = 0.0) for ni < 4 do\n"
+      "           let nb = nbrs[bi, ni]\n"
+      "           in loop (f) for j < p do f + pos[nb, j])\n"
+      "      (iota b)");
+  EXPECT_TRUE(anyInputTiled(C.P.Funs[0].FBody)) << printProgram(C.P);
+}
+
+TEST(LocalityTest, ArrayResultsAreStoredTransposed) {
+  // A kernel producing one row per thread stores the result with the
+  // thread index innermost so writes coalesce.
+  CompileResult C = compiled(
+      "fun main (n: i32) (xs: [n]f32): [n][8]f32 =\n"
+      "  map (\\(x: f32): [8]f32 ->\n"
+      "         map (\\(i: i32): f32 -> x + f32 i) (iota 8)) xs");
+  // Either the nested map became a 2-D grid (scalar results, fine) or the
+  // per-thread array result is marked transposed.
+  const KernelExp *K = firstKernel(C.P.Funs[0].FBody);
+  ASSERT_NE(K, nullptr);
+  if (K->GridDims.size() == 1)
+    EXPECT_TRUE(K->TransposedOutputs) << printProgram(C.P);
+}
+
+TEST(LocalityTest, MixedAccessPatternTilesWholesaleReads) {
+  // bodies is read both at the thread's own index and wholesale: the
+  // wholesale read dominates, so the input is tiled.
+  CompileResult C = compiled(
+      "fun main (n: i32) (bodies: [n]f32): [n]f32 =\n"
+      "  map (\\(i: i32): f32 ->\n"
+      "         let own = bodies[i]\n"
+      "         in own + reduce (+) 0.0 bodies)\n"
+      "      (iota n)");
+  EXPECT_TRUE(anyInputTiled(C.P.Funs[0].FBody)) << printProgram(C.P);
+}
+
+TEST(LocalityTest, SegmentedReduceWithGridTransposes) {
+  // Same as RowSums but checking the G5 / segmented path stays
+  // semantically intact under the layout change (end-to-end).
+  NameSource NS;
+  auto C = compileSource("fun main (a: [n][m]f32): [n]f32 =\n"
+                         "  map (\\(row: [m]f32): f32 ->\n"
+                         "         reduce (+) 0.0 row) a",
+                         NS);
+  ASSERT_OK(C);
+  // Execution correctness of transposed layouts is covered by
+  // gpusim_device_test; here we only require the pass to have fired.
+  EXPECT_GE(C->Locality.CoalescedInputs, 1);
+}

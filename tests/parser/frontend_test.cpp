@@ -1,0 +1,334 @@
+//===- frontend_test.cpp - Parse + desugar + interpret round trips ---------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Desugar.h"
+
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+using namespace fut::test;
+
+namespace {
+
+/// Compiles source and runs main on the given arguments.
+std::vector<Value> runSource(const std::string &Src,
+                             const std::vector<Value> &Args,
+                             InterpOptions Opts = {}) {
+  NameSource NS;
+  auto P = frontend(Src, NS);
+  EXPECT_TRUE(static_cast<bool>(P)) << P.getError().str() << "\nsource:\n"
+                                    << Src;
+  if (!P)
+    return {};
+  Interpreter I(*P, Opts);
+  auto R = I.run(Args);
+  EXPECT_TRUE(static_cast<bool>(R)) << R.getError().str() << "\nprogram:\n"
+                                    << printProgram(*P);
+  if (!R)
+    return {};
+  return R.take();
+}
+
+Value iv(int32_t V) { return Value::scalar(PrimValue::makeI32(V)); }
+Value fv(float V) { return Value::scalar(PrimValue::makeF32(V)); }
+Value ivec(const std::vector<int64_t> &Xs) {
+  return makeIntVectorValue(ScalarKind::I32, Xs);
+}
+Value fvec(const std::vector<double> &Xs) {
+  return makeVectorValue(ScalarKind::F32, Xs);
+}
+
+} // namespace
+
+TEST(FrontendTest, ScalarArithmetic) {
+  auto R = runSource("fun main (x: i32) (y: i32): i32 = x * y + 2", //
+                     {iv(3), iv(4)});
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0], iv(14));
+}
+
+TEST(FrontendTest, PrecedenceAndUnary) {
+  auto R = runSource("fun main (x: i32): i32 = -x + 2 * 3 ** 2", {iv(1)});
+  EXPECT_EQ(R[0], iv(17));
+}
+
+TEST(FrontendTest, LetChainsWithoutIn) {
+  auto R = runSource("fun main (x: i32): i32 =\n"
+                     "  let a = x + 1\n"
+                     "  let b = a * 2\n"
+                     "  in b - x",
+                     {iv(5)});
+  EXPECT_EQ(R[0], iv(7));
+}
+
+TEST(FrontendTest, TuplesAndMultiReturn) {
+  auto R = runSource("fun main (x: i32): (i32, i32) =\n"
+                     "  let (a, b) = (x + 1, x - 1) in (b, a)",
+                     {iv(10)});
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R[0], iv(9));
+  EXPECT_EQ(R[1], iv(11));
+}
+
+TEST(FrontendTest, MapWithLambda) {
+  auto R = runSource(
+      "fun main (n: i32) (xs: [n]i32): [n]i32 =\n"
+      "  map (\\(x: i32): i32 -> x + 1) xs",
+      {iv(3), ivec({1, 2, 3})});
+  EXPECT_EQ(R[0], ivec({2, 3, 4}));
+}
+
+TEST(FrontendTest, MapWithSection) {
+  auto R = runSource("fun main (n: i32) (xs: [n]i32): [n]i32 = map (+1) xs",
+                     {iv(3), ivec({1, 2, 3})});
+  EXPECT_EQ(R[0], ivec({2, 3, 4}));
+}
+
+TEST(FrontendTest, ReduceWithSection) {
+  auto R = runSource("fun main (n: i32) (xs: [n]i32): i32 = reduce (+) 0 xs",
+                     {iv(4), ivec({1, 2, 3, 4})});
+  EXPECT_EQ(R[0], iv(10));
+}
+
+TEST(FrontendTest, ReduceMinBuiltin) {
+  auto R = runSource(
+      "fun main (n: i32) (xs: [n]i32): i32 = reduce min 1000 xs",
+      {iv(4), ivec({5, 2, 9, 3})});
+  EXPECT_EQ(R[0], iv(2));
+}
+
+TEST(FrontendTest, ScanPrefixSums) {
+  auto R = runSource("fun main (n: i32) (xs: [n]i32): [n]i32 =\n"
+                     "  scan (+) 0 xs",
+                     {iv(4), ivec({1, 2, 3, 4})});
+  EXPECT_EQ(R[0], ivec({1, 3, 6, 10}));
+}
+
+TEST(FrontendTest, MapOverTwoArrays) {
+  auto R = runSource(
+      "fun main (n: i32) (xs: [n]i32) (ys: [n]i32): [n]i32 =\n"
+      "  map (\\(x: i32) (y: i32): i32 -> x * y) xs ys",
+      {iv(3), ivec({1, 2, 3}), ivec({4, 5, 6})});
+  EXPECT_EQ(R[0], ivec({4, 10, 18}));
+}
+
+TEST(FrontendTest, NestedMapReducePaperIntro) {
+  // The exact example of Section 2.2: row increments and row sums.
+  const char *Src =
+      "fun main (xss: [n][m]f32): ([n][m]f32, [n]f32) =\n"
+      "  let r = map (\\(row: [m]f32): ([m]f32, f32) ->\n"
+      "       let row2 = map (\\(x: f32): f32 -> x + 1.0) row\n"
+      "       let s = reduce (+) 0.0 row\n"
+      "       in (row2, s))\n"
+      "    xss\n"
+      "  in r";
+  auto R = runSource(Src, {makeMatrixValue(ScalarKind::F32, 2, 3,
+                                           {1, 2, 3, 4, 5, 6})});
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R[0], makeMatrixValue(ScalarKind::F32, 2, 3,
+                                  {2, 3, 4, 5, 6, 7}));
+  EXPECT_TRUE(R[1].approxEqual(fvec({6, 15})));
+}
+
+TEST(FrontendTest, LoopWithIndexing) {
+  auto R = runSource("fun main (n: i32) (xs: [n]i32): i32 =\n"
+                     "  loop (acc = 0) for i < n do acc + xs[i]",
+                     {iv(4), ivec({1, 2, 3, 4})});
+  EXPECT_EQ(R[0], iv(10));
+}
+
+TEST(FrontendTest, LoopImplicitInit) {
+  auto R = runSource("fun main (x: i32): i32 =\n"
+                     "  let acc = x in\n"
+                     "  loop (acc) for i < 3 do acc * 2",
+                     {iv(1)});
+  EXPECT_EQ(R[0], iv(8));
+}
+
+TEST(FrontendTest, InPlaceUpdateSugar) {
+  auto R = runSource("fun main (n: i32) (xs: [n]i32): [n]i32 =\n"
+                     "  let xs[0] = 42 in xs",
+                     {iv(3), ivec({1, 2, 3})});
+  EXPECT_EQ(R[0], ivec({42, 2, 3}));
+}
+
+TEST(FrontendTest, WithExpression) {
+  auto R = runSource("fun main (n: i32) (xs: [n]i32): [n]i32 =\n"
+                     "  xs with [1] <- 7",
+                     {iv(3), ivec({1, 2, 3})});
+  EXPECT_EQ(R[0], ivec({1, 7, 3}));
+}
+
+TEST(FrontendTest, SequentialKMeansCountsFig4a) {
+  // Figure 4a: sequential counting of cluster sizes.
+  const char *Src =
+      "fun main (k: i32) (n: i32) (membership: [n]i32): [k]i32 =\n"
+      "  loop (counts = replicate k 0) for i < n do\n"
+      "    let cluster = membership[i]\n"
+      "    in counts with [cluster] <- counts[cluster] + 1";
+  auto R = runSource(Src, {iv(3), iv(6), ivec({0, 1, 0, 2, 1, 0})});
+  EXPECT_EQ(R[0], ivec({3, 2, 1}));
+}
+
+TEST(FrontendTest, ParallelKMeansCountsFig4b) {
+  // Figure 4b: map to increment vectors, reduce with vectorised (+).
+  const char *Src =
+      "fun main (k: i32) (n: i32) (membership: [n]i32): [k]i32 =\n"
+      "  let increments =\n"
+      "    map (\\(cluster: i32): [k]i32 ->\n"
+      "           let incr = replicate k 0\n"
+      "           let incr[cluster] = 1\n"
+      "           in incr)\n"
+      "        membership\n"
+      "  let counts = reduce (map (+)) (replicate k 0) increments\n"
+      "  in counts";
+  auto R = runSource(Src, {iv(3), iv(6), ivec({0, 1, 0, 2, 1, 0})});
+  EXPECT_EQ(R[0], ivec({3, 2, 1}));
+}
+
+TEST(FrontendTest, StreamRedKMeansCountsFig4c) {
+  // Figure 4c: efficiently sequentialised parallel counting.
+  const char *Src =
+      "fun main (k: i32) (n: i32) (membership: [n]i32): [k]i32 =\n"
+      "  stream_red (map (+))\n"
+      "    (\\(acc: *[k]i32) (chunk: [chunksize]i32): [k]i32 ->\n"
+      "       loop (acc) for i < chunksize do\n"
+      "         let cluster = chunk[i]\n"
+      "         in acc with [cluster] <- acc[cluster] + 1)\n"
+      "    (replicate k 0) membership";
+  for (int64_t Chunk : {0, 1, 2, 3, 7}) {
+    InterpOptions Opts;
+    Opts.StreamChunk = Chunk;
+    auto R = runSource(Src, {iv(3), iv(6), ivec({0, 1, 0, 2, 1, 0})}, Opts);
+    EXPECT_EQ(R[0], ivec({3, 2, 1})) << "chunk size " << Chunk;
+  }
+}
+
+TEST(FrontendTest, IfThenElse) {
+  auto R = runSource("fun main (x: i32): i32 =\n"
+                     "  if x < 0 then -x else x",
+                     {iv(-5)});
+  EXPECT_EQ(R[0], iv(5));
+}
+
+TEST(FrontendTest, ShortCircuitAnd) {
+  // i < n && xs[i] > 0 must not index out of bounds when i >= n.
+  auto R = runSource(
+      "fun main (n: i32) (xs: [n]i32) (i: i32): bool =\n"
+      "  i < n && xs[i] > 0",
+      {iv(3), ivec({1, 2, 3}), iv(10)});
+  EXPECT_EQ(R[0], Value::scalar(PrimValue::makeBool(false)));
+}
+
+TEST(FrontendTest, UserFunctionCall) {
+  auto R = runSource("fun square (x: i32): i32 = x * x\n"
+                     "fun main (n: i32) (xs: [n]i32): [n]i32 =\n"
+                     "  map square xs",
+                     {iv(3), ivec({1, 2, 3})});
+  EXPECT_EQ(R[0], ivec({1, 4, 9}));
+}
+
+TEST(FrontendTest, FunctionReturningArray) {
+  auto R = runSource("fun addv (n: i32) (a: [n]i32) (b: [n]i32): [n]i32 =\n"
+                     "  map (+) a b\n"
+                     "fun main (n: i32) (xs: [n]i32): [n]i32 =\n"
+                     "  addv n xs xs",
+                     {iv(3), ivec({1, 2, 3})});
+  EXPECT_EQ(R[0], ivec({2, 4, 6}));
+}
+
+TEST(FrontendTest, TransposeAndIndex) {
+  auto R = runSource(
+      "fun main (a: [n][m]i32): i32 = (transpose a)[0, 1]",
+      {Value::array(ScalarKind::I32, {2, 3},
+                    {PrimValue::makeI32(1), PrimValue::makeI32(2),
+                     PrimValue::makeI32(3), PrimValue::makeI32(4),
+                     PrimValue::makeI32(5), PrimValue::makeI32(6)})});
+  EXPECT_EQ(R[0], iv(4)); // transposed[0][1] = a[1][0] = 4
+}
+
+TEST(FrontendTest, ZipAndTupleLambda) {
+  // Minimum with argmin, as in the NN benchmark's reduce operator.
+  const char *Src =
+      "fun main (n: i32) (xs: [n]f32): (f32, i32) =\n"
+      "  reduce (\\(v1: f32, i1: i32) (v2: f32, i2: i32): (f32, i32) ->\n"
+      "            if v1 < v2 then (v1, i1) else (v2, i2))\n"
+      "         (1000000.0, -1)\n"
+      "         (zip xs (iota n))";
+  auto R = runSource(Src, {iv(4), fvec({5, 2, 9, 3})});
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_TRUE(R[0].approxEqual(fv(2)));
+  EXPECT_EQ(R[1], iv(1));
+}
+
+TEST(FrontendTest, MathBuiltinsAndConversion) {
+  auto R = runSource(
+      "fun main (x: f32): f32 = sqrt (x * x) + exp 0.0 + f32 1",
+      {fv(3)});
+  EXPECT_TRUE(R[0].approxEqual(fv(5)));
+}
+
+TEST(FrontendTest, StreamSeqSobolStyle) {
+  // A stream_seq that computes prefix sums chunk-wise (rule F5 pattern).
+  const char *Src =
+      "fun main (n: i32) (xs: [n]i32): i32 =\n"
+      "  let (total, ys) = stream_seq\n"
+      "    (\\(acc: i32) (c: [csz]i32): (i32, [csz]i32) ->\n"
+      "       let sums = scan (+) 0 c\n"
+      "       let shifted = map (+acc) sums\n"
+      "       let newacc = if csz > 0 then shifted[csz - 1] else acc\n"
+      "       in (newacc, shifted))\n"
+      "    0 xs\n"
+      "  in total + ys[n - 1]";
+  InterpOptions Opts;
+  Opts.StreamChunk = 2;
+  auto R = runSource(Src, {iv(5), ivec({1, 2, 3, 4, 5})}, Opts);
+  EXPECT_EQ(R[0], iv(30)); // total = 15, last prefix = 15
+}
+
+TEST(FrontendTest, ErrorsAreReported) {
+  NameSource NS;
+  EXPECT_ERR_CONTAINS(frontend("fun main (x: i32): i32 = y", NS),
+                      "unbound variable");
+  EXPECT_ERR_CONTAINS(frontend("fun main (x: i32): i32 = x + true", NS),
+                      "bool literal");
+  EXPECT_ERR_CONTAINS(frontend("fun main (x: i32): i32 = foo x", NS),
+                      "unknown function");
+  EXPECT_ERR_CONTAINS(
+      frontend("fun main (x: i32): (i32, i32) = x", NS), "returns 1 values");
+  EXPECT_ERR_CONTAINS(frontend("fun main (x: i32): i32 = x +", NS),
+                      "expected an expression");
+}
+
+TEST(FrontendTest, CommentsAreIgnored) {
+  auto R = runSource("-- leading comment\n"
+                     "fun main (x: i32): i32 = -- trailing\n"
+                     "  x + 1 -- end\n",
+                     {iv(1)});
+  EXPECT_EQ(R[0], iv(2));
+}
+
+TEST(FrontendTest, LengthBuiltin) {
+  auto R = runSource("fun main (xs: []i32): i32 = length xs",
+                     {ivec({5, 6, 7})});
+  EXPECT_EQ(R[0], iv(3));
+}
+
+TEST(FrontendTest, MatrixVectorProduct) {
+  const char *Src =
+      "fun main (a: [n][m]f32) (v: [m]f32): [n]f32 =\n"
+      "  map (\\(row: [m]f32): f32 ->\n"
+      "         reduce (+) 0.0 (map (*) row v))\n"
+      "      a";
+  auto R = runSource(Src, {makeMatrixValue(ScalarKind::F32, 2, 2,
+                                           {1, 2, 3, 4}),
+                           fvec({1, 1})});
+  EXPECT_TRUE(R[0].approxEqual(fvec({3, 7})));
+}

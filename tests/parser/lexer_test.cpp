@@ -1,0 +1,105 @@
+//===- lexer_test.cpp - Tests for the tokeniser -----------------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+
+namespace {
+
+std::vector<Token> lexOk(const std::string &S) {
+  auto T = lexSource(S);
+  EXPECT_TRUE(static_cast<bool>(T)) << T.getError().str();
+  return T ? T.take() : std::vector<Token>{};
+}
+
+} // namespace
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto Ts = lexOk("fun main let x' loop");
+  ASSERT_EQ(Ts.size(), 6u); // incl. Eof
+  EXPECT_TRUE(Ts[0].isId("fun"));
+  EXPECT_TRUE(Ts[1].isId("main"));
+  EXPECT_TRUE(Ts[2].isId("let"));
+  EXPECT_EQ(Ts[3].Text, "x'");
+  EXPECT_TRUE(Ts[4].isId("loop"));
+  EXPECT_TRUE(Ts[5].is(TokKind::Eof));
+}
+
+TEST(LexerTest, IntegerLiteralsWithSuffixes) {
+  auto Ts = lexOk("42 7i64 0i32");
+  EXPECT_EQ(Ts[0].Kind, TokKind::IntLit);
+  EXPECT_EQ(Ts[0].IntVal, 42);
+  EXPECT_EQ(Ts[0].Suffix, "");
+  EXPECT_EQ(Ts[1].IntVal, 7);
+  EXPECT_EQ(Ts[1].Suffix, "i64");
+  EXPECT_EQ(Ts[2].Suffix, "i32");
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto Ts = lexOk("1.5 2.0f64 1e-3 3f32");
+  EXPECT_EQ(Ts[0].Kind, TokKind::FloatLit);
+  EXPECT_DOUBLE_EQ(Ts[0].FloatVal, 1.5);
+  EXPECT_EQ(Ts[1].Suffix, "f64");
+  EXPECT_DOUBLE_EQ(Ts[2].FloatVal, 1e-3);
+  // A suffix alone makes it a float.
+  EXPECT_EQ(Ts[3].Kind, TokKind::FloatLit);
+  EXPECT_EQ(Ts[3].Suffix, "f32");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto Ts = lexOk("-> <- <= >= == != && || ** * ( ) [ ] , : = \\ < > !");
+  TokKind Want[] = {TokKind::Arrow,    TokKind::LeftArrow, TokKind::Leq,
+                    TokKind::Geq,      TokKind::EqEq,      TokKind::NotEq,
+                    TokKind::AmpAmp,   TokKind::PipePipe,  TokKind::StarStar,
+                    TokKind::Star,     TokKind::LParen,    TokKind::RParen,
+                    TokKind::LBracket, TokKind::RBracket,  TokKind::Comma,
+                    TokKind::Colon,    TokKind::Equals,    TokKind::Backslash,
+                    TokKind::Lt,       TokKind::Gt,        TokKind::Bang};
+  ASSERT_EQ(Ts.size(), std::size(Want) + 1);
+  for (size_t I = 0; I < std::size(Want); ++I)
+    EXPECT_EQ(Ts[I].Kind, Want[I]) << "token " << I;
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto Ts = lexOk("a -- whole line\nb -- trailing");
+  ASSERT_EQ(Ts.size(), 3u);
+  EXPECT_EQ(Ts[0].Text, "a");
+  EXPECT_EQ(Ts[1].Text, "b");
+}
+
+TEST(LexerTest, LocationsTracked) {
+  auto Ts = lexOk("a\n  b");
+  EXPECT_EQ(Ts[0].Loc.Line, 1);
+  EXPECT_EQ(Ts[0].Loc.Col, 1);
+  EXPECT_EQ(Ts[1].Loc.Line, 2);
+  EXPECT_EQ(Ts[1].Loc.Col, 3);
+}
+
+TEST(LexerTest, MinusVsArrowVsNegative) {
+  auto Ts = lexOk("a - b -> -1");
+  EXPECT_EQ(Ts[1].Kind, TokKind::Minus);
+  EXPECT_EQ(Ts[3].Kind, TokKind::Arrow);
+  EXPECT_EQ(Ts[4].Kind, TokKind::Minus); // unary minus is the parser's job
+  EXPECT_EQ(Ts[5].Kind, TokKind::IntLit);
+}
+
+TEST(LexerTest, BadInputRejected) {
+  EXPECT_ERR_CONTAINS(lexSource("a ? b"), "unexpected character");
+  EXPECT_ERR_CONTAINS(lexSource("a & b"), "expected '&&'");
+  EXPECT_ERR_CONTAINS(lexSource("1i7"), "unknown numeric suffix");
+}
+
+TEST(LexerTest, DotWithoutDigitIsNotAFloat) {
+  // "1.x" must not lex as a float (field access is not in the language,
+  // so the dot is simply rejected).
+  auto T = lexSource("1.x");
+  EXPECT_FALSE(static_cast<bool>(T));
+}

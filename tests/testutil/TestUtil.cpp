@@ -1,0 +1,53 @@
+//===- TestUtil.cpp - Shared helpers for the test suite --------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "support/Utils.h"
+
+using namespace fut;
+
+Program fut::test::singleFun(std::vector<Param> Params,
+                             std::vector<Type> RetTypes, Body B) {
+  Program P;
+  FunDef F;
+  F.Name = "main";
+  F.Params = std::move(Params);
+  F.RetTypes = std::move(RetTypes);
+  F.FBody = std::move(B);
+  P.Funs.push_back(std::move(F));
+  return P;
+}
+
+std::vector<Value> fut::test::runOk(const Program &P,
+                                    const std::vector<Value> &Args,
+                                    InterpOptions Opts) {
+  Interpreter I(P, Opts);
+  auto Res = I.run(Args);
+  EXPECT_TRUE(static_cast<bool>(Res)) << Res.getError().str();
+  if (!Res)
+    return {};
+  return Res.take();
+}
+
+std::vector<double> fut::test::randomDoubles(size_t N, uint64_t Seed,
+                                             double Lo, double Hi) {
+  SplitMix64 Rng(Seed);
+  std::vector<double> Out(N);
+  for (size_t I = 0; I < N; ++I)
+    Out[I] = Rng.nextDouble(Lo, Hi);
+  return Out;
+}
+
+std::vector<int64_t> fut::test::randomInts(size_t N, uint64_t Seed,
+                                           int64_t Lo, int64_t Hi) {
+  SplitMix64 Rng(Seed);
+  std::vector<int64_t> Out(N);
+  for (size_t I = 0; I < N; ++I)
+    Out[I] = Lo + static_cast<int64_t>(Rng.nextBelow(
+                      static_cast<uint64_t>(Hi - Lo + 1)));
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===- TestUtil.h - Shared helpers for the test suite -----------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_TESTS_TESTUTIL_H
+#define FUTHARKCC_TESTS_TESTUTIL_H
+
+#include "interp/Interp.h"
+#include "ir/Builder.h"
+#include "ir/IR.h"
+#include "support/Error.h"
+
+#include <gtest/gtest.h>
+
+namespace fut {
+namespace test {
+
+/// Wraps a single body as a complete one-function program.
+Program singleFun(std::vector<Param> Params, std::vector<Type> RetTypes,
+                  Body B);
+
+/// Runs main and asserts success, returning the results.
+std::vector<Value> runOk(const Program &P, const std::vector<Value> &Args,
+                         InterpOptions Opts = {});
+
+/// Random generators with a fixed seed.
+std::vector<double> randomDoubles(size_t N, uint64_t Seed, double Lo = -10,
+                                  double Hi = 10);
+std::vector<int64_t> randomInts(size_t N, uint64_t Seed, int64_t Lo = -100,
+                                int64_t Hi = 100);
+
+} // namespace test
+} // namespace fut
+
+/// gtest helpers for ErrorOr.
+#define ASSERT_OK(EXPR)                                                        \
+  do {                                                                         \
+    auto &&Res_ = (EXPR);                                                      \
+    ASSERT_TRUE(static_cast<bool>(Res_)) << Res_.getError().str();             \
+  } while (false)
+
+#define EXPECT_ERR_CONTAINS(EXPR, SUBSTR)                                      \
+  do {                                                                         \
+    auto &&Res_ = (EXPR);                                                      \
+    ASSERT_FALSE(static_cast<bool>(Res_)) << "expected failure";               \
+    EXPECT_NE(Res_.getError().Message.find(SUBSTR), std::string::npos)         \
+        << "actual error: " << Res_.getError().Message;                        \
+  } while (false)
+
+#endif // FUTHARKCC_TESTS_TESTUTIL_H

@@ -1,0 +1,224 @@
+//===- uniqueness_test.cpp - Tests for the uniqueness type system ----------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+// Golden tests for Section 3: the accepted/rejected programs follow the
+// paper's examples (the modify function, Fig 4, Fig 7).
+//
+//===----------------------------------------------------------------------===//
+
+#include "uniq/Uniqueness.h"
+
+#include "parser/Desugar.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+
+namespace {
+
+/// Compiles source and runs the uniqueness checker.
+MaybeError checkSource(const std::string &Src) {
+  NameSource NS;
+  auto P = frontend(Src, NS);
+  EXPECT_TRUE(static_cast<bool>(P)) << P.getError().str();
+  if (!P)
+    return CompilerError("frontend failed");
+  return checkProgramUniqueness(*P);
+}
+
+#define EXPECT_UNIQ_OK(SRC)                                                    \
+  do {                                                                         \
+    auto Err_ = checkSource(SRC);                                              \
+    EXPECT_FALSE(static_cast<bool>(Err_))                                      \
+        << "unexpected error: " << Err_.getError().str();                      \
+  } while (false)
+
+#define EXPECT_UNIQ_ERR(SRC, SUBSTR)                                           \
+  do {                                                                         \
+    auto Err_ = checkSource(SRC);                                              \
+    ASSERT_TRUE(static_cast<bool>(Err_)) << "expected a uniqueness error";     \
+    EXPECT_NE(Err_.getError().Message.find(SUBSTR), std::string::npos)         \
+        << "actual error: " << Err_.getError().Message;                        \
+  } while (false)
+
+} // namespace
+
+TEST(UniquenessTest, ModifyFunctionFromSection3) {
+  // The paper's canonical example: a unique parameter updated in place.
+  EXPECT_UNIQ_OK(
+      "fun modify (n: i32) (a: *[n]i32) (i: i32) (x: [n]i32): *[n]i32 =\n"
+      "  a with [i] <- a[i] + x[i]\n"
+      "fun main (n: i32) (a: *[n]i32) (i: i32) (x: [n]i32): *[n]i32 =\n"
+      "  modify n a i x");
+}
+
+TEST(UniquenessTest, UpdatingNonUniqueParameterFails) {
+  EXPECT_UNIQ_ERR("fun main (n: i32) (a: [n]i32): [n]i32 =\n"
+                  "  a with [0] <- 1",
+                  "not consumable");
+}
+
+TEST(UniquenessTest, UpdatingFreshArrayIsFine) {
+  EXPECT_UNIQ_OK("fun main (n: i32): [n]i32 =\n"
+                 "  let a = replicate n 0\n"
+                 "  in a with [0] <- 1");
+}
+
+TEST(UniquenessTest, UseAfterConsumeFails) {
+  EXPECT_UNIQ_ERR("fun main (n: i32): i32 =\n"
+                  "  let a = replicate n 0\n"
+                  "  let b = a with [0] <- 1\n"
+                  "  in a[1]",
+                  "consumed");
+}
+
+TEST(UniquenessTest, UseOfAliasAfterConsumeFails) {
+  // c aliases a (slice); consuming a kills c too.
+  EXPECT_UNIQ_ERR("fun main (n: i32): i32 =\n"
+                  "  let a = replicate n (replicate n 0)\n"
+                  "  let c = a[0]\n"
+                  "  let b = a with [0, 0] <- 1\n"
+                  "  in c[0]",
+                  "consumed");
+}
+
+TEST(UniquenessTest, ScalarReadDoesNotAlias) {
+  // ALIAS-INDEXARRAY: a scalar read is free of aliases, so it survives the
+  // consumption of its source array.
+  EXPECT_UNIQ_OK("fun main (n: i32): i32 =\n"
+                 "  let a = replicate n 0\n"
+                 "  let x = a[0]\n"
+                 "  let b = a with [0] <- 1\n"
+                 "  in x + b[0]");
+}
+
+TEST(UniquenessTest, DoubleConsumeFails) {
+  EXPECT_UNIQ_ERR("fun modify (n: i32) (a: *[n]i32): *[n]i32 =\n"
+                  "  a with [0] <- 1\n"
+                  "fun main (n: i32): i32 =\n"
+                  "  let a = replicate n 0\n"
+                  "  let b = modify n a\n"
+                  "  let c = modify n a\n"
+                  "  in b[0] + c[0]",
+                  "consumed");
+}
+
+TEST(UniquenessTest, CopyBreaksAliasing) {
+  EXPECT_UNIQ_OK("fun main (n: i32) (a: [n]i32): i32 =\n"
+                 "  let c = copy a\n"
+                 "  let b = c with [0] <- 1\n"
+                 "  in a[0] + b[0]");
+}
+
+TEST(UniquenessTest, MapLambdaMayConsumeItsParameterFig7) {
+  // Fig 7 (first part): "This one is OK and considered to consume 'as'."
+  EXPECT_UNIQ_OK("fun main (n: i32) (m: i32): [n][m]i32 =\n"
+                 "  let as = replicate n (replicate m 0)\n"
+                 "  in map (\\(a: [m]i32): [m]i32 -> a with [0] <- 2) as");
+}
+
+TEST(UniquenessTest, MapLambdaConsumingItsParameterConsumesInput) {
+  // ... and because the map consumes as, as is dead afterwards.
+  EXPECT_UNIQ_ERR(
+      "fun main (n: i32) (m: i32): i32 =\n"
+      "  let as = replicate n (replicate m 0)\n"
+      "  let bs = map (\\(a: [m]i32): [m]i32 -> a with [0] <- 2) as\n"
+      "  in as[0, 0]",
+      "consumed");
+}
+
+TEST(UniquenessTest, MapLambdaMustNotConsumeFreeVariableFig7) {
+  // Fig 7 (second part): "This one is NOT safe, since d is not a formal
+  // parameter."
+  EXPECT_UNIQ_ERR(
+      "fun main (n: i32) (m: i32): [n][m]i32 =\n"
+      "  let d = iota m\n"
+      "  in map (\\(i: i32): [m]i32 -> d with [i] <- 2) (iota n)",
+      "free variable");
+}
+
+TEST(UniquenessTest, LoopMayConsumeMergeParameterFig4a) {
+  EXPECT_UNIQ_OK(
+      "fun main (k: i32) (n: i32) (membership: [n]i32): [k]i32 =\n"
+      "  loop (counts = replicate k 0) for i < n do\n"
+      "    let cluster = membership[i]\n"
+      "    in counts with [cluster] <- counts[cluster] + 1");
+}
+
+TEST(UniquenessTest, LoopMustNotConsumeFreeVariable) {
+  EXPECT_UNIQ_ERR("fun main (n: i32): [n]i32 =\n"
+                  "  let d = replicate n 0\n"
+                  "  let r = loop (x = 0) for i < n do\n"
+                  "    let d2 = d with [i] <- x\n"
+                  "    in x + d2[0]\n"
+                  "  in replicate n r",
+                  "outside the loop");
+}
+
+TEST(UniquenessTest, StreamRedAccumulatorUpdateFig4c) {
+  // Fig 4c: the accumulator is declared unique and updated in place.
+  EXPECT_UNIQ_OK(
+      "fun main (k: i32) (n: i32) (membership: [n]i32): [k]i32 =\n"
+      "  stream_red (map (+))\n"
+      "    (\\(acc: *[k]i32) (chunk: [chunksize]i32): [k]i32 ->\n"
+      "       loop (acc) for i < chunksize do\n"
+      "         let cluster = chunk[i]\n"
+      "         in acc with [cluster] <- acc[cluster] + 1)\n"
+      "    (replicate k 0) membership");
+}
+
+TEST(UniquenessTest, ReduceOperatorMustNotConsume) {
+  EXPECT_UNIQ_ERR(
+      "fun main (n: i32) (k: i32): [k]i32 =\n"
+      "  let zeros = replicate n (replicate k 0)\n"
+      "  in reduce (\\(x: [k]i32) (y: [k]i32): [k]i32 ->\n"
+      "               x with [0] <- y[0])\n"
+      "            (replicate k 0) zeros",
+      "must not consume");
+}
+
+TEST(UniquenessTest, PassingConsumedArrayToUniqueParamFails) {
+  EXPECT_UNIQ_ERR("fun modify (n: i32) (a: *[n]i32): *[n]i32 =\n"
+                  "  a with [0] <- 1\n"
+                  "fun main (n: i32) (x: [n]i32): i32 =\n"
+                  "  let a = replicate n 0\n"
+                  "  let b = modify n a\n"
+                  "  in a[0]",
+                  "consumed");
+}
+
+TEST(UniquenessTest, PassingNonUniqueParamAsUniqueArgFails) {
+  EXPECT_UNIQ_ERR("fun modify (n: i32) (a: *[n]i32): *[n]i32 =\n"
+                  "  a with [0] <- 1\n"
+                  "fun main (n: i32) (x: [n]i32): *[n]i32 =\n"
+                  "  modify n x",
+                  "not consumable");
+}
+
+TEST(UniquenessTest, UniqueResultMustNotAliasNonUniqueParam) {
+  EXPECT_UNIQ_ERR("fun main (n: i32) (x: [n]i32): *[n]i32 = x",
+                  "aliases non-unique parameter");
+}
+
+TEST(UniquenessTest, NonUniqueResultMayAliasParam) {
+  EXPECT_UNIQ_OK("fun main (n: i32) (x: [n]i32): [n]i32 = x");
+}
+
+TEST(UniquenessTest, SequentialObservationThenConsumptionIsFine) {
+  // Reading before updating in the same iteration is the canonical
+  // read-modify-write; the ANF ordering places the read first.
+  EXPECT_UNIQ_OK("fun main (n: i32): [n]i32 =\n"
+                 "  let a = replicate n 0\n"
+                 "  let a[0] = a[0] + 1\n"
+                 "  in a");
+}
+
+TEST(UniquenessTest, BranchConsumptionPropagates) {
+  EXPECT_UNIQ_ERR("fun main (n: i32) (c: bool): i32 =\n"
+                  "  let a = replicate n 0\n"
+                  "  let b = if c then a with [0] <- 1 else replicate n 2\n"
+                  "  in a[0]",
+                  "consumed");
+}
