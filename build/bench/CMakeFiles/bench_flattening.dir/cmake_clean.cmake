@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flattening.dir/bench_flattening.cpp.o"
+  "CMakeFiles/bench_flattening.dir/bench_flattening.cpp.o.d"
+  "bench_flattening"
+  "bench_flattening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flattening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fusion_memory.dir/bench_fusion_memory.cpp.o"
+  "CMakeFiles/bench_fusion_memory.dir/bench_fusion_memory.cpp.o.d"
+  "bench_fusion_memory"
+  "bench_fusion_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fusion_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speedups.dir/bench_speedups.cpp.o"
+  "CMakeFiles/bench_speedups.dir/bench_speedups.cpp.o.d"
+  "bench_speedups"
+  "bench_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

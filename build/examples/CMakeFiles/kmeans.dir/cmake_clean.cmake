@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans.dir/kmeans.cpp.o"
+  "CMakeFiles/kmeans.dir/kmeans.cpp.o.d"
+  "kmeans"
+  "kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

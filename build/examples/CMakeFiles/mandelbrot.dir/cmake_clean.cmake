@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandelbrot.dir/mandelbrot.cpp.o"
+  "CMakeFiles/mandelbrot.dir/mandelbrot.cpp.o.d"
+  "mandelbrot"
+  "mandelbrot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandelbrot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

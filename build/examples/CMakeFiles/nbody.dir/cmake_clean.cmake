@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody.dir/nbody.cpp.o"
+  "CMakeFiles/nbody.dir/nbody.cpp.o.d"
+  "nbody"
+  "nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

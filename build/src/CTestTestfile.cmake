@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("interp")
+subdirs("parser")
+subdirs("check")
+subdirs("uniq")
+subdirs("opt")
+subdirs("fusion")
+subdirs("flatten")
+subdirs("locality")
+subdirs("gpusim")
+subdirs("driver")
+subdirs("refimpl")
+subdirs("bench_suite")

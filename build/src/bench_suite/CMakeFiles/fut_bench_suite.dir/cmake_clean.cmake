@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_bench_suite.dir/Benchmarks.cpp.o"
+  "CMakeFiles/fut_bench_suite.dir/Benchmarks.cpp.o.d"
+  "libfut_bench_suite.a"
+  "libfut_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fut_bench_suite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_check.dir/Check.cpp.o"
+  "CMakeFiles/fut_check.dir/Check.cpp.o.d"
+  "libfut_check.a"
+  "libfut_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_driver.dir/Compiler.cpp.o"
+  "CMakeFiles/fut_driver.dir/Compiler.cpp.o.d"
+  "libfut_driver.a"
+  "libfut_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/Main.cpp" "src/driver/CMakeFiles/futharkcc.dir/Main.cpp.o" "gcc" "src/driver/CMakeFiles/futharkcc.dir/Main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/fut_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/fut_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/fut_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/fut_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/uniq/CMakeFiles/fut_uniq.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/fut_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/flatten/CMakeFiles/fut_flatten.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/fut_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/locality/CMakeFiles/fut_locality.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/fut_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fut_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

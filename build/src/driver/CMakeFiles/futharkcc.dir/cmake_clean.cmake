@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futharkcc.dir/Main.cpp.o"
+  "CMakeFiles/futharkcc.dir/Main.cpp.o.d"
+  "futharkcc"
+  "futharkcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futharkcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

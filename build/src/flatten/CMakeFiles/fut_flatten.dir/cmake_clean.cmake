@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_flatten.dir/Flatten.cpp.o"
+  "CMakeFiles/fut_flatten.dir/Flatten.cpp.o.d"
+  "libfut_flatten.a"
+  "libfut_flatten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_flatten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_fusion.dir/Fusion.cpp.o"
+  "CMakeFiles/fut_fusion.dir/Fusion.cpp.o.d"
+  "CMakeFiles/fut_fusion.dir/StreamRules.cpp.o"
+  "CMakeFiles/fut_fusion.dir/StreamRules.cpp.o.d"
+  "libfut_fusion.a"
+  "libfut_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_gpusim.dir/Device.cpp.o"
+  "CMakeFiles/fut_gpusim.dir/Device.cpp.o.d"
+  "libfut_gpusim.a"
+  "libfut_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

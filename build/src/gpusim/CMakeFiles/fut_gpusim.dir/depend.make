@@ -1,0 +1,2 @@
+# Empty dependencies file for fut_gpusim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_interp.dir/Interp.cpp.o"
+  "CMakeFiles/fut_interp.dir/Interp.cpp.o.d"
+  "CMakeFiles/fut_interp.dir/Value.cpp.o"
+  "CMakeFiles/fut_interp.dir/Value.cpp.o.d"
+  "libfut_interp.a"
+  "libfut_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

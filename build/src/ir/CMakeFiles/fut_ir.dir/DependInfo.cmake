@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Builder.cpp" "src/ir/CMakeFiles/fut_ir.dir/Builder.cpp.o" "gcc" "src/ir/CMakeFiles/fut_ir.dir/Builder.cpp.o.d"
+  "/root/repo/src/ir/IR.cpp" "src/ir/CMakeFiles/fut_ir.dir/IR.cpp.o" "gcc" "src/ir/CMakeFiles/fut_ir.dir/IR.cpp.o.d"
+  "/root/repo/src/ir/Prim.cpp" "src/ir/CMakeFiles/fut_ir.dir/Prim.cpp.o" "gcc" "src/ir/CMakeFiles/fut_ir.dir/Prim.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/fut_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/fut_ir.dir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Traversal.cpp" "src/ir/CMakeFiles/fut_ir.dir/Traversal.cpp.o" "gcc" "src/ir/CMakeFiles/fut_ir.dir/Traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_ir.dir/Builder.cpp.o"
+  "CMakeFiles/fut_ir.dir/Builder.cpp.o.d"
+  "CMakeFiles/fut_ir.dir/IR.cpp.o"
+  "CMakeFiles/fut_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/fut_ir.dir/Prim.cpp.o"
+  "CMakeFiles/fut_ir.dir/Prim.cpp.o.d"
+  "CMakeFiles/fut_ir.dir/Printer.cpp.o"
+  "CMakeFiles/fut_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/fut_ir.dir/Traversal.cpp.o"
+  "CMakeFiles/fut_ir.dir/Traversal.cpp.o.d"
+  "libfut_ir.a"
+  "libfut_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

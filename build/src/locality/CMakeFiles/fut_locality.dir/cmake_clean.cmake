@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_locality.dir/Locality.cpp.o"
+  "CMakeFiles/fut_locality.dir/Locality.cpp.o.d"
+  "libfut_locality.a"
+  "libfut_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

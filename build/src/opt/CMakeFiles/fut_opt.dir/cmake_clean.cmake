@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_opt.dir/Simplify.cpp.o"
+  "CMakeFiles/fut_opt.dir/Simplify.cpp.o.d"
+  "libfut_opt.a"
+  "libfut_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

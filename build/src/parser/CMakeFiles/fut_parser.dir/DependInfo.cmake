@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parser/Desugar.cpp" "src/parser/CMakeFiles/fut_parser.dir/Desugar.cpp.o" "gcc" "src/parser/CMakeFiles/fut_parser.dir/Desugar.cpp.o.d"
+  "/root/repo/src/parser/Lexer.cpp" "src/parser/CMakeFiles/fut_parser.dir/Lexer.cpp.o" "gcc" "src/parser/CMakeFiles/fut_parser.dir/Lexer.cpp.o.d"
+  "/root/repo/src/parser/Parser.cpp" "src/parser/CMakeFiles/fut_parser.dir/Parser.cpp.o" "gcc" "src/parser/CMakeFiles/fut_parser.dir/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/fut_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_parser.dir/Desugar.cpp.o"
+  "CMakeFiles/fut_parser.dir/Desugar.cpp.o.d"
+  "CMakeFiles/fut_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/fut_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/fut_parser.dir/Parser.cpp.o"
+  "CMakeFiles/fut_parser.dir/Parser.cpp.o.d"
+  "libfut_parser.a"
+  "libfut_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_refimpl.dir/RefImpl.cpp.o"
+  "CMakeFiles/fut_refimpl.dir/RefImpl.cpp.o.d"
+  "libfut_refimpl.a"
+  "libfut_refimpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_refimpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fut_refimpl.
+# This may be replaced when dependencies are built.

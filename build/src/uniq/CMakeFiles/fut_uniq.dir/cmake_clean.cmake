@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_uniq.dir/Uniqueness.cpp.o"
+  "CMakeFiles/fut_uniq.dir/Uniqueness.cpp.o.d"
+  "libfut_uniq.a"
+  "libfut_uniq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_uniq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fut_uniq.
+# This may be replaced when dependencies are built.

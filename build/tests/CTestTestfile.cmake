@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("testutil")
+subdirs("ir")
+subdirs("interp")
+subdirs("parser")
+subdirs("uniq")
+subdirs("check")
+subdirs("opt")
+subdirs("fusion")
+subdirs("flatten")
+subdirs("gpusim")
+subdirs("locality")
+subdirs("bench_suite")
+subdirs("driver")

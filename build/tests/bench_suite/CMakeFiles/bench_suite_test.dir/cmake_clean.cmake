@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_suite_test.dir/benchmarks_test.cpp.o"
+  "CMakeFiles/bench_suite_test.dir/benchmarks_test.cpp.o.d"
+  "bench_suite_test"
+  "bench_suite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

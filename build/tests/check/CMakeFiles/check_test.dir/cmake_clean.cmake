@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_test.dir/check_test.cpp.o"
+  "CMakeFiles/check_test.dir/check_test.cpp.o.d"
+  "check_test"
+  "check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

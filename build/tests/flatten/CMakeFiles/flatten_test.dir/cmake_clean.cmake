@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flatten_test.dir/flatten_test.cpp.o"
+  "CMakeFiles/flatten_test.dir/flatten_test.cpp.o.d"
+  "flatten_test"
+  "flatten_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flatten_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fusion/stream_rules_test.cpp" "tests/fusion/CMakeFiles/fusion_stream_rules_test.dir/stream_rules_test.cpp.o" "gcc" "tests/fusion/CMakeFiles/fusion_stream_rules_test.dir/stream_rules_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/testutil/CMakeFiles/fut_testutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/fut_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/fut_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/fut_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fut_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_stream_rules_test.dir/stream_rules_test.cpp.o"
+  "CMakeFiles/fusion_stream_rules_test.dir/stream_rules_test.cpp.o.d"
+  "fusion_stream_rules_test"
+  "fusion_stream_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_stream_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_test.dir/fusion_test.cpp.o"
+  "CMakeFiles/fusion_test.dir/fusion_test.cpp.o.d"
+  "fusion_test"
+  "fusion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

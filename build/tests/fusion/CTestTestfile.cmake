@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fusion
+# Build directory: /root/repo/build/tests/fusion
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fusion/fusion_test[1]_include.cmake")
+include("/root/repo/build/tests/fusion/fusion_stream_rules_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_device_test.dir/device_test.cpp.o"
+  "CMakeFiles/gpusim_device_test.dir/device_test.cpp.o.d"
+  "gpusim_device_test"
+  "gpusim_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

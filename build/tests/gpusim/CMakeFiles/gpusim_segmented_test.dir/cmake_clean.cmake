@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_segmented_test.dir/segmented_test.cpp.o"
+  "CMakeFiles/gpusim_segmented_test.dir/segmented_test.cpp.o.d"
+  "gpusim_segmented_test"
+  "gpusim_segmented_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_segmented_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/gpusim
+# Build directory: /root/repo/build/tests/gpusim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gpusim/gpusim_device_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim/gpusim_segmented_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_value_test.dir/value_test.cpp.o"
+  "CMakeFiles/interp_value_test.dir/value_test.cpp.o.d"
+  "interp_value_test"
+  "interp_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_prim_test.dir/prim_test.cpp.o"
+  "CMakeFiles/ir_prim_test.dir/prim_test.cpp.o.d"
+  "ir_prim_test"
+  "ir_prim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_prim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

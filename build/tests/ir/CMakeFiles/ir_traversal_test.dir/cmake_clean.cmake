@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_traversal_test.dir/traversal_test.cpp.o"
+  "CMakeFiles/ir_traversal_test.dir/traversal_test.cpp.o.d"
+  "ir_traversal_test"
+  "ir_traversal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_traversal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_test.dir/locality_test.cpp.o"
+  "CMakeFiles/locality_test.dir/locality_test.cpp.o.d"
+  "locality_test"
+  "locality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_simplify_test.dir/simplify_test.cpp.o"
+  "CMakeFiles/opt_simplify_test.dir/simplify_test.cpp.o.d"
+  "opt_simplify_test"
+  "opt_simplify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_frontend_test.dir/frontend_test.cpp.o"
+  "CMakeFiles/parser_frontend_test.dir/frontend_test.cpp.o.d"
+  "parser_frontend_test"
+  "parser_frontend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_lexer_test.dir/lexer_test.cpp.o"
+  "CMakeFiles/parser_lexer_test.dir/lexer_test.cpp.o.d"
+  "parser_lexer_test"
+  "parser_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/parser
+# Build directory: /root/repo/build/tests/parser
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/parser/parser_frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/parser/parser_lexer_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fut_testutil.dir/TestUtil.cpp.o"
+  "CMakeFiles/fut_testutil.dir/TestUtil.cpp.o.d"
+  "libfut_testutil.a"
+  "libfut_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fut_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

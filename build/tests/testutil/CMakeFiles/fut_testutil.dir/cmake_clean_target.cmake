@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfut_testutil.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniq_test.dir/uniqueness_test.cpp.o"
+  "CMakeFiles/uniq_test.dir/uniqueness_test.cpp.o.d"
+  "uniq_test"
+  "uniq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
