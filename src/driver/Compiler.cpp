@@ -65,3 +65,11 @@ ErrorOr<CompileResult> fut::compileSource(const std::string &Source,
     return P.getError();
   return compileProgram(P.take(), Names, Opts);
 }
+
+ErrorOr<gpusim::RunResult> fut::runOnDevice(const Program &P,
+                                            const std::vector<Value> &Args,
+                                            const DeviceRunOptions &Opts,
+                                            const std::string &Fun) {
+  gpusim::Device D(Opts.Device, Opts.Resilience);
+  return D.run(P, Fun, Args);
+}

@@ -18,6 +18,7 @@
 
 #include "flatten/Flatten.h"
 #include "fusion/Fusion.h"
+#include "gpusim/Device.h"
 #include "ir/IR.h"
 #include "locality/Locality.h"
 #include "opt/Simplify.h"
@@ -54,6 +55,22 @@ ErrorOr<CompileResult> compileSource(const std::string &Source,
 /// Runs the middle- and back-end phases on an already-desugared program.
 ErrorOr<CompileResult> compileProgram(Program P, NameSource &Names,
                                       const CompilerOptions &Opts = {});
+
+/// How a compiled program is executed: the simulated device's hardware
+/// parameters (capacity, throughputs, watchdog budgets) plus the host
+/// runtime's resilience policy (fault plan, retries, interpreter
+/// fallback).  The driver's --device-mem/--watchdog/--fault-rate/
+/// --fault-seed/--max-retries flags populate this.
+struct DeviceRunOptions {
+  gpusim::DeviceParams Device = gpusim::DeviceParams::gtx780();
+  gpusim::ResilienceParams Resilience;
+};
+
+/// Runs a compiled program's entry point under the resilient host runtime.
+ErrorOr<gpusim::RunResult> runOnDevice(const Program &P,
+                                       const std::vector<Value> &Args,
+                                       const DeviceRunOptions &Opts = {},
+                                       const std::string &Fun = "main");
 
 } // namespace fut
 

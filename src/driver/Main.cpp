@@ -48,6 +48,19 @@ void usage() {
           "  --no-coalescing    disable the coalescing transformation\n"
           "  --no-tiling        disable block tiling\n"
           "  --no-interchange   disable map-loop interchange (G7)\n"
+          "  --device-mem <b>   device memory capacity in bytes (0 = "
+          "unlimited)\n"
+          "  --watchdog <c>     kill any kernel over <c> simulated cycles\n"
+          "  --watchdog-total <c>  kill the run over <c> simulated cycles\n"
+          "  --fault-rate <p>   inject transient launch failures with "
+          "probability p\n"
+          "  --corrupt-rate <p> inject detected result corruption with "
+          "probability p\n"
+          "  --fault-seed <n>   seed of the deterministic fault stream\n"
+          "  --max-retries <n>  transient-fault retries per kernel "
+          "(default 3)\n"
+          "  --no-fallback      fail instead of degrading to the "
+          "interpreter\n"
           "  --run v1 v2 ...    run main on the given arguments\n"
           "arguments: scalars (3, 2.5, true) or arrays ([1,2,3], "
           "[1.5,2.5])\n");
@@ -117,10 +130,25 @@ int main(int argc, char **argv) {
   bool DumpIR = false, UseInterp = false, Run = false;
   CompilerOptions Opts;
   gpusim::DeviceParams DP = gpusim::DeviceParams::gtx780();
+  gpusim::ResilienceParams RP;
   std::vector<std::string> RunArgs;
+
+  // Flags taking a numeric argument share parsing; returns false (after
+  // printing usage) when the argument is missing or malformed.
+  auto NumArg = [&](int &I, double &Out) {
+    if (++I >= argc)
+      return false;
+    try {
+      Out = std::stod(argv[I]);
+    } catch (...) {
+      return false;
+    }
+    return true;
+  };
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
+    double N = 0;
     if (Run) {
       RunArgs.push_back(A);
     } else if (A == "--dump-ir") {
@@ -147,6 +175,50 @@ int main(int argc, char **argv) {
         fprintf(stderr, "unknown device '%s'\n", Name.c_str());
         return 2;
       }
+    } else if (A == "--device-mem") {
+      if (!NumArg(I, N)) {
+        usage();
+        return 2;
+      }
+      DP.DeviceMemBytes = static_cast<int64_t>(N);
+    } else if (A == "--watchdog") {
+      if (!NumArg(I, N)) {
+        usage();
+        return 2;
+      }
+      DP.WatchdogKernelCycles = N;
+    } else if (A == "--watchdog-total") {
+      if (!NumArg(I, N)) {
+        usage();
+        return 2;
+      }
+      DP.WatchdogTotalCycles = N;
+    } else if (A == "--fault-rate") {
+      if (!NumArg(I, N)) {
+        usage();
+        return 2;
+      }
+      RP.Faults.LaunchFailRate = N;
+    } else if (A == "--corrupt-rate") {
+      if (!NumArg(I, N)) {
+        usage();
+        return 2;
+      }
+      RP.Faults.CorruptRate = N;
+    } else if (A == "--fault-seed") {
+      if (!NumArg(I, N)) {
+        usage();
+        return 2;
+      }
+      RP.Faults.Seed = static_cast<uint64_t>(N);
+    } else if (A == "--max-retries") {
+      if (!NumArg(I, N)) {
+        usage();
+        return 2;
+      }
+      RP.MaxRetries = static_cast<int>(N);
+    } else if (A == "--no-fallback") {
+      RP.InterpFallback = false;
     } else if (A == "--run") {
       Run = true;
     } else if (A == "--help" || A == "-h") {
@@ -221,14 +293,21 @@ int main(int argc, char **argv) {
     }
     Outputs = R.take();
   } else {
-    gpusim::Device D(DP);
-    auto R = D.runMain(C->P, Args);
+    DeviceRunOptions RO;
+    RO.Device = DP;
+    RO.Resilience = RP;
+    auto R = runOnDevice(C->P, Args, RO);
     if (!R) {
-      fprintf(stderr, "runtime error: %s\n", R.getError().str().c_str());
+      fprintf(stderr, "%s\n", R.getError().str().c_str());
       return 1;
     }
+    if (R->InterpFallback)
+      fprintf(stderr,
+              "device [%s]: persistent failure (%s); completed on the "
+              "reference interpreter\n",
+              DP.Name.c_str(), R->FallbackError.str().c_str());
     Outputs = std::move(R->Outputs);
-    fprintf(stderr, "device [%s]: %s\n", D.params().Name.c_str(),
+    fprintf(stderr, "device [%s]: %s\n", DP.Name.c_str(),
             R->Cost.str().c_str());
   }
   for (const Value &V : Outputs)

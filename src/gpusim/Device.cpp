@@ -11,6 +11,7 @@
 #include "ir/Traversal.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 using namespace fut;
@@ -25,6 +26,7 @@ DeviceParams DeviceParams::w8100() {
   P.ComputeOpsPerCycle = 1800;
   P.GlobalTxPerCycle = 2.3;
   P.TransferBytesPerCycle = 6;
+  P.DeviceMemBytes = 8LL << 30; // 8 GiB, like the FirePro W8100
   return P;
 }
 
@@ -37,7 +39,10 @@ std::string CostReport::str() const {
      << " launches=" << KernelLaunches << " gtx=" << GlobalTransactions
      << " gaccess=" << GlobalAccesses << " local=" << LocalAccesses
      << " private=" << PrivateAccesses << " ops=" << ComputeOps
-     << " hostops=" << HostOps << " bytes=" << TransferredBytes;
+     << " hostops=" << HostOps << " bytes=" << TransferredBytes
+     << " retries=" << RetriedLaunches
+     << " retrycycles=" << static_cast<int64_t>(RetryCycles)
+     << " faults=" << FaultsInjected << " wdkills=" << WatchdogKills;
   return OS.str();
 }
 
@@ -117,10 +122,19 @@ class KernelSim {
 
   int ReduceFnOps = 0;
 
+  /// Remaining device-memory budget for this kernel's results, in bytes;
+  /// negative means unlimited.  Checked as results materialise so a
+  /// runaway kernel fails with DeviceOOM instead of growing host vectors
+  /// unboundedly.
+  int64_t OutBudgetBytes = -1;
+  int64_t OutBytesSoFar = 0;
+
 public:
   KernelSim(const DeviceParams &P, const KernelExp &K,
-            const NameMap<Value> &HostEnv, CostReport &Cost)
-      : P(P), K(K), HostEnv(HostEnv), Cost(Cost) {}
+            const NameMap<Value> &HostEnv, CostReport &Cost,
+            int64_t OutBudgetBytes = -1)
+      : P(P), K(K), HostEnv(HostEnv), Cost(Cost),
+        OutBudgetBytes(OutBudgetBytes) {}
 
   ErrorOr<std::vector<Value>> run();
 
@@ -215,6 +229,22 @@ private:
     ++Cost.GlobalAccesses;
     if (Trace)
       Trace->push_back(Addr);
+  }
+
+  /// Accounts one materialised result value against the device-memory
+  /// budget.  Scalars count as one element: per-thread scalar results are
+  /// exactly the elements of the assembled output array, so the running
+  /// total matches the final outputs' footprint.
+  MaybeError chargeOutput(const Value &V) {
+    if (OutBudgetBytes < 0)
+      return MaybeError::success();
+    OutBytesSoFar += V.numElems() * elemBytes(V.elemKind());
+    if (OutBytesSoFar > OutBudgetBytes)
+      return CompilerError::deviceOOM(
+          "device out of memory materialising kernel results: " +
+          std::to_string(OutBytesSoFar) + " bytes needed, " +
+          std::to_string(OutBudgetBytes) + " free");
+    return MaybeError::success();
   }
 
   /// Charges \p N accesses to a thread-private array of \p ArrElems
@@ -911,6 +941,7 @@ ErrorOr<std::vector<Value>> KernelSim::runThreadBody() {
       return CompilerError("kernel thread result arity mismatch");
     for (size_t J = 0; J < NumRes; ++J) {
       FUT_TRY(V, force(Res[J]));
+      FUT_CHECK(chargeOutput(V));
       // Charge the output writes: row-major per thread, or with the
       // thread index innermost when results are stored transposed.
       uint64_t OutBase = (2ULL << 50) + (static_cast<uint64_t>(J) << 44);
@@ -1072,6 +1103,7 @@ ErrorOr<std::vector<Value>> KernelSim::runSegmented() {
               Value::array(NeutralVals[J].elemKind(), {0}, {}));
         } else {
           FUT_TRY(Col, assembleArray(ScanCols[J]));
+          FUT_CHECK(chargeOutput(Col));
           Cost.GlobalAccesses += Col.numElems();
           Cost.GlobalTransactions +=
               (Col.numElems() * elemBytes(Col.elemKind()) +
@@ -1080,6 +1112,7 @@ ErrorOr<std::vector<Value>> KernelSim::runSegmented() {
           PerSeg[J].push_back(std::move(Col));
         }
       } else {
+        FUT_CHECK(chargeOutput(Acc[J]));
         Cost.GlobalAccesses += Acc[J].numElems();
         Cost.GlobalTransactions +=
             (Acc[J].numElems() * elemBytes(Acc[J].elemKind()) +
@@ -1130,13 +1163,24 @@ ErrorOr<std::vector<Value>> KernelSim::runSegmented() {
 // Device
 //===----------------------------------------------------------------------===//
 
-ErrorOr<RunResult> Device::run(const Program &Prog, const std::string &Fun,
-                               const std::vector<Value> &Args) {
+namespace {
+
+/// One attempt to run the program with kernels on the simulated device.
+/// Transient per-kernel faults are retried in place; persistent failures
+/// (OOM, watchdog, retries exhausted) surface as typed runtime errors.
+/// \p Cost accumulates across the attempt and is left populated even on
+/// failure, so the caller can charge the aborted device work to a fallback
+/// run.
+ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
+                                    const ResilienceParams &R,
+                                    FaultPlan &Plan, CostReport &Cost,
+                                    const Program &Prog,
+                                    const std::string &Fun,
+                                    const std::vector<Value> &Args) {
   const FunDef *F = Prog.findFun(Fun);
   if (!F)
     return CompilerError("unknown function " + Fun);
 
-  CostReport Cost;
   NameSet HostResident;
   NameSet ParamNames;
   for (const Param &Prm : F->Params) {
@@ -1146,6 +1190,18 @@ ErrorOr<RunResult> Device::run(const Program &Prog, const std::string &Fun,
 
   InterpOptions Opts;
   Opts.ConsumeOnUpdate = true;
+
+  // Device-memory accounting: bytes of arrays currently device-resident.
+  // Arrays are charged when they reach the device (input upload, kernel
+  // result) and released when the host reads them back.
+  int64_t LiveDeviceBytes = 0;
+
+  // The run-level watchdog sees all simulated time spent so far; HostCycles
+  // is normally derived at the end of the run, so recompute it here.
+  auto RunningCycles = [&] {
+    return Cost.KernelCycles + Cost.TransferCycles + Cost.RetryCycles +
+           Cost.HostOps * P.HostCyclesPerOp;
+  };
 
   Opts.OnExp = [&](const Exp &E, const NameMap<Value> &Env) {
     ++Cost.HostOps;
@@ -1174,6 +1230,8 @@ ErrorOr<RunResult> Device::run(const Program &Prog, const std::string &Fun,
       Cost.TransferredBytes += Bytes;
       Cost.TransferCycles += Bytes / P.TransferBytesPerCycle;
       HostResident.insert(S.getVar());
+      // Reading the array back releases its device allocation.
+      LiveDeviceBytes = std::max<int64_t>(0, LiveDeviceBytes - Bytes);
     });
   };
 
@@ -1182,6 +1240,15 @@ ErrorOr<RunResult> Device::run(const Program &Prog, const std::string &Fun,
   Opts.HandleKernel =
       [&](const KernelExp &K,
           const NameMap<Value> &Env) -> ErrorOr<std::vector<Value>> {
+    if (P.WatchdogTotalCycles > 0 && RunningCycles() > P.WatchdogTotalCycles) {
+      ++Cost.WatchdogKills;
+      return CompilerError::watchdog(
+          "run killed by watchdog: " +
+          std::to_string(static_cast<int64_t>(RunningCycles())) +
+          " simulated cycles exceed the total budget of " +
+          std::to_string(static_cast<int64_t>(P.WatchdogTotalCycles)));
+    }
+
     // Inputs whose representation was changed by the coalescing pass are
     // manifested by a transposition in memory, once per array (Section
     // 5.2): one extra launch plus a read and a semi-coalesced write of
@@ -1214,6 +1281,14 @@ ErrorOr<RunResult> Device::run(const Program &Prog, const std::string &Fun,
         continue;
       int64_t Bytes =
           It->second.numElems() * elemBytes(It->second.elemKind());
+      if (P.DeviceMemBytes > 0 &&
+          LiveDeviceBytes + Bytes > P.DeviceMemBytes)
+        return CompilerError::deviceOOM(
+            "device out of memory uploading " + In.Arr.str() + ": " +
+            std::to_string(Bytes) + " bytes needed, " +
+            std::to_string(P.DeviceMemBytes - LiveDeviceBytes) + " of " +
+            std::to_string(P.DeviceMemBytes) + " free");
+      LiveDeviceBytes += Bytes;
       Cost.TransferredBytes += Bytes;
       if (ParamNames.count(In.Arr))
         Cost.ExcludedTransferCycles += Bytes / P.TransferBytesPerCycle;
@@ -1222,36 +1297,99 @@ ErrorOr<RunResult> Device::run(const Program &Prog, const std::string &Fun,
       HostResident.erase(In.Arr);
     }
 
-    CostReport KCost;
-    KernelSim Sim(P, K, Env, KCost);
-    auto Res = Sim.run();
-    if (!Res)
+    // Launch, retrying transient injected faults with exponential
+    // simulated-cycle backoff.
+    int Retries = 0;
+    auto ChargeBackoff = [&] {
+      ++Retries;
+      ++Cost.RetriedLaunches;
+      Cost.RetryCycles += R.RetryBackoffCycles * std::ldexp(1.0, Retries - 1);
+    };
+
+    for (;;) {
+      if (Plan.nextLaunchFails()) {
+        ++Cost.FaultsInjected;
+        if (Retries >= R.MaxRetries)
+          return CompilerError::transientFault(
+              "kernel launch failed persistently (" +
+              std::to_string(Retries + 1) + " transient faults, " +
+              std::to_string(R.MaxRetries) + " retries exhausted)");
+        ChargeBackoff();
+        continue;
+      }
+
+      CostReport KCost;
+      int64_t OutBudget =
+          P.DeviceMemBytes > 0 ? P.DeviceMemBytes - LiveDeviceBytes : -1;
+      KernelSim Sim(P, K, Env, KCost, OutBudget);
+      auto Res = Sim.run();
+      if (!Res)
+        return Res; // evaluation errors and mid-kernel OOM are not transient
+
+      // Tiled traffic: each staged element is read once per workgroup from
+      // global memory (coalesced), instead of once per thread.
+      double TiledTx =
+          static_cast<double>(KCost.TiledElementTouches) /
+          std::max(1, P.WorkgroupSize) * 4.0 / P.SegmentBytes;
+
+      double ComputeT = KCost.ComputeOps / P.ComputeOpsPerCycle;
+      double MemT = (KCost.GlobalTransactions + TiledTx) / P.GlobalTxPerCycle;
+      double LocalT = KCost.LocalAccesses / P.LocalAccessesPerCycle;
+      double PrivT = KCost.PrivateAccesses / P.PrivateAccessesPerCycle;
+      double KTime = P.LaunchCycles +
+                     std::max(std::max(ComputeT, MemT),
+                              std::max(LocalT, PrivT));
+
+      // A kernel over its cycle budget is killed deterministically; the
+      // cycles burned up to the kill point stay charged.
+      if (P.WatchdogKernelCycles > 0 && KTime > P.WatchdogKernelCycles) {
+        ++Cost.WatchdogKills;
+        ++Cost.KernelLaunches;
+        Cost.KernelCycles += P.WatchdogKernelCycles;
+        return CompilerError::watchdog(
+            "kernel killed by watchdog: " +
+            std::to_string(static_cast<int64_t>(KTime)) +
+            " simulated cycles exceed the per-kernel budget of " +
+            std::to_string(static_cast<int64_t>(P.WatchdogKernelCycles)));
+      }
+
+      Cost.KernelCycles += KTime;
+      ++Cost.KernelLaunches;
+      Cost.GlobalTransactions +=
+          KCost.GlobalTransactions + static_cast<int64_t>(TiledTx);
+      Cost.GlobalAccesses += KCost.GlobalAccesses;
+      Cost.LocalAccesses += KCost.LocalAccesses;
+      Cost.PrivateAccesses += KCost.PrivateAccesses;
+      Cost.ComputeOps += KCost.ComputeOps;
+      Cost.TiledElementTouches += KCost.TiledElementTouches;
+
+      // Detected result corruption (ECC-style): the kernel ran — and was
+      // charged — but its result must be recomputed.
+      if (Plan.nextResultCorrupted()) {
+        ++Cost.FaultsInjected;
+        if (Retries >= R.MaxRetries)
+          return CompilerError::transientFault(
+              "kernel results corrupted persistently (" +
+              std::to_string(R.MaxRetries) + " retries exhausted)");
+        ChargeBackoff();
+        continue;
+      }
+
+      // The results now occupy device memory until the host reads them.
+      int64_t OutBytes = 0;
+      for (const Value &V : *Res)
+        if (V.isArray())
+          OutBytes += V.numElems() * elemBytes(V.elemKind());
+      if (P.DeviceMemBytes > 0 &&
+          LiveDeviceBytes + OutBytes > P.DeviceMemBytes)
+        return CompilerError::deviceOOM(
+            "device out of memory allocating kernel outputs: " +
+            std::to_string(OutBytes) + " bytes needed, " +
+            std::to_string(P.DeviceMemBytes - LiveDeviceBytes) + " of " +
+            std::to_string(P.DeviceMemBytes) + " free");
+      LiveDeviceBytes += OutBytes;
       return Res;
-
-    // Tiled traffic: each staged element is read once per workgroup from
-    // global memory (coalesced), instead of once per thread.
-    double TiledTx =
-        static_cast<double>(KCost.TiledElementTouches) /
-        std::max(1, P.WorkgroupSize) * 4.0 / P.SegmentBytes;
-
-    double ComputeT = KCost.ComputeOps / P.ComputeOpsPerCycle;
-    double MemT = (KCost.GlobalTransactions + TiledTx) / P.GlobalTxPerCycle;
-    double LocalT = KCost.LocalAccesses / P.LocalAccessesPerCycle;
-    double PrivT = KCost.PrivateAccesses / P.PrivateAccessesPerCycle;
-    double KTime = P.LaunchCycles +
-                   std::max(std::max(ComputeT, MemT),
-                            std::max(LocalT, PrivT));
-
-    Cost.KernelCycles += KTime;
-    ++Cost.KernelLaunches;
-    Cost.GlobalTransactions +=
-        KCost.GlobalTransactions + static_cast<int64_t>(TiledTx);
-    Cost.GlobalAccesses += KCost.GlobalAccesses;
-    Cost.LocalAccesses += KCost.LocalAccesses;
-    Cost.PrivateAccesses += KCost.PrivateAccesses;
-    Cost.ComputeOps += KCost.ComputeOps;
-    Cost.TiledElementTouches += KCost.TiledElementTouches;
-    return Res;
+    }
   };
 
   Interpreter I(Prog, Opts);
@@ -1276,11 +1414,57 @@ ErrorOr<RunResult> Device::run(const Program &Prog, const std::string &Fun,
   }
 
   Cost.HostCycles = Cost.HostOps * P.HostCyclesPerOp;
-  Cost.TotalCycles =
-      Cost.KernelCycles + Cost.HostCycles + Cost.TransferCycles;
+  Cost.TotalCycles = Cost.KernelCycles + Cost.HostCycles +
+                     Cost.TransferCycles + Cost.RetryCycles;
 
   RunResult RR;
   RR.Outputs = Out.take();
   RR.Cost = Cost;
+  return RR;
+}
+
+} // namespace
+
+ErrorOr<RunResult> Device::run(const Program &Prog, const std::string &Fun,
+                               const std::vector<Value> &Args) {
+  CostReport Cost;
+  FaultPlan Plan(R.Faults);
+  auto Res = runDeviceAttempt(P, R, Plan, Cost, Prog, Fun, Args);
+  if (Res)
+    return Res;
+
+  // Only persistent *device* failures degrade to the interpreter; compile
+  // errors and plain runtime errors (bad index, shape mismatch) would fail
+  // identically there, so they surface directly.
+  CompilerError DevErr = Res.getError();
+  bool DeviceFailure = DevErr.Kind == ErrorKind::DeviceOOM ||
+                       DevErr.Kind == ErrorKind::Watchdog ||
+                       DevErr.Kind == ErrorKind::TransientFault;
+  if (!DeviceFailure || !R.InterpFallback)
+    return DevErr;
+
+  // Graceful degradation: recompute the whole run on the reference
+  // interpreter.  The aborted device work stays charged in the cost
+  // report, and every interpreted step is charged as a host op.
+  InterpOptions IO;
+  IO.ConsumeOnUpdate = true;
+  IO.OnExp = [&](const Exp &, const NameMap<Value> &) { ++Cost.HostOps; };
+  Interpreter I(Prog, IO);
+  auto Out = I.runFunction(Fun, Args);
+  if (!Out)
+    return CompilerError::fallbackExhausted(
+        "device failed (" + DevErr.Message +
+        ") and the interpreter fallback also failed: " +
+        Out.getError().Message);
+
+  Cost.HostCycles = Cost.HostOps * P.HostCyclesPerOp;
+  Cost.TotalCycles = Cost.KernelCycles + Cost.HostCycles +
+                     Cost.TransferCycles + Cost.RetryCycles;
+
+  RunResult RR;
+  RR.Outputs = Out.take();
+  RR.Cost = Cost;
+  RR.InterpFallback = true;
+  RR.FallbackError = DevErr;
   return RR;
 }

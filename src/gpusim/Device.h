@@ -31,6 +31,7 @@
 #ifndef FUTHARKCC_GPUSIM_DEVICE_H
 #define FUTHARKCC_GPUSIM_DEVICE_H
 
+#include "gpusim/Faults.h"
 #include "interp/Interp.h"
 #include "ir/IR.h"
 #include "support/Error.h"
@@ -68,6 +69,18 @@ struct DeviceParams {
   /// Host <-> device transfer rate (PCIe-like).
   double TransferBytesPerCycle = 8;
 
+  /// Device memory capacity in bytes; 0 means unlimited.  Kernel inputs
+  /// and outputs are accounted against this while device-resident, and an
+  /// allocation that would exceed it fails with a DeviceOOM runtime error.
+  int64_t DeviceMemBytes = 3LL << 30; // 3 GiB, like the GTX 780 Ti
+
+  /// Watchdog budgets in simulated cycles; 0 disables the check.  A single
+  /// kernel exceeding WatchdogKernelCycles, or a whole run exceeding
+  /// WatchdogTotalCycles, is killed deterministically with a Watchdog
+  /// runtime error.
+  double WatchdogKernelCycles = 0;
+  double WatchdogTotalCycles = 0;
+
   /// A GTX 780 Ti-like configuration (the default).
   static DeviceParams gtx780();
   /// A FirePro W8100-like configuration: comparable bandwidth, slightly
@@ -101,25 +114,46 @@ struct CostReport {
   /// Elements staged through local memory by tiling.
   int64_t TiledElementTouches = 0;
 
+  /// Resilience accounting: simulated cycles spent in retry backoff,
+  /// launches that had to be retried, faults the FaultPlan injected, and
+  /// kernels the watchdog killed.
+  double RetryCycles = 0;
+  int64_t RetriedLaunches = 0;
+  int64_t FaultsInjected = 0;
+  int64_t WatchdogKills = 0;
+
   std::string str() const;
 };
 
 struct RunResult {
   std::vector<Value> Outputs;
   CostReport Cost;
+
+  /// True when the device failed persistently and the run was completed by
+  /// the reference interpreter instead; FallbackError records the device
+  /// failure that forced the degradation.
+  bool InterpFallback = false;
+  CompilerError FallbackError;
 };
 
 class Device {
   DeviceParams P;
+  ResilienceParams R;
 
 public:
-  explicit Device(DeviceParams P = DeviceParams::gtx780())
-      : P(std::move(P)) {}
+  explicit Device(DeviceParams P = DeviceParams::gtx780(),
+                  ResilienceParams R = ResilienceParams())
+      : P(std::move(P)), R(R) {}
 
   const DeviceParams &params() const { return P; }
+  const ResilienceParams &resilience() const { return R; }
 
   /// Runs the named function of a flattened program, simulating kernels on
-  /// the device and everything else on the host.
+  /// the device and everything else on the host.  Transient faults (per the
+  /// resilience parameters' FaultPlan) are retried with exponential
+  /// simulated-cycle backoff; persistent device failures either surface as
+  /// typed runtime errors or, when InterpFallback is set, degrade to a
+  /// reference-interpreter run flagged in the RunResult.
   ErrorOr<RunResult> run(const Program &Prog, const std::string &Fun,
                          const std::vector<Value> &Args);
 

@@ -1,0 +1,38 @@
+//===- Faults.cpp - Deterministic fault injection for the simulator ---------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Faults.h"
+
+using namespace fut::gpusim;
+
+namespace {
+
+/// splitmix64 finaliser over (seed, index): a stateless counter-based
+/// generator, so draw N never depends on how draws 0..N-1 were used.
+uint64_t mix(uint64_t Seed, uint64_t Index) {
+  uint64_t Z = Seed + 0x9e3779b97f4a7c15ULL * (Index + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+double FaultPlan::nextUnit() {
+  return (mix(C.Seed, Draws++) >> 11) * 0x1.0p-53;
+}
+
+bool FaultPlan::nextLaunchFails() {
+  if (C.LaunchFailRate <= 0)
+    return false;
+  return nextUnit() < C.LaunchFailRate;
+}
+
+bool FaultPlan::nextResultCorrupted() {
+  if (C.CorruptRate <= 0)
+    return false;
+  return nextUnit() < C.CorruptRate;
+}

@@ -1,0 +1,100 @@
+//===- Faults.h - Deterministic fault injection for the simulator -*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, deterministic model of transient device faults, so the host
+/// runtime's failure paths are testable without real hardware.  A FaultPlan
+/// draws one pseudo-random number per decision from a counter-indexed
+/// splitmix64 stream: the same seed and the same program always produce the
+/// same sequence of injected faults, retries, and counters.
+///
+/// Two transient fault classes are modelled:
+///
+///  * kernel-launch failures: the launch never starts (no kernel cycles are
+///    charged), as with a transiently failing driver/queue submission;
+///
+///  * detected result corruption: the kernel runs to completion (its cycles
+///    are charged) but the device reports the result as corrupt — the
+///    ECC-style detected-error model, so retried runs still produce
+///    bit-identical outputs.
+///
+/// ResilienceParams configures how the host runtime reacts: bounded retries
+/// with exponential simulated-cycle backoff, and an optional graceful
+/// degradation to the reference interpreter when the device fails
+/// persistently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_GPUSIM_FAULTS_H
+#define FUTHARKCC_GPUSIM_FAULTS_H
+
+#include <cstdint>
+
+namespace fut {
+namespace gpusim {
+
+/// Injection rates and the seed of the deterministic fault stream.
+struct FaultConfig {
+  /// Probability in [0,1] that a kernel launch transiently fails.
+  double LaunchFailRate = 0.0;
+  /// Probability in [0,1] that a completed kernel's result is reported as
+  /// corrupted (detected, ECC-style) and must be recomputed.
+  double CorruptRate = 0.0;
+  /// Seed of the fault stream; the same seed reproduces the same faults.
+  uint64_t Seed = 0;
+
+  bool enabled() const { return LaunchFailRate > 0 || CorruptRate > 0; }
+};
+
+/// How the host runtime reacts to device failures.
+struct ResilienceParams {
+  /// Transient failures of one kernel are retried at most this many times
+  /// before the launch is declared persistently failed.
+  int MaxRetries = 3;
+  /// Simulated-cycle cost of the first retry's backoff; each further retry
+  /// of the same kernel doubles it (exponential backoff).
+  double RetryBackoffCycles = 2000;
+  /// When the device fails persistently (OOM, watchdog kill, or retries
+  /// exhausted), rerun the program on the reference interpreter instead of
+  /// failing, and flag the fallback in RunResult.
+  bool InterpFallback = true;
+
+  FaultConfig Faults;
+};
+
+/// The deterministic per-run fault stream.  Every decision consumes one
+/// draw; draws are indexed by a counter, so the sequence is a pure function
+/// of (seed, decision index).
+class FaultPlan {
+  FaultConfig C;
+  uint64_t Draws = 0;
+
+public:
+  explicit FaultPlan(FaultConfig C = {}) : C(C) {}
+
+  const FaultConfig &config() const { return C; }
+  bool enabled() const { return C.enabled(); }
+
+  /// Number of decisions drawn so far (for tests asserting determinism).
+  uint64_t draws() const { return Draws; }
+
+  /// Restarts the stream from the seed.
+  void reset() { Draws = 0; }
+
+  /// Decides whether the next kernel launch transiently fails.
+  bool nextLaunchFails();
+
+  /// Decides whether the result of a completed kernel is reported corrupt.
+  bool nextResultCorrupted();
+
+private:
+  double nextUnit();
+};
+
+} // namespace gpusim
+} // namespace fut
+
+#endif // FUTHARKCC_GPUSIM_FAULTS_H

@@ -24,7 +24,9 @@ using namespace fut;
   } while (false)
 
 ErrorOr<Value> fut::assembleArray(const std::vector<Value> &Elems) {
-  assert(!Elems.empty() && "cannot assemble an empty array without a type");
+  if (Elems.empty())
+    return CompilerError::runtime(
+        "cannot assemble an empty array without an element type");
   const Value &First = Elems.front();
   if (First.isScalar()) {
     std::vector<PrimValue> Data;
@@ -54,7 +56,8 @@ ErrorOr<Value> fut::assembleArray(const std::vector<Value> &Elems) {
 }
 
 ErrorOr<Value> fut::concatValues(const std::vector<Value> &Vs) {
-  assert(!Vs.empty() && "cannot concat zero arrays");
+  if (Vs.empty())
+    return CompilerError::runtime("cannot concat zero arrays");
   const Value &First = Vs.front();
   if (First.isScalar())
     return CompilerError("cannot concat scalars");
@@ -104,6 +107,10 @@ MaybeError bindParamValue(const Param &P, const Value &V,
           PrimValue::makeI32(static_cast<int32_t>(Actual)));
       continue;
     }
+    if (!It->second.isScalar())
+      return CompilerError::runtime("shape dimension " + D.getVar().str() +
+                                    " of " + P.Name.str() +
+                                    " is bound to a non-scalar value");
     if (It->second.getScalar().asInt64() != Actual)
       return CompilerError("shape mismatch for " + P.Name.str() + ": " +
                            D.getVar().str() + " = " +
@@ -134,7 +141,7 @@ PrimValue intOfKind(ScalarKind K, int64_t V) {
 
 MaybeError Interpreter::step(const Exp &E) {
   if (++Steps > Opts.MaxSteps)
-    return CompilerError(E.Loc, "interpreter step limit exceeded");
+    return CompilerError::runtime(E.Loc, "interpreter step limit exceeded");
   return MaybeError::success();
 }
 
@@ -260,7 +267,8 @@ ErrorOr<std::vector<Value>> Interpreter::evalExp(const Exp &E,
     if (Idx.size() > A.shape().size())
       return CompilerError(E.Loc, "index rank exceeds array rank");
     if (!A.inBounds(Idx))
-      return CompilerError(E.Loc, "index out of bounds for " + X->Arr.str());
+      return CompilerError::runtime(E.Loc,
+                                    "index out of bounds for " + X->Arr.str());
     return std::vector<Value>{A.slice(Idx)};
   }
 
@@ -310,8 +318,8 @@ ErrorOr<std::vector<Value>> Interpreter::evalExp(const Exp &E,
     }
     FUT_TRY(V, evalSubExp(X->Value, Env));
     if (!A.inBounds(Idx))
-      return CompilerError(E.Loc, "update index out of bounds for " +
-                                      X->Arr.str());
+      return CompilerError::runtime(E.Loc, "update index out of bounds for " +
+                                                X->Arr.str());
     if (Idx.size() == A.shape().size()) {
       if (!V.isScalar())
         return CompilerError(E.Loc, "updating element with non-scalar");
@@ -345,7 +353,7 @@ ErrorOr<std::vector<Value>> Interpreter::evalExp(const Exp &E,
     FUT_TRY(NV, evalSubExp(X->N, Env));
     FUT_TRY(N, scalarInt(NV, "iota length"));
     if (N < 0)
-      return CompilerError(E.Loc, "iota of negative length");
+      return CompilerError::runtime(E.Loc, "iota of negative length");
     std::vector<PrimValue> Data;
     Data.reserve(N);
     for (int64_t I = 0; I < N; ++I)
@@ -358,7 +366,7 @@ ErrorOr<std::vector<Value>> Interpreter::evalExp(const Exp &E,
     FUT_TRY(NV, evalSubExp(X->N, Env));
     FUT_TRY(N, scalarInt(NV, "replicate count"));
     if (N < 0)
-      return CompilerError(E.Loc, "replicate of negative count");
+      return CompilerError::runtime(E.Loc, "replicate of negative count");
     FUT_TRY(V, evalSubExp(X->Val, Env));
     if (V.isScalar()) {
       return std::vector<Value>{Value::filledArray(V.getScalar().kind(), {N},
@@ -410,6 +418,9 @@ ErrorOr<std::vector<Value>> Interpreter::evalExp(const Exp &E,
     for (const SubExp &S : X->NewShape) {
       FUT_TRY(DV, evalSubExp(S, Env));
       FUT_TRY(D, scalarInt(DV, "reshape dimension"));
+      if (D < 0)
+        return CompilerError::runtime(E.Loc,
+                                      "reshape to a negative dimension");
       NewShape.push_back(D);
       N *= D;
     }
@@ -442,7 +453,7 @@ ErrorOr<std::vector<Value>> Interpreter::evalExp(const Exp &E,
     FUT_TRY(Str, scalarInt(StrV, "slice stride"));
     if (!A.isArray() || Off < 0 || Len < 0 || Str <= 0 ||
         (Len > 0 && Off + (Len - 1) * Str >= A.outerSize()))
-      return CompilerError(E.Loc, "slice out of bounds");
+      return CompilerError::runtime(E.Loc, "slice out of bounds");
     std::vector<int64_t> Shape = A.shape();
     Shape[0] = Len;
     int64_t RowElems = A.rowElems();
@@ -596,8 +607,11 @@ ErrorOr<std::vector<Value>> Interpreter::evalStream(const StreamExp &S,
     FUT_TRY(V, evalSubExp(I, Env));
     AccInit.push_back(std::move(V));
   }
-  assert(static_cast<int>(AccInit.size()) == S.NumAccs &&
-         "accumulator count mismatch");
+  if (static_cast<int>(AccInit.size()) != S.NumAccs)
+    return CompilerError::runtime(
+        "stream accumulator count mismatch: " +
+        std::to_string(AccInit.size()) + " initialisers for " +
+        std::to_string(S.NumAccs) + " accumulators");
 
   // Partitioning: contiguous chunks of StreamChunk elements, or, when
   // StreamInterleave is set, P interleaved chunks (chunk g holds elements

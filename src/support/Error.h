@@ -36,21 +36,87 @@ struct SrcLoc {
   }
 };
 
+/// What kind of failure a diagnostic describes.  Compile covers everything
+/// static (parse, type, uniqueness, pass bugs); the remaining kinds are
+/// runtime outcomes the host runtime and drivers dispatch on: generic
+/// runtime errors (bad index, shape mismatch), device out-of-memory,
+/// watchdog kills of runaway executions, transient injected/device faults,
+/// and exhaustion of every recovery path including the interpreter
+/// fallback.
+enum class ErrorKind {
+  Compile,
+  Runtime,
+  DeviceOOM,
+  Watchdog,
+  TransientFault,
+  FallbackExhausted,
+};
+
+inline const char *errorKindName(ErrorKind K) {
+  switch (K) {
+  case ErrorKind::Compile:
+    return "compile";
+  case ErrorKind::Runtime:
+    return "runtime";
+  case ErrorKind::DeviceOOM:
+    return "device-oom";
+  case ErrorKind::Watchdog:
+    return "watchdog";
+  case ErrorKind::TransientFault:
+    return "transient-fault";
+  case ErrorKind::FallbackExhausted:
+    return "fallback-exhausted";
+  }
+  return "unknown";
+}
+
 /// A diagnostic produced by any compiler stage.  The message follows the
 /// LLVM style: starts lowercase, no trailing period.
 struct CompilerError {
   SrcLoc Loc;
   std::string Message;
+  ErrorKind Kind = ErrorKind::Compile;
 
   CompilerError() = default;
   CompilerError(std::string Msg) : Message(std::move(Msg)) {}
   CompilerError(SrcLoc Loc, std::string Msg)
       : Loc(Loc), Message(std::move(Msg)) {}
+  CompilerError(ErrorKind Kind, std::string Msg)
+      : Message(std::move(Msg)), Kind(Kind) {}
+
+  static CompilerError runtime(std::string Msg) {
+    return CompilerError(ErrorKind::Runtime, std::move(Msg));
+  }
+  static CompilerError runtime(SrcLoc Loc, std::string Msg) {
+    CompilerError E(Loc, std::move(Msg));
+    E.Kind = ErrorKind::Runtime;
+    return E;
+  }
+  static CompilerError deviceOOM(std::string Msg) {
+    return CompilerError(ErrorKind::DeviceOOM, std::move(Msg));
+  }
+  static CompilerError watchdog(std::string Msg) {
+    return CompilerError(ErrorKind::Watchdog, std::move(Msg));
+  }
+  static CompilerError transientFault(std::string Msg) {
+    return CompilerError(ErrorKind::TransientFault, std::move(Msg));
+  }
+  static CompilerError fallbackExhausted(std::string Msg) {
+    return CompilerError(ErrorKind::FallbackExhausted, std::move(Msg));
+  }
+
+  /// True for any failure that happens while running a program (as opposed
+  /// to compiling it).
+  bool isRuntime() const { return Kind != ErrorKind::Compile; }
 
   std::string str() const {
+    std::string Tag = Kind == ErrorKind::Compile
+                          ? "error: "
+                          : "error [" + std::string(errorKindName(Kind)) +
+                                "]: ";
     if (Loc.isKnown())
-      return Loc.str() + ": error: " + Message;
-    return "error: " + Message;
+      return Loc.str() + ": " + Tag + Message;
+    return Tag + Message;
   }
 };
 
