@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench_suite/BenchTrace.h"
 #include "driver/Compiler.h"
 #include "gpusim/Device.h"
 #include "ir/Traversal.h"
@@ -55,7 +56,10 @@ int main() {
   std::vector<Value> Args = {Value::scalar(PrimValue::makeI32(
       static_cast<int32_t>(N)))};
 
+  fut::bench::BenchTraceWriter Trace;
+
   // Fused pipeline.
+  Trace.beginRun();
   NameSource NS1;
   CompilerOptions Fused;
   auto CF = compileSource(Fig10, NS1, Fused);
@@ -67,7 +71,18 @@ int main() {
          "stream_red, Fig 10a -> 10b)\n",
          CF->Fusion.StreamFusions);
 
+  gpusim::Device D;
+  auto RF = D.runMain(CF->P, Args);
+  if (RF)
+    Trace.record("fig10-optionpricing", "gtx780",
+                 {{"variant_fused", 1},
+                  {"total_cycles", RF->Cost.TotalCycles},
+                  {"global_tx", (double)RF->Cost.GlobalTransactions},
+                  {"private_accesses", (double)RF->Cost.PrivateAccesses},
+                  {"kernel_launches", (double)RF->Cost.KernelLaunches}});
+
   // Unfused pipeline.
+  Trace.beginRun();
   NameSource NS2;
   CompilerOptions Unfused;
   Unfused.EnableFusion = false;
@@ -77,9 +92,14 @@ int main() {
     return 1;
   }
 
-  gpusim::Device D;
-  auto RF = D.runMain(CF->P, Args);
   auto RU = D.runMain(CU->P, Args);
+  if (RU)
+    Trace.record("fig10-optionpricing", "gtx780",
+                 {{"variant_fused", 0},
+                  {"total_cycles", RU->Cost.TotalCycles},
+                  {"global_tx", (double)RU->Cost.GlobalTransactions},
+                  {"private_accesses", (double)RU->Cost.PrivateAccesses},
+                  {"kernel_launches", (double)RU->Cost.KernelLaunches}});
   if (!RF || !RU) {
     fprintf(stderr, "run failed\n");
     return 1;
@@ -101,5 +121,9 @@ int main() {
          "in one kernel\nwithout materialising the intermediate [n] "
          "array.\n",
          RU->Cost.TotalCycles / RF->Cost.TotalCycles);
+  if (!Trace.write("BENCH_trace.json"))
+    fprintf(stderr, "warning: could not write BENCH_trace.json\n");
+  else
+    printf("\nfused/unfused trace counters written to BENCH_trace.json\n");
   return 0;
 }

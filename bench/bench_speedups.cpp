@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench_suite/BenchTrace.h"
 #include "bench_suite/Benchmarks.h"
 
 #include <cmath>
@@ -30,10 +31,23 @@ int main() {
     double GTX = 0, AMD = 0;
   };
   std::vector<Row> Rows;
+  BenchTraceWriter Trace;
 
   for (const BenchmarkDef &B : allBenchmarks()) {
+    Trace.beginRun();
     auto G = measureSpeedup(B, gpusim::DeviceParams::gtx780());
+    if (G)
+      Trace.record(B.Name, "gtx780",
+                   {{"fut_cycles", G->FutharkCycles},
+                    {"ref_cycles", G->RefCycles},
+                    {"speedup", G->Speedup}});
+    Trace.beginRun();
     auto A = measureSpeedup(B, gpusim::DeviceParams::w8100());
+    if (A)
+      Trace.record(B.Name, "w8100",
+                   {{"fut_cycles", A->FutharkCycles},
+                    {"ref_cycles", A->RefCycles},
+                    {"speedup", A->Speedup}});
     if (!G || !A) {
       printf("%-14s FAILED: %s\n", B.Name.c_str(),
              (!G ? G.getError() : A.getError()).Message.c_str());
@@ -45,6 +59,11 @@ int main() {
            B.PaperSpeedupW8100 > 0 ? B.PaperSpeedupW8100 : 0.0);
     Rows.push_back({B.Name, G->Speedup, A->Speedup});
   }
+
+  if (!Trace.write("BENCH_trace.json"))
+    fprintf(stderr, "warning: could not write BENCH_trace.json\n");
+  else
+    printf("\nper-benchmark trace counters written to BENCH_trace.json\n");
 
   // Geometric means on the GTX-like device, split like the paper:
   // benchmarks with a low-level CUDA/OpenCL reference are the 12 Rodinia +

@@ -1,0 +1,30 @@
+-- K-means iteration (Section 2.4 / Fig 4) as a self-contained program:
+-- the point set and initial centres are generated internally so main
+-- takes no arguments and `futharkcc --trace-out=t.json examples/kmeans.fut`
+-- runs it and emits one Chrome-trace span per pass and per kernel launch.
+
+fun nearest (k: i32) (centres: [k]f32) (p: f32): i32 =
+  let best = loop ((bi, bd) = (0, 1000000.0)) for c < k do
+    let d = abs (p - centres[c])
+    in if d < bd then (c, d) else (bi, bd)
+  let (bi, bd) = best
+  in bi
+
+-- Cluster sizes via the Fig 4c stream_red: each chunk folds its points
+-- into a unique accumulator, chunk results combine with map (+).
+fun histogram (k: i32) (n: i32) (membership: [n]i32): [k]i32 =
+  stream_red (map (+))
+    (\(acc: *[k]i32) (chunk: [chunksize]i32): [k]i32 ->
+       loop (acc) for i < chunksize do
+         let cl = chunk[i]
+         in acc with [cl] <- acc[cl] + 1)
+    (replicate k 0) membership
+
+fun main: (i32, i32) =
+  let n = 4096
+  let k = 6
+  let points = map (\(i: i32): f32 -> f32 (i * 73 % 1000) / 10.0) (iota n)
+  let centres = map (\(c: i32): f32 -> f32 (c * 16 + 8)) (iota k)
+  let membership = map (\(p: f32): i32 -> nearest k centres p) points
+  let counts = histogram k n membership
+  in (reduce (+) 0 membership, reduce (+) 0 counts)

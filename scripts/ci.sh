@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+#===- scripts/ci.sh - tier-1 verification pipeline -----------------------===//
+#
+# Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+#
+# The canonical local/CI entry point.  Runs the full tier-1 verify
+# (configure, build, complete ctest suite) and then re-runs the fault and
+# differential suites on their own so a resilience or bit-identity
+# regression is named explicitly in the log even when someone trims the
+# main suite.
+#
+# Environment:
+#   FUTHARKCC_SANITIZE=ON   build with ASan+UBSan (default OFF)
+#   BUILD_DIR=<path>        build tree (default: build)
+#   JOBS=<n>                parallelism (default: nproc)
+#
+#===----------------------------------------------------------------------===//
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+SANITIZE="${FUTHARKCC_SANITIZE:-OFF}"
+
+echo "== configure (sanitize=${SANITIZE}) =="
+cmake -B "$BUILD_DIR" -S . -DFUTHARKCC_SANITIZE="$SANITIZE"
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== tier-1: full test suite =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== fault-injection suite =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'FaultPlanTest|FaultsTest'
+
+echo "== differential suite (reference interpreter vs device) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'Differential'
+
+echo "== trace suite (counters + Chrome export) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'TraceCounters|TraceExport'
+
+echo "== smoke: --trace-out produces a loadable Chrome trace =="
+"$BUILD_DIR"/src/driver/futharkcc --trace-out "$BUILD_DIR"/ci_trace.json \
+  examples/kmeans.fut >/dev/null
+python3 - "$BUILD_DIR"/ci_trace.json <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+evs = t["traceEvents"]
+kernels = [e for e in evs if e["ph"] == "X" and e["name"].startswith("kernel:")]
+passes = [e for e in evs if e["ph"] == "X" and e["name"].startswith("pass:")]
+assert kernels, "no kernel spans in trace"
+assert passes, "no pass spans in trace"
+assert all("cycles" in e.get("args", {}) for e in kernels)
+print(f"ok: {len(passes)} pass spans, {len(kernels)} kernel spans")
+EOF
+
+echo "== ci.sh: all green =="

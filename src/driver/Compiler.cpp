@@ -8,12 +8,14 @@
 
 #include "check/Check.h"
 #include "parser/Desugar.h"
+#include "trace/Trace.h"
 #include "uniq/Uniqueness.h"
 
 using namespace fut;
 
 ErrorOr<CompileResult> fut::compileProgram(Program P, NameSource &Names,
                                            const CompilerOptions &Opts) {
+  trace::ScopedSpan CompileSpan("compile", "compiler");
   auto Recheck = [&](const char *Phase) -> MaybeError {
     if (!Opts.InternalChecks)
       return MaybeError::success();
@@ -25,12 +27,15 @@ ErrorOr<CompileResult> fut::compileProgram(Program P, NameSource &Names,
 
   if (auto Err = Recheck("frontend"))
     return Err.getError();
-  if (Opts.CheckUniqueness)
+  if (Opts.CheckUniqueness) {
+    trace::ScopedSpan Span("pass:uniqueness", "compiler");
     if (auto Err = checkProgramUniqueness(P))
       return Err.getError();
+  }
 
   CompileResult R;
   if (Opts.Inline) {
+    trace::ScopedSpan Span("pass:inline", "compiler");
     inlineFunctions(P, Names);
     removeDeadFunctions(P);
   }
@@ -60,7 +65,10 @@ ErrorOr<CompileResult> fut::compileProgram(Program P, NameSource &Names,
 ErrorOr<CompileResult> fut::compileSource(const std::string &Source,
                                           NameSource &Names,
                                           const CompilerOptions &Opts) {
-  auto P = frontend(Source, Names);
+  ErrorOr<Program> P = [&] {
+    trace::ScopedSpan Span("pass:frontend", "compiler");
+    return frontend(Source, Names);
+  }();
   if (!P)
     return P.getError();
   return compileProgram(P.take(), Names, Opts);

@@ -28,6 +28,7 @@
 #include "interp/Interp.h"
 #include "ir/Printer.h"
 #include "parser/Desugar.h"
+#include "trace/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -61,6 +62,10 @@ void usage() {
           "(default 3)\n"
           "  --no-fallback      fail instead of degrading to the "
           "interpreter\n"
+          "  --trace            print a span/counter summary to stderr\n"
+          "  --trace-out <file> write a Chrome trace_event JSON file\n"
+          "                     (load in chrome://tracing or Perfetto);\n"
+          "                     a parameterless main is run automatically\n"
           "  --run v1 v2 ...    run main on the given arguments\n"
           "arguments: scalars (3, 2.5, true) or arrays ([1,2,3], "
           "[1.5,2.5])\n");
@@ -128,6 +133,8 @@ int main(int argc, char **argv) {
 
   std::string File;
   bool DumpIR = false, UseInterp = false, Run = false;
+  bool TraceSummary = false;
+  std::string TraceOut;
   CompilerOptions Opts;
   gpusim::DeviceParams DP = gpusim::DeviceParams::gtx780();
   gpusim::ResilienceParams RP;
@@ -219,6 +226,16 @@ int main(int argc, char **argv) {
       RP.MaxRetries = static_cast<int>(N);
     } else if (A == "--no-fallback") {
       RP.InterpFallback = false;
+    } else if (A == "--trace") {
+      TraceSummary = true;
+    } else if (A == "--trace-out") {
+      if (++I >= argc) {
+        usage();
+        return 2;
+      }
+      TraceOut = argv[I];
+    } else if (A.rfind("--trace-out=", 0) == 0) {
+      TraceOut = A.substr(strlen("--trace-out="));
     } else if (A == "--run") {
       Run = true;
     } else if (A == "--help" || A == "-h") {
@@ -246,9 +263,34 @@ int main(int argc, char **argv) {
   Buf << In.rdbuf();
   std::string Source = Buf.str();
 
+  bool Tracing = TraceSummary || !TraceOut.empty();
+  if (Tracing) {
+    trace::TraceSession::global().clear();
+    trace::TraceSession::global().setEnabled(true);
+  }
+
+  // Emit whatever was traced even on early exits, so a failed run still
+  // produces an inspectable trace.
+  auto ExportTrace = [&]() -> int {
+    if (!Tracing)
+      return 0;
+    if (TraceSummary)
+      fprintf(stderr, "%s", trace::TraceSession::global().summary().c_str());
+    if (!TraceOut.empty()) {
+      if (auto Err = trace::TraceSession::global().writeChromeTrace(TraceOut)) {
+        fprintf(stderr, "trace error: %s\n",
+                Err.getError().Message.c_str());
+        return 1;
+      }
+      fprintf(stderr, "trace written to %s\n", TraceOut.c_str());
+    }
+    return 0;
+  };
+
   NameSource Names;
   auto C = compileSource(Source, Names, Opts);
   if (!C) {
+    ExportTrace();
     fprintf(stderr, "%s: %s\n", File.c_str(),
             C.getError().str().c_str());
     return 1;
@@ -268,14 +310,20 @@ int main(int argc, char **argv) {
   if (DumpIR)
     printf("%s\n", printProgram(C->P).c_str());
 
-  if (RunArgs.empty())
-    return 0;
+  // With tracing requested but no --run, a parameterless entry point is
+  // run automatically so the trace includes kernel launches.
+  const FunDef *Main = C->P.findFun("main");
+  bool AutoRun = Tracing && !Run && !UseInterp && Main &&
+                 Main->Params.empty();
+  if (RunArgs.empty() && !AutoRun && !(Run && Main && Main->Params.empty()))
+    return ExportTrace();
 
   std::vector<Value> Args;
   for (const std::string &S : RunArgs) {
     auto V = parseValue(S);
     if (!V) {
       fprintf(stderr, "argument error: %s\n", V.getError().Message.c_str());
+      ExportTrace();
       return 1;
     }
     Args.push_back(std::move(*V));
@@ -289,6 +337,7 @@ int main(int argc, char **argv) {
     auto R = I.run(Args);
     if (!R) {
       fprintf(stderr, "runtime error: %s\n", R.getError().str().c_str());
+      ExportTrace();
       return 1;
     }
     Outputs = R.take();
@@ -299,6 +348,7 @@ int main(int argc, char **argv) {
     auto R = runOnDevice(C->P, Args, RO);
     if (!R) {
       fprintf(stderr, "%s\n", R.getError().str().c_str());
+      ExportTrace();
       return 1;
     }
     if (R->InterpFallback)
@@ -312,5 +362,5 @@ int main(int argc, char **argv) {
   }
   for (const Value &V : Outputs)
     printf("%s\n", V.str().c_str());
-  return 0;
+  return ExportTrace();
 }

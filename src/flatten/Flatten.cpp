@@ -6,6 +6,8 @@
 
 #include "flatten/Flatten.h"
 
+#include "trace/Trace.h"
+
 #include "ir/Builder.h"
 #include "ir/Traversal.h"
 #include "opt/Simplify.h"
@@ -1036,5 +1038,16 @@ private:
 
 FlattenStats fut::extractKernels(Program &P, NameSource &Names,
                                  const FlattenOptions &Opts) {
-  return KernelExtractor(Names, Opts).run(P);
+  trace::ScopedSpan Span("pass:flatten", "compiler");
+  FlattenStats S = KernelExtractor(Names, Opts).run(P);
+  trace::counter("flatten.kernels", S.kernels());
+  trace::counter("flatten.thread_kernels", S.ThreadKernels);
+  trace::counter("flatten.segreduces", S.SegReduces);
+  trace::counter("flatten.segscans", S.SegScans);
+  trace::counter("flatten.interchanges", S.Interchanges);
+  trace::counter("flatten.sequentialised", S.SequentialisedSOACs);
+  Span.arg("kernels", S.kernels());
+  Span.arg("interchanges", S.Interchanges);
+  Span.arg("sequentialised", S.SequentialisedSOACs);
+  return S;
 }

@@ -6,6 +6,8 @@
 
 #include "fusion/Fusion.h"
 
+#include "trace/Trace.h"
+
 #include "ir/Builder.h"
 #include "ir/Traversal.h"
 
@@ -594,6 +596,7 @@ FusionStats fut::fuseBody(Body &B, NameSource &Names) {
 }
 
 FusionStats fut::fuseProgram(Program &P, NameSource &Names) {
+  trace::ScopedSpan Span("pass:fusion", "compiler");
   FusionStats Total;
   for (FunDef &F : P.Funs) {
     FusionStats S = fuseBody(F.FBody, Names);
@@ -602,5 +605,13 @@ FusionStats fut::fuseProgram(Program &P, NameSource &Names) {
     Total.StreamFusions += S.StreamFusions;
     Total.Horizontal += S.Horizontal;
   }
+  trace::counter("fusion.vertical", Total.Vertical);
+  trace::counter("fusion.redomap", Total.Redomap);
+  trace::counter("fusion.stream", Total.StreamFusions);
+  trace::counter("fusion.horizontal", Total.Horizontal);
+  Span.arg("vertical", Total.Vertical);
+  Span.arg("redomap", Total.Redomap);
+  Span.arg("stream", Total.StreamFusions);
+  Span.arg("horizontal", Total.Horizontal);
   return Total;
 }

@@ -9,6 +9,7 @@
 #include "ir/Printer.h"
 #include "ir/Builder.h"
 #include "ir/Traversal.h"
+#include "trace/Trace.h"
 
 #include <algorithm>
 #include <cmath>
@@ -37,6 +38,8 @@ std::string CostReport::str() const {
      << ", host=" << static_cast<int64_t>(HostCycles)
      << ", transfer=" << static_cast<int64_t>(TransferCycles) << ")"
      << " launches=" << KernelLaunches << " gtx=" << GlobalTransactions
+     << " (coalesced=" << CoalescedTransactions
+     << ", scattered=" << ScatteredTransactions << ")"
      << " gaccess=" << GlobalAccesses << " local=" << LocalAccesses
      << " private=" << PrivateAccesses << " ops=" << ComputeOps
      << " hostops=" << HostOps << " bytes=" << TransferredBytes
@@ -254,7 +257,9 @@ private:
   void chargePrivate(int64_t N, int64_t ArrElems) {
     if (ArrElems > P.PrivateSpillElems) {
       Cost.GlobalAccesses += N;
+      // Spilled traffic is address-scattered by construction.
       Cost.GlobalTransactions += (N + 1) / 2;
+      Cost.ScatteredTransactions += (N + 1) / 2;
       return;
     }
     Cost.PrivateAccesses += N;
@@ -395,12 +400,22 @@ private:
     std::vector<uint64_t> Segs;
     for (size_t I = 0; I < MaxLen; ++I) {
       Segs.clear();
+      int64_t Lanes = 0;
       for (const auto &T : WarpTraces)
-        if (I < T.size())
+        if (I < T.size()) {
           Segs.push_back(T[I] / static_cast<uint64_t>(P.SegmentBytes));
+          ++Lanes;
+        }
       std::sort(Segs.begin(), Segs.end());
       Segs.erase(std::unique(Segs.begin(), Segs.end()), Segs.end());
-      Cost.GlobalTransactions += static_cast<int64_t>(Segs.size());
+      int64_t Tx = static_cast<int64_t>(Segs.size());
+      Cost.GlobalTransactions += Tx;
+      // A time-step whose accesses merged into fewer segments than active
+      // lanes coalesced; one segment per lane means no merging happened.
+      if (Tx < Lanes)
+        Cost.CoalescedTransactions += Tx;
+      else
+        Cost.ScatteredTransactions += Tx;
     }
     for (auto &T : WarpTraces)
       T.clear();
@@ -1105,19 +1120,21 @@ ErrorOr<std::vector<Value>> KernelSim::runSegmented() {
           FUT_TRY(Col, assembleArray(ScanCols[J]));
           FUT_CHECK(chargeOutput(Col));
           Cost.GlobalAccesses += Col.numElems();
-          Cost.GlobalTransactions +=
-              (Col.numElems() * elemBytes(Col.elemKind()) +
-               P.SegmentBytes - 1) /
-              P.SegmentBytes;
+          int64_t Tx = (Col.numElems() * elemBytes(Col.elemKind()) +
+                        P.SegmentBytes - 1) /
+                       P.SegmentBytes;
+          Cost.GlobalTransactions += Tx;
+          Cost.CoalescedTransactions += Tx; // contiguous result write
           PerSeg[J].push_back(std::move(Col));
         }
       } else {
         FUT_CHECK(chargeOutput(Acc[J]));
         Cost.GlobalAccesses += Acc[J].numElems();
-        Cost.GlobalTransactions +=
-            (Acc[J].numElems() * elemBytes(Acc[J].elemKind()) +
-             P.SegmentBytes - 1) /
-            P.SegmentBytes;
+        int64_t Tx = (Acc[J].numElems() * elemBytes(Acc[J].elemKind()) +
+                      P.SegmentBytes - 1) /
+                     P.SegmentBytes;
+        Cost.GlobalTransactions += Tx;
+        Cost.CoalescedTransactions += Tx; // contiguous result write
         PerSeg[J].push_back(Acc[J]);
       }
     }
@@ -1266,9 +1283,22 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
       // Tiled transpose: reads coalesced, writes ~2x segment traffic.
       int64_t Tx = 3 * Bytes / P.SegmentBytes + 1;
       Cost.GlobalTransactions += Tx;
+      Cost.CoalescedTransactions += Tx; // tiled transposes stay coalesced
       Cost.GlobalAccesses += 2 * Elems;
       ++Cost.KernelLaunches;
-      Cost.KernelCycles += P.LaunchCycles + Tx / P.GlobalTxPerCycle;
+      double TCycles = P.LaunchCycles + Tx / P.GlobalTxPerCycle;
+      Cost.KernelCycles += TCycles;
+      {
+        trace::ScopedSpan TSpan("kernel:transpose", "device");
+        TSpan.arg("array", In.Arr.str());
+        TSpan.arg("cycles", TCycles);
+        TSpan.arg("global_tx", Tx);
+        TSpan.arg("coalesced_tx", Tx);
+        TSpan.arg("scattered_tx", static_cast<int64_t>(0));
+      }
+      trace::counter("device.kernel_launches");
+      trace::counter("device.global_tx", Tx);
+      trace::counter("device.coalesced_tx", Tx);
     }
 
     // Upload host-resident inputs.  The first upload of a program input
@@ -1303,12 +1333,26 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
     auto ChargeBackoff = [&] {
       ++Retries;
       ++Cost.RetriedLaunches;
-      Cost.RetryCycles += R.RetryBackoffCycles * std::ldexp(1.0, Retries - 1);
+      double Backoff = R.RetryBackoffCycles * std::ldexp(1.0, Retries - 1);
+      Cost.RetryCycles += Backoff;
+      trace::counter("device.retries");
+      auto &TS = trace::TraceSession::global();
+      size_t I = TS.instant("retry-backoff", "device");
+      TS.spanArg(I, "cycles", Backoff);
     };
+
+    const char *SpanName = K.Op == KernelExp::OpKind::ThreadBody
+                               ? "kernel:threadbody"
+                               : K.Op == KernelExp::OpKind::SegScan
+                                     ? "kernel:segscan"
+                                     : "kernel:segreduce";
 
     for (;;) {
       if (Plan.nextLaunchFails()) {
         ++Cost.FaultsInjected;
+        trace::counter("device.faults");
+        trace::TraceSession::global().instant("fault:launch-failed",
+                                              "device");
         if (Retries >= R.MaxRetries)
           return CompilerError::transientFault(
               "kernel launch failed persistently (" +
@@ -1318,6 +1362,7 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
         continue;
       }
 
+      trace::ScopedSpan KSpan(SpanName, "device");
       CostReport KCost;
       int64_t OutBudget =
           P.DeviceMemBytes > 0 ? P.DeviceMemBytes - LiveDeviceBytes : -1;
@@ -1346,6 +1391,14 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
         ++Cost.WatchdogKills;
         ++Cost.KernelLaunches;
         Cost.KernelCycles += P.WatchdogKernelCycles;
+        // The span records the cycles actually charged, not the full
+        // would-have-been kernel time, so span cycles still sum to
+        // KernelCycles.
+        KSpan.arg("cycles", P.WatchdogKernelCycles);
+        KSpan.arg("killed", static_cast<int64_t>(1));
+        trace::counter("device.kernel_launches");
+        trace::counter("device.watchdog_kills");
+        trace::TraceSession::global().instant("watchdog-kill", "device");
         return CompilerError::watchdog(
             "kernel killed by watchdog: " +
             std::to_string(static_cast<int64_t>(KTime)) +
@@ -1355,18 +1408,38 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
 
       Cost.KernelCycles += KTime;
       ++Cost.KernelLaunches;
-      Cost.GlobalTransactions +=
+      int64_t LaunchGlobalTx =
           KCost.GlobalTransactions + static_cast<int64_t>(TiledTx);
+      int64_t LaunchCoalescedTx =
+          KCost.CoalescedTransactions + static_cast<int64_t>(TiledTx);
+      Cost.GlobalTransactions += LaunchGlobalTx;
+      Cost.CoalescedTransactions += LaunchCoalescedTx;
+      Cost.ScatteredTransactions += KCost.ScatteredTransactions;
       Cost.GlobalAccesses += KCost.GlobalAccesses;
       Cost.LocalAccesses += KCost.LocalAccesses;
       Cost.PrivateAccesses += KCost.PrivateAccesses;
       Cost.ComputeOps += KCost.ComputeOps;
       Cost.TiledElementTouches += KCost.TiledElementTouches;
 
+      KSpan.arg("cycles", KTime);
+      KSpan.arg("global_tx", LaunchGlobalTx);
+      KSpan.arg("coalesced_tx", LaunchCoalescedTx);
+      KSpan.arg("scattered_tx", KCost.ScatteredTransactions);
+      KSpan.arg("local_accesses", KCost.LocalAccesses);
+      KSpan.arg("private_accesses", KCost.PrivateAccesses);
+      KSpan.arg("compute_ops", KCost.ComputeOps);
+      trace::counter("device.kernel_launches");
+      trace::counter("device.global_tx", LaunchGlobalTx);
+      trace::counter("device.coalesced_tx", LaunchCoalescedTx);
+      trace::counter("device.scattered_tx", KCost.ScatteredTransactions);
+
       // Detected result corruption (ECC-style): the kernel ran — and was
       // charged — but its result must be recomputed.
       if (Plan.nextResultCorrupted()) {
         ++Cost.FaultsInjected;
+        trace::counter("device.faults");
+        trace::TraceSession::global().instant("fault:result-corrupted",
+                                              "device");
         if (Retries >= R.MaxRetries)
           return CompilerError::transientFault(
               "kernel results corrupted persistently (" +
@@ -1427,11 +1500,16 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
 
 ErrorOr<RunResult> Device::run(const Program &Prog, const std::string &Fun,
                                const std::vector<Value> &Args) {
+  trace::ScopedSpan Span("device-run", "device");
+  Span.arg("device", P.Name);
+  Span.arg("function", Fun);
   CostReport Cost;
   FaultPlan Plan(R.Faults);
   auto Res = runDeviceAttempt(P, R, Plan, Cost, Prog, Fun, Args);
-  if (Res)
+  if (Res) {
+    Span.arg("cycles", Res->Cost.TotalCycles);
     return Res;
+  }
 
   // Only persistent *device* failures degrade to the interpreter; compile
   // errors and plain runtime errors (bad index, shape mismatch) would fail
@@ -1442,6 +1520,7 @@ ErrorOr<RunResult> Device::run(const Program &Prog, const std::string &Fun,
                        DevErr.Kind == ErrorKind::TransientFault;
   if (!DeviceFailure || !R.InterpFallback)
     return DevErr;
+  trace::TraceSession::global().instant("interp-fallback", "device");
 
   // Graceful degradation: recompute the whole run on the reference
   // interpreter.  The aborted device work stays charged in the cost

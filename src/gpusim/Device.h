@@ -98,6 +98,13 @@ struct CostReport {
 
   int64_t KernelLaunches = 0;
   int64_t GlobalTransactions = 0;
+  /// Breakdown of GlobalTransactions by warp-level access pattern: a
+  /// warp time-step whose accesses merge into fewer segments than active
+  /// lanes contributes coalesced transactions; a step with one segment per
+  /// lane (and spilled private-array traffic) contributes scattered ones.
+  /// Invariant: Coalesced + Scattered == GlobalTransactions.
+  int64_t CoalescedTransactions = 0;
+  int64_t ScatteredTransactions = 0;
   int64_t GlobalAccesses = 0; // individual element accesses
   int64_t LocalAccesses = 0;
   int64_t PrivateAccesses = 0;

@@ -6,6 +6,8 @@
 
 #include "locality/Locality.h"
 
+#include "trace/Trace.h"
+
 #include "ir/Builder.h"
 #include "ir/Traversal.h"
 
@@ -300,5 +302,11 @@ private:
 } // namespace
 
 LocalityStats fut::optimiseLocality(Program &P, const LocalityOptions &Opts) {
-  return LocalityPass(Opts).run(P);
+  trace::ScopedSpan Span("pass:locality", "compiler");
+  LocalityStats S = LocalityPass(Opts).run(P);
+  trace::counter("locality.coalesced", S.CoalescedInputs);
+  trace::counter("locality.tiled", S.TiledInputs);
+  Span.arg("coalesced", S.CoalescedInputs);
+  Span.arg("tiled", S.TiledInputs);
+  return S;
 }

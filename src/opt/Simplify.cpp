@@ -8,6 +8,7 @@
 
 #include "ir/Builder.h"
 #include "ir/Traversal.h"
+#include "trace/Trace.h"
 
 #include <unordered_map>
 
@@ -21,7 +22,9 @@ namespace {
 class BodySimplifier {
   NameSource &NS;
   const SimplifyOptions &Opts;
-  bool Changed = false;
+  /// Number of individual rewrites applied (constant folds, copy props,
+  /// CSE hits, dead statements removed); 0 means a fixed point.
+  int Rewrites = 0;
 
   /// Definitions visible at the current program point (outer bodies
   /// included); maps a name to the expression that bound it.
@@ -31,9 +34,9 @@ public:
   BodySimplifier(NameSource &NS, const SimplifyOptions &Opts)
       : NS(NS), Opts(Opts) {}
 
-  bool run(Body &B) {
+  int run(Body &B) {
     simplify(B);
-    return Changed;
+    return Rewrites;
   }
 
 private:
@@ -223,21 +226,21 @@ private:
           Out.push_back(std::move(Inner));
         for (size_t I = 0; I < S.Pat.size(); ++I)
           Subst[S.Pat[I].Name] = Taken.Result[I];
-        Changed = true;
+        ++Rewrites;
         continue;
       }
 
       // Rule-based rewriting to a fixed point on this one expression.
       for (ExpPtr R = rewrite(*S.E); R; R = rewrite(*S.E)) {
         S.E = std::move(R);
-        Changed = true;
+        ++Rewrites;
       }
 
       // Copy propagation.
       if (const auto *SE = expDynCast<SubExpExp>(S.E.get());
           SE && S.Pat.size() == 1) {
         Subst[S.Pat[0].Name] = SE->Val;
-        Changed = true;
+        ++Rewrites;
         continue;
       }
 
@@ -248,7 +251,7 @@ private:
         if (It != CSE.end() && It->second.size() == S.Pat.size()) {
           for (size_t I = 0; I < S.Pat.size(); ++I)
             Subst[S.Pat[I].Name] = SubExp::var(It->second[I]);
-          Changed = true;
+          ++Rewrites;
           continue;
         }
         std::vector<VName> Names;
@@ -295,7 +298,7 @@ private:
       for (const Param &P : It->Pat)
         Needed = Needed || Live.count(P.Name);
       if (!Needed) {
-        Changed = true;
+        ++Rewrites;
         continue;
       }
       NameSet Free = freeVarsInExp(*It->E);
@@ -314,12 +317,12 @@ private:
 /// Hoists invariant, cheap bindings out of loops and SOAC lambdas
 /// (let-floating / hoisting in Fig 3).  Returns true on change.
 class Hoister {
-  bool Changed = false;
+  int Rewrites = 0;
 
 public:
-  bool run(Body &B) {
+  int run(Body &B) {
     hoistInBody(B);
-    return Changed;
+    return Rewrites;
   }
 
 private:
@@ -407,7 +410,7 @@ private:
             }
             if (CanHoist) {
               Out.push_back(std::move(IS));
-              Changed = true;
+              ++Rewrites;
             } else {
               for (const Param &P : IS.Pat)
                 Bound.insert(P.Name);
@@ -425,21 +428,29 @@ private:
 
 } // namespace
 
-void fut::simplifyBody(Body &B, NameSource &Names,
-                       const SimplifyOptions &Opts) {
+int fut::simplifyBody(Body &B, NameSource &Names,
+                      const SimplifyOptions &Opts) {
+  int Total = 0;
   for (int Round = 0; Round < Opts.MaxRounds; ++Round) {
-    bool Changed = BodySimplifier(Names, Opts).run(B);
+    int N = BodySimplifier(Names, Opts).run(B);
     if (Opts.EnableHoisting)
-      Changed |= Hoister().run(B);
-    if (!Changed)
-      return;
+      N += Hoister().run(B);
+    if (!N)
+      break;
+    Total += N;
   }
+  trace::counter("simplify.rewrites", Total);
+  return Total;
 }
 
-void fut::simplifyProgram(Program &P, NameSource &Names,
-                          const SimplifyOptions &Opts) {
+int fut::simplifyProgram(Program &P, NameSource &Names,
+                         const SimplifyOptions &Opts) {
+  trace::ScopedSpan Span("pass:simplify", "compiler");
+  int Total = 0;
   for (FunDef &F : P.Funs)
-    simplifyBody(F.FBody, Names, Opts);
+    Total += simplifyBody(F.FBody, Names, Opts);
+  Span.arg("rewrites", Total);
+  return Total;
 }
 
 namespace {

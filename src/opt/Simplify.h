@@ -32,13 +32,16 @@ struct SimplifyOptions {
   int MaxRounds = 8;
 };
 
-/// Simplifies every function in the program.
-void simplifyProgram(Program &P, NameSource &Names,
-                     const SimplifyOptions &Opts = {});
+/// Simplifies every function in the program; returns the number of
+/// individual rewrites applied (also recorded on the trace session as the
+/// "simplify.rewrites" counter).
+int simplifyProgram(Program &P, NameSource &Names,
+                    const SimplifyOptions &Opts = {});
 
-/// Simplifies one body in place (used by passes on nested code).
-void simplifyBody(Body &B, NameSource &Names,
-                  const SimplifyOptions &Opts = {});
+/// Simplifies one body in place (used by passes on nested code); returns
+/// the number of rewrites applied.
+int simplifyBody(Body &B, NameSource &Names,
+                 const SimplifyOptions &Opts = {});
 
 /// Inlines all calls to non-recursive functions, bottom-up.  After this,
 /// the entry function is typically call-free.

@@ -1,0 +1,349 @@
+//===- Json.h - Minimal JSON writing and parsing ----------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON value model with a writer and a recursive-descent parser,
+/// shared by the trace exporters (which emit Chrome trace_event files and
+/// BENCH_trace.json) and by the tests that validate the emitted schema.
+/// Only what those clients need is implemented: objects, arrays, strings,
+/// doubles, bools and null, with standard escaping.  Numbers parse as
+/// double, which is exact for the integer counters we emit (< 2^53).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_SUPPORT_JSON_H
+#define FUTHARKCC_SUPPORT_JSON_H
+
+#include "support/Error.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fut {
+namespace json {
+
+/// Escapes \p S for inclusion in a JSON string literal (without quotes).
+inline std::string escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// Formats a double the way JSON expects: integers without a fraction,
+/// everything else with enough digits to round-trip.
+inline std::string number(double V) {
+  if (std::isfinite(V) && V == std::floor(V) && std::fabs(V) < 1e15) {
+    char Buf[32];
+    snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+    return Buf;
+  }
+  if (!std::isfinite(V))
+    return "0"; // JSON has no inf/nan; clamp rather than corrupt the file
+  char Buf[40];
+  snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsed values
+//===----------------------------------------------------------------------===//
+
+enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+/// A parsed JSON value.  Object member order is not preserved (std::map),
+/// which is fine for schema validation.
+struct Value {
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::map<std::string, Value> Obj;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  /// Object member lookup; null when absent or not an object.
+  const Value *get(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    auto It = Obj.find(Key);
+    return It == Obj.end() ? nullptr : &It->second;
+  }
+  /// Member as number; \p Missing when absent or of another kind.
+  double getNumber(const std::string &Key, double Missing = 0) const {
+    const Value *V = get(Key);
+    return V && V->K == Kind::Number ? V->Num : Missing;
+  }
+  /// Member as string; empty when absent or of another kind.
+  std::string getString(const std::string &Key) const {
+    const Value *V = get(Key);
+    return V && V->K == Kind::String ? V->Str : std::string();
+  }
+};
+
+namespace detail {
+
+class Parser {
+  const std::string &S;
+  size_t Pos = 0;
+
+public:
+  explicit Parser(const std::string &S) : S(S) {}
+
+  ErrorOr<Value> parse() {
+    auto V = parseValue();
+    if (!V)
+      return V;
+    skipWs();
+    if (Pos != S.size())
+      return err("trailing characters after JSON value");
+    return V;
+  }
+
+private:
+  CompilerError err(const std::string &Msg) const {
+    return CompilerError("json: " + Msg + " at offset " +
+                         std::to_string(Pos));
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  ErrorOr<Value> parseValue() {
+    skipWs();
+    if (Pos >= S.size())
+      return err("unexpected end of input");
+    char C = S[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"')
+      return parseString();
+    if (C == 't' || C == 'f')
+      return parseBool();
+    if (C == 'n') {
+      if (S.compare(Pos, 4, "null") != 0)
+        return err("bad literal");
+      Pos += 4;
+      return Value();
+    }
+    return parseNumber();
+  }
+
+  ErrorOr<Value> parseObject() {
+    ++Pos; // '{'
+    Value V;
+    V.K = Kind::Object;
+    if (consume('}'))
+      return V;
+    for (;;) {
+      auto Key = parseString();
+      if (!Key)
+        return Key;
+      if (!consume(':'))
+        return err("expected ':' in object");
+      auto Member = parseValue();
+      if (!Member)
+        return Member;
+      V.Obj[Key->Str] = Member.take();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return V;
+      return err("expected ',' or '}' in object");
+    }
+  }
+
+  ErrorOr<Value> parseArray() {
+    ++Pos; // '['
+    Value V;
+    V.K = Kind::Array;
+    if (consume(']'))
+      return V;
+    for (;;) {
+      auto Elem = parseValue();
+      if (!Elem)
+        return Elem;
+      V.Arr.push_back(Elem.take());
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return V;
+      return err("expected ',' or ']' in array");
+    }
+  }
+
+  ErrorOr<Value> parseString() {
+    skipWs();
+    if (Pos >= S.size() || S[Pos] != '"')
+      return err("expected string");
+    ++Pos;
+    Value V;
+    V.K = Kind::String;
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos++];
+      if (C != '\\') {
+        V.Str += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        return err("unterminated escape");
+      char E = S[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        V.Str += E;
+        break;
+      case 'n':
+        V.Str += '\n';
+        break;
+      case 'r':
+        V.Str += '\r';
+        break;
+      case 't':
+        V.Str += '\t';
+        break;
+      case 'b':
+        V.Str += '\b';
+        break;
+      case 'f':
+        V.Str += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size())
+          return err("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = S[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else
+            return err("bad \\u escape");
+        }
+        // Basic-multilingual-plane only; enough for our ASCII emitters.
+        if (Code < 0x80) {
+          V.Str += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          V.Str += static_cast<char>(0xC0 | (Code >> 6));
+          V.Str += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          V.Str += static_cast<char>(0xE0 | (Code >> 12));
+          V.Str += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          V.Str += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return err("bad escape");
+      }
+    }
+    if (Pos >= S.size())
+      return err("unterminated string");
+    ++Pos; // closing '"'
+    return V;
+  }
+
+  ErrorOr<Value> parseBool() {
+    Value V;
+    V.K = Kind::Bool;
+    if (S.compare(Pos, 4, "true") == 0) {
+      V.B = true;
+      Pos += 4;
+      return V;
+    }
+    if (S.compare(Pos, 5, "false") == 0) {
+      Pos += 5;
+      return V;
+    }
+    return err("bad literal");
+  }
+
+  ErrorOr<Value> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    while (Pos < S.size() &&
+           (isdigit(static_cast<unsigned char>(S[Pos])) || S[Pos] == '.' ||
+            S[Pos] == 'e' || S[Pos] == 'E' || S[Pos] == '-' ||
+            S[Pos] == '+'))
+      ++Pos;
+    if (Pos == Start)
+      return err("expected a value");
+    Value V;
+    V.K = Kind::Number;
+    try {
+      V.Num = std::stod(S.substr(Start, Pos - Start));
+    } catch (...) {
+      return err("malformed number");
+    }
+    return V;
+  }
+};
+
+} // namespace detail
+
+/// Parses a complete JSON document.
+inline ErrorOr<Value> parse(const std::string &S) {
+  return detail::Parser(S).parse();
+}
+
+} // namespace json
+} // namespace fut
+
+#endif // FUTHARKCC_SUPPORT_JSON_H

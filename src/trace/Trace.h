@@ -1,0 +1,168 @@
+//===- Trace.h - Structured tracing and metrics -----------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight span/counter subsystem threaded through the whole stack:
+/// every compiler pass opens a span (so the pipeline is visible as a
+/// timeline), the device simulator opens a span per kernel launch (carrying
+/// simulated cycles and the coalesced/scattered transaction breakdown as
+/// args), and passes/devices bump named counters ("fusion.vertical",
+/// "device.global_tx", ...) that turn "the fusion pass ran" into a
+/// checkable fact.
+///
+/// The process-global TraceSession is disabled by default; when disabled,
+/// spans and counters cost one branch.  Two exporters are provided:
+///
+///  * summary(): a human-readable digest (printed by futharkcc --trace),
+///  * chromeTraceJson(): Chrome trace_event JSON ("X" complete events with
+///    microsecond wall-clock timestamps, simulated costs in args, instant
+///    events for faults/retries, and trailing "C" counter samples), loadable
+///    directly in chrome://tracing or Perfetto (futharkcc --trace-out=FILE).
+///
+/// Timestamps are wall-clock so compiler passes and simulated kernels share
+/// one timeline; all *simulated* quantities (cycles, transactions) travel in
+/// span args, never in the time axis.  The session is single-threaded, like
+/// the rest of the compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_TRACE_TRACE_H
+#define FUTHARKCC_TRACE_TRACE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fut {
+namespace trace {
+
+/// One key/value argument attached to a span or instant event.  Numeric
+/// args stay numeric in the exported JSON.
+struct TraceArg {
+  std::string Key;
+  bool IsNumber = true;
+  double Num = 0;
+  std::string Str;
+};
+
+/// A recorded event: a completed span ("X"), an instant ("i"), or a counter
+/// sample ("C", synthesised at export time).
+struct TraceEvent {
+  std::string Name;
+  std::string Category;
+  double StartUs = 0; ///< Wall-clock microseconds since session start.
+  double DurUs = 0;   ///< Spans only.
+  int Depth = 0;      ///< Nesting depth at begin (0 = top level).
+  bool Instant = false;
+  std::vector<TraceArg> Args;
+
+  const TraceArg *findArg(const std::string &Key) const {
+    for (const TraceArg &A : Args)
+      if (A.Key == Key)
+        return &A;
+    return nullptr;
+  }
+};
+
+/// The process-global trace sink.  All spans, instants and counters land
+/// here; exporters read the recorded state back out.
+class TraceSession {
+  bool Enabled = false;
+  uint64_t EpochNs = 0;
+  std::vector<TraceEvent> Events;
+  std::vector<size_t> OpenSpans; ///< Indices into Events, innermost last.
+  std::map<std::string, int64_t> Counters;
+
+public:
+  static TraceSession &global();
+
+  bool enabled() const { return Enabled; }
+  /// Enabling (re)starts the clock when the session was previously empty.
+  void setEnabled(bool On);
+
+  /// Drops all recorded events and counters and restarts the clock.
+  void clear();
+
+  //===-- Recording --------------------------------------------------------===//
+
+  /// Opens a span; returns its event index (pass to endSpan/spanArg), or
+  /// SIZE_MAX when disabled.  Prefer the RAII ScopedSpan.
+  size_t beginSpan(const std::string &Name, const std::string &Category);
+  void endSpan(size_t Idx);
+
+  void spanArg(size_t Idx, const std::string &Key, double Num);
+  void spanArg(size_t Idx, const std::string &Key, const std::string &Str);
+
+  /// Records an instant event (faults, retries, watchdog kills).
+  size_t instant(const std::string &Name, const std::string &Category);
+
+  /// Adds \p Delta to the named counter.
+  void counter(const std::string &Name, int64_t Delta = 1);
+
+  //===-- Reading back -----------------------------------------------------===//
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+  const std::map<std::string, int64_t> &counters() const { return Counters; }
+  int64_t counterValue(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  //===-- Exporters --------------------------------------------------------===//
+
+  /// Human-readable digest: the span tree with durations, then counters.
+  std::string summary() const;
+
+  /// Chrome trace_event JSON (the {"traceEvents": [...]} envelope).
+  std::string chromeTraceJson() const;
+
+  /// Writes chromeTraceJson() to \p Path.
+  MaybeError writeChromeTrace(const std::string &Path) const;
+
+private:
+  double nowUs() const;
+};
+
+/// RAII span on the global session.  Args added through it attach to the
+/// span event; all calls are no-ops when tracing is disabled.
+class ScopedSpan {
+  size_t Idx;
+
+public:
+  ScopedSpan(const std::string &Name, const std::string &Category)
+      : Idx(TraceSession::global().beginSpan(Name, Category)) {}
+  ~ScopedSpan() { TraceSession::global().endSpan(Idx); }
+
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  void arg(const std::string &Key, double Num) {
+    TraceSession::global().spanArg(Idx, Key, Num);
+  }
+  void arg(const std::string &Key, int64_t Num) {
+    TraceSession::global().spanArg(Idx, Key, static_cast<double>(Num));
+  }
+  void arg(const std::string &Key, int Num) {
+    TraceSession::global().spanArg(Idx, Key, static_cast<double>(Num));
+  }
+  void arg(const std::string &Key, const std::string &Str) {
+    TraceSession::global().spanArg(Idx, Key, Str);
+  }
+};
+
+/// Convenience: bumps a counter on the global session.
+inline void counter(const std::string &Name, int64_t Delta = 1) {
+  TraceSession::global().counter(Name, Delta);
+}
+
+} // namespace trace
+} // namespace fut
+
+#endif // FUTHARKCC_TRACE_TRACE_H

@@ -1,0 +1,143 @@
+//===- trace_counters_test.cpp - Pass counters are observable facts ----------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace layer turns "the fusion engine did its job" into a checkable
+/// fact: compiling map f ∘ map g must record exactly one vertical fusion
+/// and one extracted kernel, and the fused pipeline must move strictly
+/// fewer global-memory transactions than the unfused ablation of the same
+/// program (the intermediate array never reaches global memory).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "driver/Compiler.h"
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+
+namespace {
+
+const char *kMapMap =
+    "fun main (n: i32) (xs: [n]i32): [n]i32 =\n"
+    "  let ys = map (\\(x: i32): i32 -> x * 3 + 1) xs\n"
+    "  in map (\\(y: i32): i32 -> y % 7 - 2) ys\n";
+
+std::vector<Value> mapMapArgs() {
+  std::vector<PrimValue> Elems;
+  for (int I = 0; I < 256; ++I)
+    Elems.push_back(PrimValue::makeI32(I * 5 - 300));
+  std::vector<Value> Args;
+  Args.push_back(Value::scalar(PrimValue::makeI32(256)));
+  Args.push_back(Value::array(ScalarKind::I32, {256}, std::move(Elems)));
+  return Args;
+}
+
+/// Compiles and runs kMapMap under a fresh trace session; returns the
+/// device.global_tx counter observed for the run.
+int64_t runAndCountTx(bool Fuse, int64_t *FusedKernels = nullptr,
+                      int64_t *VerticalFusions = nullptr) {
+  auto &TS = trace::TraceSession::global();
+  TS.clear();
+  TS.setEnabled(true);
+
+  CompilerOptions Opts;
+  Opts.EnableFusion = Fuse;
+  NameSource Names;
+  auto C = compileSource(kMapMap, Names, Opts);
+  EXPECT_TRUE(static_cast<bool>(C)) << C.getError().str();
+
+  auto R = runOnDevice(C->P, mapMapArgs(), DeviceRunOptions());
+  EXPECT_TRUE(static_cast<bool>(R)) << R.getError().str();
+
+  if (FusedKernels)
+    *FusedKernels = TS.counterValue("flatten.kernels");
+  if (VerticalFusions)
+    *VerticalFusions = TS.counterValue("fusion.vertical");
+  int64_t Tx = TS.counterValue("device.global_tx");
+  TS.setEnabled(false);
+  TS.clear();
+  return Tx;
+}
+
+TEST(TraceCounters, MapMapFusesToOneKernel) {
+  int64_t Kernels = 0, Vertical = 0;
+  runAndCountTx(/*Fuse=*/true, &Kernels, &Vertical);
+  EXPECT_EQ(Vertical, 1);
+  EXPECT_EQ(Kernels, 1);
+}
+
+TEST(TraceCounters, FusedRunMovesFewerGlobalTransactions) {
+  int64_t FusedTx = runAndCountTx(/*Fuse=*/true);
+  int64_t UnfusedKernels = 0, UnfusedVertical = 0;
+  int64_t UnfusedTx =
+      runAndCountTx(/*Fuse=*/false, &UnfusedKernels, &UnfusedVertical);
+  EXPECT_EQ(UnfusedVertical, 0);
+  EXPECT_EQ(UnfusedKernels, 2);
+  EXPECT_LT(FusedTx, UnfusedTx);
+  EXPECT_GT(FusedTx, 0);
+}
+
+TEST(TraceCounters, SimplifyRewritesAreCounted) {
+  auto &TS = trace::TraceSession::global();
+  TS.clear();
+  TS.setEnabled(true);
+  // Constant folding plus dead code: the rewrite counter must move.
+  const char *Src = "fun main (x: i32): i32 =\n"
+                    "  let a = 2 + 3\n"
+                    "  let dead = x * 100\n"
+                    "  in a * x\n";
+  NameSource Names;
+  auto C = compileSource(Src, Names, CompilerOptions());
+  ASSERT_TRUE(static_cast<bool>(C)) << C.getError().str();
+  EXPECT_GT(TS.counterValue("simplify.rewrites"), 0);
+  TS.setEnabled(false);
+  TS.clear();
+}
+
+TEST(TraceCounters, DisabledSessionRecordsNothing) {
+  auto &TS = trace::TraceSession::global();
+  TS.clear();
+  ASSERT_FALSE(TS.enabled());
+  NameSource Names;
+  auto C = compileSource(kMapMap, Names, CompilerOptions());
+  ASSERT_TRUE(static_cast<bool>(C)) << C.getError().str();
+  EXPECT_TRUE(TS.events().empty());
+  EXPECT_TRUE(TS.counters().empty());
+}
+
+TEST(TraceCounters, PassSpansCarryRewriteArgs) {
+  auto &TS = trace::TraceSession::global();
+  TS.clear();
+  TS.setEnabled(true);
+  NameSource Names;
+  auto C = compileSource(kMapMap, Names, CompilerOptions());
+  ASSERT_TRUE(static_cast<bool>(C)) << C.getError().str();
+
+  bool SawFusion = false, SawFlatten = false;
+  for (const trace::TraceEvent &E : TS.events()) {
+    if (E.Name == "pass:fusion") {
+      SawFusion = true;
+      const trace::TraceArg *A = E.findArg("vertical");
+      ASSERT_NE(A, nullptr);
+      EXPECT_EQ(A->Num, 1);
+    }
+    if (E.Name == "pass:flatten") {
+      SawFlatten = true;
+      const trace::TraceArg *A = E.findArg("kernels");
+      ASSERT_NE(A, nullptr);
+      EXPECT_EQ(A->Num, 1);
+    }
+  }
+  EXPECT_TRUE(SawFusion);
+  EXPECT_TRUE(SawFlatten);
+  TS.setEnabled(false);
+  TS.clear();
+}
+
+} // namespace

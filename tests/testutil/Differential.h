@@ -1,0 +1,68 @@
+//===- Differential.h - Seeded differential test harness --------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded generator of random surface programs together with a harness
+/// that runs each program twice — once on the reference interpreter
+/// (straight from the frontend, no optimisation, no faults) and once
+/// through the full compile pipeline onto the simulated device — and
+/// demands bit-identical results.
+///
+/// Generated programs are integer-only (i32): the pipeline reorders
+/// reductions, which is only value-preserving for genuinely associative
+/// operators, so exact equality would not survive floating point.  The
+/// construct pool covers the surface the paper's pipeline cares about:
+/// map nests, reduce, scan, conditional masking (the language has no
+/// filter; a mask map is the standard encoding), in-place updates on
+/// fresh arrays, iota, replicate, and sequential loops inside maps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_TESTS_DIFFERENTIAL_H
+#define FUTHARKCC_TESTS_DIFFERENTIAL_H
+
+#include "gpusim/Device.h"
+#include "interp/Interp.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fut {
+namespace test {
+
+/// A generated program plus matching arguments for its entry point.
+struct GeneratedProgram {
+  uint64_t Seed = 0;
+  std::string Source;
+  std::vector<Value> Args;
+};
+
+/// Deterministically generates program number \p Seed: same seed, same
+/// program and inputs, forever.
+GeneratedProgram generateProgram(uint64_t Seed);
+
+/// The outcome of one differential run; on mismatch, Message carries the
+/// seed, the source and both results so the failure reproduces from the
+/// test log alone.
+struct DifferentialOutcome {
+  bool Ok = false;
+  std::string Message;
+};
+
+/// Runs \p GP through both execution paths and compares bit-for-bit.
+/// \p RP configures the device's fault injection — the harness's results
+/// must be identical under fault-free and faulty (retried / degraded)
+/// execution alike.
+DifferentialOutcome
+runDifferential(const GeneratedProgram &GP,
+                const gpusim::ResilienceParams &RP = gpusim::ResilienceParams(),
+                const gpusim::DeviceParams &DP = gpusim::DeviceParams::gtx780());
+
+} // namespace test
+} // namespace fut
+
+#endif // FUTHARKCC_TESTS_DIFFERENTIAL_H
