@@ -21,7 +21,12 @@ using namespace fut::bench;
 namespace {
 
 double cyclesWith(const BenchmarkDef &B, const CompilerOptions &O) {
-  auto R = runBenchmark(B, O, gpusim::DeviceParams::gtx780());
+  // Ablation ratios are calibrated under the serial (--sync) cost model;
+  // launch pipelining in the async timeline would otherwise discount
+  // exactly the launch-heavy unoptimised variants being measured.
+  gpusim::DeviceParams DP = gpusim::DeviceParams::gtx780();
+  DP.AsyncTimeline = false;
+  auto R = runBenchmark(B, O, DP);
   if (!R) {
     fprintf(stderr, "%s failed: %s\n", B.Name.c_str(),
             R.getError().Message.c_str());

@@ -79,7 +79,10 @@ int main() {
                   {"total_cycles", RF->Cost.TotalCycles},
                   {"global_tx", (double)RF->Cost.GlobalTransactions},
                   {"private_accesses", (double)RF->Cost.PrivateAccesses},
-                  {"kernel_launches", (double)RF->Cost.KernelLaunches}});
+                  {"kernel_launches", (double)RF->Cost.KernelLaunches},
+                  {"overlap_saved", RF->Cost.OverlapSavedCycles},
+                  {"peak_device_bytes", (double)RF->Cost.PeakDeviceBytes},
+                  {"freed_bytes", (double)RF->Cost.FreedBytes}});
 
   // Unfused pipeline.
   Trace.beginRun();
@@ -99,7 +102,10 @@ int main() {
                   {"total_cycles", RU->Cost.TotalCycles},
                   {"global_tx", (double)RU->Cost.GlobalTransactions},
                   {"private_accesses", (double)RU->Cost.PrivateAccesses},
-                  {"kernel_launches", (double)RU->Cost.KernelLaunches}});
+                  {"kernel_launches", (double)RU->Cost.KernelLaunches},
+                  {"overlap_saved", RU->Cost.OverlapSavedCycles},
+                  {"peak_device_bytes", (double)RU->Cost.PeakDeviceBytes},
+                  {"freed_bytes", (double)RU->Cost.FreedBytes}});
   if (!RF || !RU) {
     fprintf(stderr, "run failed\n");
     return 1;
@@ -117,6 +123,9 @@ int main() {
   printf("%-24s %14lld %14lld\n", "kernel launches",
          (long long)RF->Cost.KernelLaunches,
          (long long)RU->Cost.KernelLaunches);
+  printf("%-24s %14lld %14lld\n", "peak device bytes",
+         (long long)RF->Cost.PeakDeviceBytes,
+         (long long)RU->Cost.PeakDeviceBytes);
   printf("\nfusion speedup: %.2fx; the fused form runs the whole pipeline "
          "in one kernel\nwithout materialising the intermediate [n] "
          "array.\n",

@@ -61,7 +61,10 @@ double run(const char *Src, const char *Name) {
   std::vector<Value> Args = {Value::scalar(PrimValue::makeI32(K)),
                              Value::scalar(PrimValue::makeI32(N)),
                              makeIntVectorValue(ScalarKind::I32, Member)};
-  gpusim::Device D;
+  // Fig 4 cycle counts are pinned under the serial (--sync) cost model.
+  gpusim::DeviceParams DP = gpusim::DeviceParams::gtx780();
+  DP.AsyncTimeline = false;
+  gpusim::Device D(DP);
   auto R = D.runMain(C->P, Args);
   if (!R) {
     fprintf(stderr, "%s: %s\n", Name, R.getError().Message.c_str());

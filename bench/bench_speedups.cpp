@@ -33,21 +33,42 @@ int main() {
   std::vector<Row> Rows;
   BenchTraceWriter Trace;
 
+  // Fig 13 is calibrated against the serial (--sync) cost model: the
+  // reference hand-tuning factors were fitted under it, and the paper's
+  // wall-clock ratios assume overlap on both sides.  The asynchronous
+  // timeline is quantified separately (EXPERIMENTS.md E12); per-benchmark
+  // overlap counters from an async run are recorded alongside each row.
+  gpusim::DeviceParams GTX = gpusim::DeviceParams::gtx780();
+  gpusim::DeviceParams AMD = gpusim::DeviceParams::w8100();
+  GTX.AsyncTimeline = false;
+  AMD.AsyncTimeline = false;
+  const CompilerOptions Full;
+
   for (const BenchmarkDef &B : allBenchmarks()) {
     Trace.beginRun();
-    auto G = measureSpeedup(B, gpusim::DeviceParams::gtx780());
-    if (G)
+    auto G = measureSpeedup(B, GTX);
+    auto GA = runBenchmark(B, Full, gpusim::DeviceParams::gtx780());
+    if (G && GA)
       Trace.record(B.Name, "gtx780",
                    {{"fut_cycles", G->FutharkCycles},
                     {"ref_cycles", G->RefCycles},
-                    {"speedup", G->Speedup}});
+                    {"speedup", G->Speedup},
+                    {"async_cycles", GA->Cost.TotalCycles},
+                    {"overlap_saved", GA->Cost.OverlapSavedCycles},
+                    {"copy_busy", GA->Cost.CopyEngineBusy},
+                    {"compute_busy", GA->Cost.ComputeEngineBusy}});
     Trace.beginRun();
-    auto A = measureSpeedup(B, gpusim::DeviceParams::w8100());
-    if (A)
+    auto A = measureSpeedup(B, AMD);
+    auto AA = runBenchmark(B, Full, gpusim::DeviceParams::w8100());
+    if (A && AA)
       Trace.record(B.Name, "w8100",
                    {{"fut_cycles", A->FutharkCycles},
                     {"ref_cycles", A->RefCycles},
-                    {"speedup", A->Speedup}});
+                    {"speedup", A->Speedup},
+                    {"async_cycles", AA->Cost.TotalCycles},
+                    {"overlap_saved", AA->Cost.OverlapSavedCycles},
+                    {"copy_busy", AA->Cost.CopyEngineBusy},
+                    {"compute_busy", AA->Cost.ComputeEngineBusy}});
     if (!G || !A) {
       printf("%-14s FAILED: %s\n", B.Name.c_str(),
              (!G ? G.getError() : A.getError()).Message.c_str());

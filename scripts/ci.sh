@@ -60,4 +60,27 @@ assert all("cycles" in e.get("args", {}) for e in kernels)
 print(f"ok: {len(passes)} pass spans, {len(kernels)} kernel spans")
 EOF
 
+echo "== smoke: async two-engine timeline vs --sync serial model =="
+"$BUILD_DIR"/src/driver/futharkcc --sync \
+  --trace-out "$BUILD_DIR"/ci_trace_sync.json \
+  examples/kmeans.fut >/dev/null 2>"$BUILD_DIR"/ci_sync.log
+"$BUILD_DIR"/src/driver/futharkcc \
+  --trace-out "$BUILD_DIR"/ci_trace_async.json \
+  examples/kmeans.fut >/dev/null 2>"$BUILD_DIR"/ci_async.log
+python3 - "$BUILD_DIR" <<'EOF'
+import json, re, sys
+bd = sys.argv[1]
+def cycles(log):
+    m = re.search(r"cycles=(\d+)", open(log).read())
+    assert m, f"no device cycle line in {log}"
+    return int(m.group(1))
+sync, async_ = cycles(f"{bd}/ci_sync.log"), cycles(f"{bd}/ci_async.log")
+assert async_ <= sync, f"async timeline slower than serial: {async_} > {sync}"
+evs = json.load(open(f"{bd}/ci_trace_async.json"))["traceEvents"]
+names = {e["args"]["name"] for e in evs
+         if e["ph"] == "M" and e["name"] == "thread_name"}
+assert {"copy-engine", "compute-engine"} <= names, f"engine tracks missing: {names}"
+print(f"ok: kmeans async {async_} <= sync {sync} cycles; engine tracks present")
+EOF
+
 echo "== ci.sh: all green =="

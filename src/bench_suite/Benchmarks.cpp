@@ -643,5 +643,6 @@ ErrorOr<SpeedupResult> fut::bench::measureSpeedup(
   S.FutharkCycles = F->Cost.TotalCycles;
   S.RefCycles = R->Cost.TotalCycles / Tuning;
   S.Speedup = S.RefCycles / S.FutharkCycles;
+  S.FutharkCost = F->Cost;
   return S;
 }

@@ -71,6 +71,9 @@ struct SpeedupResult {
   double FutharkCycles = 0;
   double RefCycles = 0;
   double Speedup = 0;
+  /// Full cost report of the Futhark run (engine busy times, overlap
+  /// savings, device-memory history), for the bench trace counters.
+  gpusim::CostReport FutharkCost;
 };
 ErrorOr<SpeedupResult> measureSpeedup(const BenchmarkDef &B,
                                       const gpusim::DeviceParams &DP);

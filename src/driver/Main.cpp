@@ -62,6 +62,9 @@ void usage() {
           "(default 3)\n"
           "  --no-fallback      fail instead of degrading to the "
           "interpreter\n"
+          "  --sync             serial cost model ablation: charge every\n"
+          "                     command as if the device had one blocking\n"
+          "                     queue (disables copy/compute overlap)\n"
           "  --trace            print a span/counter summary to stderr\n"
           "  --trace-out <file> write a Chrome trace_event JSON file\n"
           "                     (load in chrome://tracing or Perfetto);\n"
@@ -226,6 +229,8 @@ int main(int argc, char **argv) {
       RP.MaxRetries = static_cast<int>(N);
     } else if (A == "--no-fallback") {
       RP.InterpFallback = false;
+    } else if (A == "--sync") {
+      DP.AsyncTimeline = false;
     } else if (A == "--trace") {
       TraceSummary = true;
     } else if (A == "--trace-out") {

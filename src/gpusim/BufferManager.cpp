@@ -1,0 +1,166 @@
+//===- BufferManager.cpp - Device allocations and liveness --------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/BufferManager.h"
+
+#include "ir/Traversal.h"
+
+#include <algorithm>
+
+using namespace fut;
+using namespace fut::gpusim;
+
+//===----------------------------------------------------------------------===//
+// LivenessInfo
+//===----------------------------------------------------------------------===//
+
+LivenessInfo::LivenessInfo(const Program &P) {
+  for (const FunDef &F : P.Funs) {
+    NameSet Live;
+    for (const SubExp &R : F.FBody.Result)
+      if (R.isVar())
+        Live.insert(R.getVar());
+    computeBody(F.FBody, std::move(Live));
+  }
+}
+
+NameSet LivenessInfo::computeBody(const Body &B, NameSet Live) {
+  for (auto It = B.Stms.rbegin(); It != B.Stms.rend(); ++It) {
+    const Stm &S = *It;
+    LiveAfter[S.E.get()] = Live;
+
+    // Nested bodies may re-execute (loop iterations, one lambda call per
+    // element), and their results feed back through merge parameters the
+    // analysis cannot name — so inside them, keep everything the body
+    // reads or returns live, in addition to the statement's continuation.
+    forEachChildBody(*S.E, [&](const Body &Inner) {
+      NameSet InnerLive = Live;
+      NameSet Free = freeVarsInBody(Inner);
+      InnerLive.insert(Free.begin(), Free.end());
+      for (const SubExp &R : Inner.Result)
+        if (R.isVar())
+          InnerLive.insert(R.getVar());
+      computeBody(Inner, std::move(InnerLive));
+    });
+
+    for (const Param &Prm : S.Pat)
+      Live.erase(Prm.Name);
+    NameSet Free = freeVarsInExp(*S.E);
+    Live.insert(Free.begin(), Free.end());
+  }
+  return Live;
+}
+
+//===----------------------------------------------------------------------===//
+// DeviceBufferManager
+//===----------------------------------------------------------------------===//
+
+void DeviceBufferManager::dropRef(int Id) {
+  Alloc &A = Allocs[Id];
+  if (--A.Refs > 0)
+    return;
+  if (A.DeviceValid) {
+    LiveBytesNow = std::max<int64_t>(0, LiveBytesNow - A.Bytes);
+    FreedBytesTotal += A.Bytes;
+    FreeList.insert(A.Bytes);
+  }
+  A.DeviceValid = false;
+}
+
+bool DeviceBufferManager::bind(const VName &N, int64_t Bytes,
+                               double ReadyAt) {
+  if (Capacity > 0 && LiveBytesNow + Bytes > Capacity)
+    return false;
+  auto Old = NameToAlloc.find(N);
+  if (Old != NameToAlloc.end()) {
+    int OldId = Old->second;
+    NameToAlloc.erase(Old);
+    dropRef(OldId);
+  }
+  // Serve the allocation from the free-list when a released block is big
+  // enough (best fit); purely statistical — the simulator does not model
+  // fragmentation, so bytes accounting is identical either way.
+  auto Blk = FreeList.lower_bound(Bytes);
+  if (Blk != FreeList.end()) {
+    ++FreeListHitCount;
+    FreeListReusedBytesTotal += Bytes;
+    FreeList.erase(Blk);
+  }
+  Alloc A;
+  A.Bytes = Bytes;
+  A.Refs = 1;
+  A.DeviceValid = true;
+  A.ReadyAt = ReadyAt;
+  Allocs.push_back(A);
+  NameToAlloc[N] = static_cast<int>(Allocs.size()) - 1;
+  LiveBytesNow += Bytes;
+  PeakBytesSeen = std::max(PeakBytesSeen, LiveBytesNow);
+  return true;
+}
+
+void DeviceBufferManager::alias(const VName &Dst, const VName &Src) {
+  auto It = NameToAlloc.find(Src);
+  if (It == NameToAlloc.end())
+    return;
+  int Id = It->second;
+  auto Old = NameToAlloc.find(Dst);
+  if (Old != NameToAlloc.end()) {
+    if (Old->second == Id)
+      return;
+    int OldId = Old->second;
+    NameToAlloc.erase(Old);
+    dropRef(OldId);
+  }
+  ++Allocs[Id].Refs;
+  NameToAlloc[Dst] = Id;
+}
+
+bool DeviceBufferManager::deviceValid(const VName &N) const {
+  auto It = NameToAlloc.find(N);
+  return It != NameToAlloc.end() && Allocs[It->second].DeviceValid;
+}
+
+double DeviceBufferManager::readyAt(const VName &N) const {
+  auto It = NameToAlloc.find(N);
+  return It == NameToAlloc.end() ? 0 : Allocs[It->second].ReadyAt;
+}
+
+void DeviceBufferManager::setReady(const VName &N, double T) {
+  auto It = NameToAlloc.find(N);
+  if (It != NameToAlloc.end())
+    Allocs[It->second].ReadyAt = T;
+}
+
+void DeviceBufferManager::invalidateDevice(const VName &N) {
+  auto It = NameToAlloc.find(N);
+  if (It == NameToAlloc.end())
+    return;
+  Alloc &A = Allocs[It->second];
+  if (!A.DeviceValid)
+    return;
+  LiveBytesNow = std::max<int64_t>(0, LiveBytesNow - A.Bytes);
+  FreedBytesTotal += A.Bytes;
+  FreeList.insert(A.Bytes);
+  A.DeviceValid = false;
+}
+
+void DeviceBufferManager::release(const VName &N) {
+  auto It = NameToAlloc.find(N);
+  if (It == NameToAlloc.end())
+    return;
+  int Id = It->second;
+  NameToAlloc.erase(It);
+  dropRef(Id);
+}
+
+void DeviceBufferManager::freeDead(const NameSet &Keep) {
+  std::vector<VName> Dead;
+  for (const auto &[Name, Id] : NameToAlloc)
+    if (!Keep.count(Name))
+      Dead.push_back(Name);
+  for (const VName &N : Dead)
+    release(N);
+}

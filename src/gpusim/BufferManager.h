@@ -1,0 +1,142 @@
+//===- BufferManager.h - Device allocations and liveness --------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Device-memory management for the GPU simulator.  Two pieces:
+///
+/// LivenessInfo precomputes, for every statement expression in a program,
+/// the set of names live *after* it (a backward pass over every function
+/// body).  Nested bodies that may re-execute (loops, lambdas) are handled
+/// conservatively: everything free in the body, plus the body's own result
+/// names (which feed the next iteration through merge parameters), is kept
+/// live throughout the body.  The simulator queries the set at each kernel
+/// launch to release device buffers no later host code or kernel can
+/// reach — the fix for the historical LiveDeviceBytes leak, where kernel
+/// intermediates consumed only by later kernels were never released.
+///
+/// DeviceBufferManager tracks refcounted device allocations keyed by IR
+/// name.  Aliases (let y = x) share one allocation; bytes are released
+/// when the last name referencing an allocation is dropped.  Each buffer
+/// carries dual residency state — a host readback keeps the device copy
+/// valid, so re-using the array on the device no longer pays a phantom
+/// re-upload — and a ready-time on the simulated timeline, which is the
+/// dependency the two-engine scheduler (Timeline.h) respects.  Released
+/// blocks land on a free-list; a later allocation served from a block of
+/// sufficient size counts as a free-list hit (reported in CostReport).
+///
+/// The manager is pure accounting: array contents always live in host
+/// interpreter Values.  Renamings the simulator cannot see (loop merge
+/// parameters binding a prior iteration's value) simply have no buffer
+/// entry and cost nothing, matching the pre-manager model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_GPUSIM_BUFFERMANAGER_H
+#define FUTHARKCC_GPUSIM_BUFFERMANAGER_H
+
+#include "ir/IR.h"
+#include "ir/Name.h"
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace fut {
+namespace gpusim {
+
+/// Per-statement live-after sets for a whole program, keyed by the
+/// statement's expression object (stable for the lifetime of the Program).
+class LivenessInfo {
+  std::unordered_map<const Exp *, NameSet> LiveAfter;
+
+public:
+  explicit LivenessInfo(const Program &P);
+
+  /// Names live after the statement binding \p E, or null when \p E is not
+  /// a statement expression of the analysed program.
+  const NameSet *liveAfter(const Exp *E) const {
+    auto It = LiveAfter.find(E);
+    return It == LiveAfter.end() ? nullptr : &It->second;
+  }
+
+private:
+  NameSet computeBody(const Body &B, NameSet Live);
+};
+
+/// Refcounted device allocations with residency and timeline state.
+class DeviceBufferManager {
+  struct Alloc {
+    int64_t Bytes = 0;
+    int Refs = 0;
+    bool DeviceValid = true;
+    double ReadyAt = 0; ///< Simulated time the device copy is usable.
+  };
+
+  int64_t Capacity; ///< <= 0 means unlimited.
+  std::vector<Alloc> Allocs;
+  NameMap<int> NameToAlloc;
+  std::multiset<int64_t> FreeList; ///< Sizes of released blocks.
+
+  int64_t LiveBytesNow = 0;
+  int64_t PeakBytesSeen = 0;
+  int64_t FreedBytesTotal = 0;
+  int64_t FreeListHitCount = 0;
+  int64_t FreeListReusedBytesTotal = 0;
+
+  void dropRef(int Id);
+
+public:
+  explicit DeviceBufferManager(int64_t Capacity) : Capacity(Capacity) {}
+
+  /// True when \p Bytes more would still fit.
+  bool wouldFit(int64_t Bytes) const {
+    return Capacity <= 0 || LiveBytesNow + Bytes <= Capacity;
+  }
+  int64_t capacity() const { return Capacity; }
+
+  /// Binds \p N to a fresh device allocation of \p Bytes ready at
+  /// \p ReadyAt, releasing whatever \p N named before (a loop-body
+  /// rebinding).  Returns false when the allocation would exceed capacity
+  /// (nothing is changed, including \p N's previous binding).
+  bool bind(const VName &N, int64_t Bytes, double ReadyAt);
+
+  /// Makes \p Dst share \p Src's allocation (let-bound aliases); no-op
+  /// when \p Src has no allocation.  Any previous binding of \p Dst is
+  /// released.
+  void alias(const VName &Dst, const VName &Src);
+
+  bool tracked(const VName &N) const { return NameToAlloc.count(N) != 0; }
+  bool deviceValid(const VName &N) const;
+  /// Ready-time of \p N's device copy; 0 when untracked.
+  double readyAt(const VName &N) const;
+  /// Updates the ready-time of \p N's device copy (upload completion, or
+  /// an on-device transpose rewriting it).
+  void setReady(const VName &N, double T);
+
+  /// Marks the device copy invalid (sync-mode readback mirrors the old
+  /// model, where a readback released the device allocation) and releases
+  /// the bytes.
+  void invalidateDevice(const VName &N);
+
+  /// Drops \p N's reference entirely.
+  void release(const VName &N);
+
+  /// Releases every tracked name not in \p Keep: the liveness-driven
+  /// sweep run at each kernel launch.
+  void freeDead(const NameSet &Keep);
+
+  int64_t liveBytes() const { return LiveBytesNow; }
+  int64_t peakBytes() const { return PeakBytesSeen; }
+  int64_t freedBytes() const { return FreedBytesTotal; }
+  int64_t freeListHits() const { return FreeListHitCount; }
+  int64_t freeListReusedBytes() const { return FreeListReusedBytesTotal; }
+};
+
+} // namespace gpusim
+} // namespace fut
+
+#endif // FUTHARKCC_GPUSIM_BUFFERMANAGER_H

@@ -77,9 +77,24 @@ struct DeviceParams {
   /// Watchdog budgets in simulated cycles; 0 disables the check.  A single
   /// kernel exceeding WatchdogKernelCycles, or a whole run exceeding
   /// WatchdogTotalCycles, is killed deterministically with a Watchdog
-  /// runtime error.
+  /// runtime error.  In asynchronous mode the run-level budget is checked
+  /// against the two-engine makespan.
   double WatchdogKernelCycles = 0;
   double WatchdogTotalCycles = 0;
+
+  /// When true (the default), TotalCycles is the dependency-respecting
+  /// makespan of a copy engine and a compute engine fed by in-order queues
+  /// (see Timeline.h): independent transfers overlap kernels, and
+  /// back-to-back kernels pipeline part of LaunchCycles.  When false (the
+  /// --sync ablation), the pre-async serial model is reproduced exactly:
+  /// TotalCycles = KernelCycles + HostCycles + TransferCycles +
+  /// RetryCycles, and a host readback invalidates the device copy.
+  bool AsyncTimeline = true;
+
+  /// Fraction of LaunchCycles that pipelines behind a busy engine or a
+  /// pending dependency when kernels are enqueued back-to-back; a kernel
+  /// issued to an idle device still pays the full launch cost.
+  double PipelinedLaunchFraction = 0.5;
 
   /// A GTX 780 Ti-like configuration (the default).
   static DeviceParams gtx780();
@@ -118,8 +133,26 @@ struct CostReport {
   /// input onto the GPU [and] reading final results back").
   double ExcludedTransferCycles = 0;
 
-  /// Elements staged through local memory by tiling.
+  /// Elements staged through local memory by tiling, and their total
+  /// width in bytes (global tiled traffic is charged by byte width, so
+  /// f64/i64 tiles cost twice the segments of f32/i32 ones).
   int64_t TiledElementTouches = 0;
+  int64_t TiledElementBytes = 0;
+
+  /// Two-engine timeline accounting (zero in --sync mode): cycles each
+  /// engine spent occupied, and how much the makespan undercuts the
+  /// serial sum thanks to overlap/pipelining.  Invariant:
+  /// max(CopyEngineBusy, ComputeEngineBusy) <= TotalCycles <= serial sum.
+  double CopyEngineBusy = 0;
+  double ComputeEngineBusy = 0;
+  double OverlapSavedCycles = 0;
+
+  /// Device buffer-manager accounting: high-water mark of live device
+  /// bytes, bytes released by liveness/rebinding, and allocations served
+  /// from the free-list of released blocks.
+  int64_t PeakDeviceBytes = 0;
+  int64_t FreedBytes = 0;
+  int64_t FreeListHits = 0;
 
   /// Resilience accounting: simulated cycles spent in retry backoff,
   /// launches that had to be retried, faults the FaultPlan injected, and

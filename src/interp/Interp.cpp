@@ -180,6 +180,8 @@ ErrorOr<std::vector<Value>> Interpreter::evalBody(const Body &B,
                                std::to_string(Vals.size()) + " values");
     for (size_t I = 0; I < Vals.size(); ++I)
       FUT_CHECK(bindParamValue(S.Pat[I], Vals[I], Env));
+    if (Opts.OnBind)
+      Opts.OnBind(S, Vals);
   }
   std::vector<Value> Out;
   Out.reserve(B.Result.size());

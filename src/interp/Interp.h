@@ -52,6 +52,12 @@ struct InterpOptions {
   /// costs and to track host/device residency of arrays.
   std::function<void(const Exp &, const NameMap<Value> &)> OnExp;
 
+  /// Binding hook, invoked after a statement's pattern has been bound,
+  /// with the values just bound.  The GPU simulator uses it to register
+  /// kernel results as device-resident buffers under their bound names
+  /// (and to release the buffer a loop-body rebinding replaces).
+  std::function<void(const Stm &, const std::vector<Value> &)> OnBind;
+
   /// When set, KernelExp evaluation is delegated here (the GPU simulator's
   /// entry point); otherwise kernels are interpreted functionally.
   std::function<ErrorOr<std::vector<Value>>(const KernelExp &,

@@ -46,11 +46,12 @@ void TraceSession::clear() {
   Events.clear();
   OpenSpans.clear();
   Counters.clear();
+  ThreadNames.clear();
   EpochNs = monotonicNs();
 }
 
 size_t TraceSession::beginSpan(const std::string &Name,
-                               const std::string &Category) {
+                               const std::string &Category, int Tid) {
   if (!Enabled)
     return SIZE_MAX;
   TraceEvent E;
@@ -58,6 +59,7 @@ size_t TraceSession::beginSpan(const std::string &Name,
   E.Category = Category;
   E.StartUs = nowUs();
   E.Depth = static_cast<int>(OpenSpans.size());
+  E.Tid = Tid;
   Events.push_back(std::move(E));
   OpenSpans.push_back(Events.size() - 1);
   return Events.size() - 1;
@@ -98,7 +100,7 @@ void TraceSession::spanArg(size_t Idx, const std::string &Key,
 }
 
 size_t TraceSession::instant(const std::string &Name,
-                             const std::string &Category) {
+                             const std::string &Category, int Tid) {
   if (!Enabled)
     return SIZE_MAX;
   TraceEvent E;
@@ -106,9 +108,16 @@ size_t TraceSession::instant(const std::string &Name,
   E.Category = Category;
   E.StartUs = nowUs();
   E.Depth = static_cast<int>(OpenSpans.size());
+  E.Tid = Tid;
   E.Instant = true;
   Events.push_back(std::move(E));
   return Events.size() - 1;
+}
+
+void TraceSession::setThreadName(int Tid, const std::string &Name) {
+  if (!Enabled)
+    return;
+  ThreadNames[Tid] = Name;
 }
 
 void TraceSession::counter(const std::string &Name, int64_t Delta) {
@@ -172,6 +181,15 @@ std::string TraceSession::chromeTraceJson() const {
     OS << "\n" << Body;
   };
 
+  // Track names first, as thread_name metadata events, so viewers label
+  // the engine tracks before any of their events appear.
+  for (const auto &[Tid, Name] : ThreadNames) {
+    std::ostringstream EO;
+    EO << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << Tid
+       << ",\"args\":{\"name\":\"" << json::escape(Name) << "\"}}";
+    Emit(EO.str());
+  }
+
   for (size_t I : Order) {
     const TraceEvent &E = Events[I];
     std::ostringstream EO;
@@ -182,7 +200,7 @@ std::string TraceSession::chromeTraceJson() const {
       EO << ",\"dur\":" << json::number(E.DurUs);
     else
       EO << ",\"s\":\"t\"";
-    EO << ",\"pid\":1,\"tid\":1";
+    EO << ",\"pid\":1,\"tid\":" << E.Tid;
     if (!E.Args.empty()) {
       EO << ",\"args\":{";
       bool FirstArg = true;

@@ -43,6 +43,14 @@
 namespace fut {
 namespace trace {
 
+/// Chrome-trace thread ids ("tracks") used by the exporters.  The
+/// compiler and host-side simulation live on the default track; the
+/// device simulator puts kernel commands and transfer commands on one
+/// track per engine, mirroring its two-engine timeline.
+constexpr int kHostTid = 1;
+constexpr int kCopyEngineTid = 2;
+constexpr int kComputeEngineTid = 3;
+
 /// One key/value argument attached to a span or instant event.  Numeric
 /// args stay numeric in the exported JSON.
 struct TraceArg {
@@ -60,6 +68,7 @@ struct TraceEvent {
   double StartUs = 0; ///< Wall-clock microseconds since session start.
   double DurUs = 0;   ///< Spans only.
   int Depth = 0;      ///< Nesting depth at begin (0 = top level).
+  int Tid = kHostTid; ///< Chrome-trace track the event is exported on.
   bool Instant = false;
   std::vector<TraceArg> Args;
 
@@ -79,6 +88,7 @@ class TraceSession {
   std::vector<TraceEvent> Events;
   std::vector<size_t> OpenSpans; ///< Indices into Events, innermost last.
   std::map<std::string, int64_t> Counters;
+  std::map<int, std::string> ThreadNames; ///< Tid -> exported track name.
 
 public:
   static TraceSession &global();
@@ -93,15 +103,22 @@ public:
   //===-- Recording --------------------------------------------------------===//
 
   /// Opens a span; returns its event index (pass to endSpan/spanArg), or
-  /// SIZE_MAX when disabled.  Prefer the RAII ScopedSpan.
-  size_t beginSpan(const std::string &Name, const std::string &Category);
+  /// SIZE_MAX when disabled.  Prefer the RAII ScopedSpan.  \p Tid selects
+  /// the exported Chrome-trace track (kHostTid by default).
+  size_t beginSpan(const std::string &Name, const std::string &Category,
+                   int Tid = kHostTid);
   void endSpan(size_t Idx);
 
   void spanArg(size_t Idx, const std::string &Key, double Num);
   void spanArg(size_t Idx, const std::string &Key, const std::string &Str);
 
   /// Records an instant event (faults, retries, watchdog kills).
-  size_t instant(const std::string &Name, const std::string &Category);
+  size_t instant(const std::string &Name, const std::string &Category,
+                 int Tid = kHostTid);
+
+  /// Names a track in the Chrome export (emitted as a thread_name
+  /// metadata event).  Idempotent; survives until clear().
+  void setThreadName(int Tid, const std::string &Name);
 
   /// Adds \p Delta to the named counter.
   void counter(const std::string &Name, int64_t Delta = 1);
@@ -136,8 +153,9 @@ class ScopedSpan {
   size_t Idx;
 
 public:
-  ScopedSpan(const std::string &Name, const std::string &Category)
-      : Idx(TraceSession::global().beginSpan(Name, Category)) {}
+  ScopedSpan(const std::string &Name, const std::string &Category,
+             int Tid = kHostTid)
+      : Idx(TraceSession::global().beginSpan(Name, Category, Tid)) {}
   ~ScopedSpan() { TraceSession::global().endSpan(Idx); }
 
   ScopedSpan(const ScopedSpan &) = delete;

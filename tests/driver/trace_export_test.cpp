@@ -11,8 +11,10 @@
 /// breakdown, and the trace composes with fault injection — retry events
 /// appear, and no simulated cycle is double-counted: the per-kernel span
 /// cycles sum exactly to CostReport::KernelCycles, the retry instants sum
-/// to RetryCycles, and TotalCycles is pinned to
-/// KernelCycles + HostCycles + TransferCycles + RetryCycles.
+/// to RetryCycles, and TotalCycles obeys the two-engine invariants —
+/// bounded above by the serial sum
+/// KernelCycles + HostCycles + TransferCycles + RetryCycles (to which the
+/// --sync ablation pins it exactly) and below by each engine's busy time.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -110,11 +112,21 @@ TEST(TraceExport, ChromeTraceParsesWithExpectedSchema) {
   EXPECT_FALSE(Events->Arr.empty());
 
   int PassSpans = 0, KernelSpans = 0;
+  std::vector<std::string> ThreadNames;
   for (const json::Value &E : Events->Arr) {
     ASSERT_TRUE(E.isObject());
     std::string Ph = E.getString("ph");
-    EXPECT_TRUE(Ph == "X" || Ph == "i" || Ph == "C") << "ph=" << Ph;
+    EXPECT_TRUE(Ph == "X" || Ph == "i" || Ph == "C" || Ph == "M")
+        << "ph=" << Ph;
     EXPECT_FALSE(E.getString("name").empty());
+    if (Ph == "M") {
+      // Thread-name metadata announcing the per-engine tracks.
+      EXPECT_EQ(E.getString("name"), "thread_name");
+      const json::Value *Args = E.get("args");
+      ASSERT_NE(Args, nullptr);
+      ThreadNames.push_back(Args->getString("name"));
+      continue;
+    }
     if (Ph == "X") {
       EXPECT_NE(E.get("ts"), nullptr);
       EXPECT_NE(E.get("dur"), nullptr);
@@ -140,6 +152,12 @@ TEST(TraceExport, ChromeTraceParsesWithExpectedSchema) {
   // One span per compiler pass, one per kernel launch.
   EXPECT_GE(PassSpans, 5); // frontend, uniqueness, inline, simplify x3, ...
   EXPECT_GE(KernelSpans, 2);
+  // Both device engines register their tracks.
+  EXPECT_NE(std::find(ThreadNames.begin(), ThreadNames.end(), "copy-engine"),
+            ThreadNames.end());
+  EXPECT_NE(std::find(ThreadNames.begin(), ThreadNames.end(),
+                      "compute-engine"),
+            ThreadNames.end());
   endSession();
 }
 
@@ -200,15 +218,36 @@ TEST(TraceExport, KernelSpanCyclesSumToCostReport) {
 }
 
 TEST(TraceExport, CostTotalsArePinnedFaultFree) {
+  // Asynchronous (default) mode: TotalCycles is the two-engine makespan,
+  // bounded above by the serial sum and below by each engine's busy time.
   auto R = runTraced();
   ASSERT_TRUE(static_cast<bool>(R)) << R.getError().str();
   const gpusim::CostReport &C = R->Cost;
-  EXPECT_DOUBLE_EQ(C.TotalCycles, C.KernelCycles + C.HostCycles +
-                                      C.TransferCycles + C.RetryCycles);
+  double Serial =
+      C.KernelCycles + C.HostCycles + C.TransferCycles + C.RetryCycles;
+  EXPECT_LE(C.TotalCycles, Serial);
+  EXPECT_GE(C.TotalCycles, std::max(C.CopyEngineBusy, C.ComputeEngineBusy));
+  EXPECT_DOUBLE_EQ(C.OverlapSavedCycles, Serial - C.TotalCycles);
   EXPECT_EQ(C.RetryCycles, 0);
   EXPECT_EQ(C.FaultsInjected, 0);
   EXPECT_EQ(C.GlobalTransactions,
             C.CoalescedTransactions + C.ScatteredTransactions);
+  endSession();
+
+  // --sync ablation: the serial accounting of the pre-async model, exact
+  // to the bit (the pinned constant is the historical TotalCycles for
+  // this program on gtx780).
+  gpusim::DeviceParams DP = gpusim::DeviceParams::gtx780();
+  DP.AsyncTimeline = false;
+  auto RSync = runTraced(gpusim::ResilienceParams(), DP);
+  ASSERT_TRUE(static_cast<bool>(RSync)) << RSync.getError().str();
+  const gpusim::CostReport &CS = RSync->Cost;
+  EXPECT_DOUBLE_EQ(CS.TotalCycles, CS.KernelCycles + CS.HostCycles +
+                                       CS.TransferCycles + CS.RetryCycles);
+  EXPECT_DOUBLE_EQ(CS.TotalCycles, 15032.4);
+  EXPECT_DOUBLE_EQ(CS.CopyEngineBusy, 0);
+  EXPECT_DOUBLE_EQ(CS.ComputeEngineBusy, 0);
+  EXPECT_DOUBLE_EQ(CS.OverlapSavedCycles, 0);
   endSession();
 }
 
@@ -251,8 +290,14 @@ TEST(TraceExport, FaultInjectionComposesWithoutDoubleCounting) {
                 1e-6 * std::max(1.0, R->Cost.KernelCycles));
 
     const gpusim::CostReport &C = R->Cost;
-    EXPECT_DOUBLE_EQ(C.TotalCycles, C.KernelCycles + C.HostCycles +
-                                        C.TransferCycles + C.RetryCycles);
+    double Serial =
+        C.KernelCycles + C.HostCycles + C.TransferCycles + C.RetryCycles;
+    EXPECT_LE(C.TotalCycles, Serial);
+    // Retry backoffs serialise the device, so they are never hidden by
+    // engine overlap.
+    EXPECT_GE(C.TotalCycles,
+              std::max(C.CopyEngineBusy, C.ComputeEngineBusy) +
+                  C.RetryCycles);
     EXPECT_GT(C.RetryCycles, 0);
     endSession();
   }
