@@ -33,6 +33,18 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== tier-1: full test suite =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "== verifier + fuzz regression corpus =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'VerifyTest|RegressTest|FuzzTest'
+
+echo "== smoke: fixed-seed differential fuzz (compiled vs interpreter) =="
+# A deterministic 200-program sweep through the full pipeline (with the
+# IR verifier enabled after every pass) against the reference
+# interpreter.  Runs in every configuration, so the sanitized matrix leg
+# executes it under ASan+UBSan.
+"$BUILD_DIR"/src/fuzz/futharkcc-fuzz --seed-range 1..200 \
+  --out "$BUILD_DIR"/fuzz-failures
+
 echo "== fault-injection suite =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
   -R 'FaultPlanTest|FaultsTest'

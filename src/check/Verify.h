@@ -1,0 +1,81 @@
+//===- Verify.h - Type-rederiving IR verifier -------------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR verifier: a stronger companion to the structural checker in
+/// Check.h that re-derives the type of every expression bottom-up from
+/// binding annotations and rejects a program the moment any pass emits
+/// ill-typed code.  Where Check.h answers "is this tree shaped like IR",
+/// the verifier answers "does this tree still mean what its types claim":
+///
+///   * SSA discipline: unique binding tags, every use dominated by its
+///     binding, no dangling names (including inside symbolic dimensions),
+///   * bottom-up type agreement: the type derived for each expression must
+///     match the pattern that binds it (element kind and rank exactly;
+///     constant dimensions exactly; symbolic dimensions are wildcards since
+///     passes rename them freely),
+///   * SOAC boundaries: lambda parameter/return types against input-array
+///     row types, neutral elements against accumulator types, widths
+///     against input outer dimensions,
+///   * consumption sanity: an array consumed by an in-place update is not
+///     observed again in the same body (the post-`uniq` discipline that
+///     later passes must preserve),
+///   * post-flattening: no SOAC survives at host level (nested parallelism
+///     must be gone), kernels never nest,
+///   * kernel well-formedness: grid/thread-index agreement, layout
+///     permutations valid, declared KInput types consistent with the bound
+///     arrays (these widths feed TiledElementBytes in the simulator), and
+///     result types consistent with grid dimensions and thread-body
+///     results.
+///
+/// Violations are reported as typed ErrorKind::Verify diagnostics naming
+/// the pass that produced the program and the offending binding, so a bad
+/// rewrite is caught at the pass boundary instead of surfacing as a wrong
+/// answer deep in gpusim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_CHECK_VERIFY_H
+#define FUTHARKCC_CHECK_VERIFY_H
+
+#include "ir/IR.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace fut {
+
+/// What the verifier may assume about the program's position in the
+/// pipeline.  The driver tightens these as passes establish invariants.
+struct VerifyOptions {
+  /// Kernel extraction has run: parallelism lives in KernelExps, and SOACs
+  /// may only appear sequentialised inside kernel thread bodies.
+  bool Flattened = false;
+
+  /// With Flattened set, still tolerate SOACs in host-level code.  Used by
+  /// the ablation pipelines that deliberately leave reductions on the host
+  /// (FlattenOptions::KernelizeReduce = false).
+  bool AllowHostSOACs = false;
+
+  /// Enforce that an array consumed by an in-place update is not observed
+  /// again afterwards in the same body (direct consumption only; aliases
+  /// are the uniqueness checker's job).
+  bool CheckConsumption = true;
+};
+
+/// Verifies the whole program as left by \p Pass; returns the first
+/// violation as an ErrorKind::Verify diagnostic naming the pass and the
+/// offending binding.
+MaybeError verifyProgram(const Program &P, const std::string &Pass,
+                         const VerifyOptions &Opts = {});
+
+/// Verifies a single function (callees are looked up in \p P).
+MaybeError verifyFun(const Program &P, const FunDef &F,
+                     const std::string &Pass, const VerifyOptions &Opts = {});
+
+} // namespace fut
+
+#endif // FUTHARKCC_CHECK_VERIFY_H

@@ -7,6 +7,7 @@
 #include "driver/Compiler.h"
 
 #include "check/Check.h"
+#include "check/Verify.h"
 #include "parser/Desugar.h"
 #include "trace/Trace.h"
 #include "uniq/Uniqueness.h"
@@ -16,17 +17,37 @@ using namespace fut;
 ErrorOr<CompileResult> fut::compileProgram(Program P, NameSource &Names,
                                            const CompilerOptions &Opts) {
   trace::ScopedSpan CompileSpan("compile", "compiler");
-  auto Recheck = [&](const char *Phase) -> MaybeError {
+  auto Recheck = [&](const std::string &Phase) -> MaybeError {
     if (!Opts.InternalChecks)
       return MaybeError::success();
     if (auto Err = checkProgram(P))
-      return CompilerError(std::string("internal error after ") + Phase +
-                           ": " + Err.getError().Message);
+      return CompilerError("internal error after " + Phase + ": " +
+                           Err.getError().Message);
     return MaybeError::success();
   };
+  // Each pass boundary: optional test-only corruption hook, the cheap
+  // structural recheck, then the type-rederiving verifier.
+  auto AfterPass = [&](const std::string &Pass,
+                       bool Flattened) -> MaybeError {
+    if (Opts.PostPassHook)
+      Opts.PostPassHook(P, Pass);
+    if (auto Err = Recheck(Pass))
+      return Err;
+    if (!Opts.VerifyIR)
+      return MaybeError::success();
+    trace::ScopedSpan Span("verify:" + Pass, "compiler");
+    VerifyOptions VO;
+    VO.Flattened = Flattened;
+    // The ablation pipelines deliberately leave SOACs on the host: with
+    // KernelizeReduce off reductions stay sequential, and without G5 a
+    // vectorised reduce falls back to the histogram-style host path.
+    VO.AllowHostSOACs =
+        !Opts.Flatten.KernelizeReduce || !Opts.Flatten.EnableSegReduce;
+    return verifyProgram(P, Pass, VO);
+  };
 
-  if (auto Err = Recheck("frontend"))
-    return Err.getError();
+  if (auto Err = AfterPass("frontend", false))
+    return Err;
   if (Opts.CheckUniqueness) {
     trace::ScopedSpan Span("pass:uniqueness", "compiler");
     if (auto Err = checkProgramUniqueness(P))
@@ -38,24 +59,32 @@ ErrorOr<CompileResult> fut::compileProgram(Program P, NameSource &Names,
     trace::ScopedSpan Span("pass:inline", "compiler");
     inlineFunctions(P, Names);
     removeDeadFunctions(P);
+    if (auto Err = AfterPass("inline", false))
+      return Err;
   }
   simplifyProgram(P, Names, Opts.Simplify);
-  if (auto Err = Recheck("simplification"))
-    return Err.getError();
+  if (auto Err = AfterPass("simplify", false))
+    return Err;
 
   if (Opts.EnableFusion) {
     R.Fusion = fuseProgram(P, Names);
+    if (auto Err = AfterPass("fusion", false))
+      return Err;
     simplifyProgram(P, Names, Opts.Simplify);
-    if (auto Err = Recheck("fusion"))
-      return Err.getError();
+    if (auto Err = AfterPass("simplify-post-fusion", false))
+      return Err;
   }
 
   if (Opts.ExtractKernels) {
     R.Flatten = extractKernels(P, Names, Opts.Flatten);
+    if (auto Err = AfterPass("kernel-extraction", true))
+      return Err;
     simplifyProgram(P, Names, Opts.Simplify);
+    if (auto Err = AfterPass("simplify-post-extraction", true))
+      return Err;
     R.Locality = optimiseLocality(P, Opts.Locality);
-    if (auto Err = Recheck("kernel extraction"))
-      return Err.getError();
+    if (auto Err = AfterPass("locality", true))
+      return Err;
   }
 
   R.P = std::move(P);

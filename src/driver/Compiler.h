@@ -24,6 +24,9 @@
 #include "opt/Simplify.h"
 #include "support/Error.h"
 
+#include <functional>
+#include <string>
+
 namespace fut {
 
 struct CompilerOptions {
@@ -34,6 +37,16 @@ struct CompilerOptions {
   /// Re-run the IR consistency checker after every phase (cheap; catches
   /// pass bugs before they reach the simulator).
   bool InternalChecks = true;
+  /// Run the type-rederiving IR verifier (check/Verify.h) after every
+  /// pass; violations abort compilation with an ErrorKind::Verify
+  /// diagnostic naming the pass and the offending binding.  The --verify-ir
+  /// flag; on by default so tests and CI always compile under it.
+  bool VerifyIR = true;
+
+  /// Test-only hook run after each pass rewrites the program and before
+  /// the verifier sees it; used to inject a deliberately broken rewrite
+  /// and assert the verifier catches it at the right pass boundary.
+  std::function<void(Program &, const std::string &Pass)> PostPassHook;
 
   SimplifyOptions Simplify;
   FlattenOptions Flatten;

@@ -49,6 +49,8 @@ void usage() {
           "  --no-coalescing    disable the coalescing transformation\n"
           "  --no-tiling        disable block tiling\n"
           "  --no-interchange   disable map-loop interchange (G7)\n"
+          "  --verify-ir        re-derive and check IR types after every\n"
+          "                     pass (default; --no-verify-ir disables)\n"
           "  --device-mem <b>   device memory capacity in bytes (0 = "
           "unlimited)\n"
           "  --watchdog <c>     kill any kernel over <c> simulated cycles\n"
@@ -173,6 +175,10 @@ int main(int argc, char **argv) {
       Opts.Locality.EnableTiling = false;
     } else if (A == "--no-interchange") {
       Opts.Flatten.EnableInterchange = false;
+    } else if (A == "--verify-ir") {
+      Opts.VerifyIR = true;
+    } else if (A == "--no-verify-ir") {
+      Opts.VerifyIR = false;
     } else if (A == "--device") {
       if (++I >= argc) {
         usage();

@@ -1,0 +1,512 @@
+//===- Fuzz.cpp - Seeded well-typed program fuzzer ------------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include "driver/Compiler.h"
+#include "parser/Desugar.h"
+#include "support/Utils.h"
+
+#include <sstream>
+
+using namespace fut;
+using namespace fut::fuzz;
+
+//===----------------------------------------------------------------------===//
+// Plan sampling
+//===----------------------------------------------------------------------===//
+
+Plan fut::fuzz::samplePlan(uint64_t Seed) {
+  // Mix the seed so consecutive seeds give unrelated plans.
+  SplitMix64 Rng(Seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+
+  Plan P;
+  P.N = 4 + static_cast<int64_t>(Rng.nextBelow(37));
+  int Steps = 3 + static_cast<int>(Rng.nextBelow(5));
+  for (int I = 0; I < Steps; ++I) {
+    Step S;
+    S.K = static_cast<Step::Kind>(Rng.nextBelow(15));
+    S.Variant = static_cast<int>(Rng.nextBelow(5));
+    S.Pos = static_cast<int64_t>(Rng.nextBelow(8)) + 2;
+    S.Small = static_cast<int64_t>(Rng.nextBelow(19)) - 9;
+    S.SRef = static_cast<int>(Rng.nextBelow(8));
+    P.Steps.push_back(S);
+  }
+  for (int64_t I = 0; I < P.N; ++I)
+    P.Input.push_back(static_cast<int32_t>(Rng.nextBelow(101)) - 50);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Render state: a linear chain of length-n arrays (a0, a1, ...) plus
+/// accumulated scalars (s0, s1, ...).  Every step consumes the newest
+/// array, so removing any subset of steps keeps the program well-typed.
+struct Render {
+  std::ostringstream Body;
+  int NextArr = 0;
+  int NextScalar = 0;
+  int ScalarCount = 0;
+  int64_t N;
+
+  explicit Render(int64_t N) : N(N) {}
+
+  std::string arr() const { return "a" + std::to_string(NextArr); }
+  std::string newArr() { return "a" + std::to_string(++NextArr); }
+  std::string newScalar() {
+    ++ScalarCount;
+    return "s" + std::to_string(NextScalar++);
+  }
+
+  /// The scalar expression a step embeds, fully determined by the step.
+  std::string scalarExpr(const Step &S, const std::string &X) {
+    switch (S.Variant) {
+    case 0:
+      return X + " * " + std::to_string(S.Pos) + " + " +
+             std::to_string(S.Small);
+    case 1:
+      return X + " % " + std::to_string(S.Pos) + " - " +
+             std::to_string(S.Small);
+    case 2:
+      return X + " - " + X + " / " + std::to_string(S.Pos);
+    case 3:
+      if (ScalarCount > 0)
+        return X + " + s" + std::to_string(S.SRef % ScalarCount);
+      return X + " + " + std::to_string(S.Small);
+    default:
+      return std::to_string(S.Small) + " - " + X;
+    }
+  }
+
+  void render(const Step &S) {
+    switch (S.K) {
+    case Step::Kind::Map: {
+      std::string In = arr(), Out = newArr();
+      Body << "  let " << Out << " = map (\\(x: i32): i32 -> "
+           << scalarExpr(S, "x") << ") " << In << "\n";
+      return;
+    }
+    case Step::Kind::Mask: {
+      std::string In = arr(), Out = newArr();
+      Body << "  let " << Out << " = map (\\(x: i32): i32 -> if x % "
+           << S.Pos << " == 0 then " << scalarExpr(S, "x") << " else "
+           << std::to_string(S.Small) << ") " << In << "\n";
+      return;
+    }
+    case Step::Kind::Scan: {
+      std::string In = arr(), Out = newArr();
+      // Parenthesised: a bare negative neutral would parse as binary minus.
+      Body << "  let " << Out << " = scan (+) (0 + "
+           << std::to_string(S.Small) << ") " << In << "\n";
+      return;
+    }
+    case Step::Kind::Reduce: {
+      std::string In = arr(), Sc = newScalar();
+      switch (S.Variant % 3) {
+      case 0:
+        Body << "  let " << Sc << " = reduce (+) 0 " << In << "\n";
+        break;
+      case 1:
+        Body << "  let " << Sc << " = reduce min 1000000 " << In << "\n";
+        break;
+      default:
+        Body << "  let " << Sc << " = reduce max (0 - 1000000) " << In
+             << "\n";
+        break;
+      }
+      return;
+    }
+    case Step::Kind::InPlace: {
+      // In-place update of a fresh copy: the chain array may be aliased by
+      // an earlier binding's view, so consume a freshly mapped copy.
+      std::string In = arr(), Fresh = newArr();
+      Body << "  let " << Fresh << " = map (\\(x: i32): i32 -> x + 0) "
+           << In << "\n";
+      std::string Out = newArr();
+      int64_t Idx = S.Pos % N;
+      Body << "  let " << Out << " = " << Fresh << " with [" << Idx
+           << "] <- " << Fresh << "[" << Idx << "] * 2 + "
+           << std::to_string(S.Small) << "\n";
+      return;
+    }
+    case Step::Kind::ZipIota: {
+      std::string In = arr(), Out = newArr();
+      Body << "  let " << Out
+           << " = map (\\(x: i32) (i: i32): i32 -> x * 2 - i) " << In
+           << " (iota n)\n";
+      return;
+    }
+    case Step::Kind::MapLoop: {
+      std::string In = arr(), Out = newArr();
+      Body << "  let " << Out
+           << " = map (\\(x: i32): i32 -> loop (acc = x) for i < " << S.Pos
+           << " do acc + i * " << std::to_string((S.Small & 3) + 2) << ") "
+           << In << "\n";
+      return;
+    }
+    case Step::Kind::MapReduce: {
+      std::string In = arr(), Out = newArr();
+      Body << "  let " << Out
+           << " = map (\\(x: i32): i32 -> reduce (+) x (iota " << S.Pos
+           << ")) " << In << "\n";
+      return;
+    }
+    case Step::Kind::Histogram: {
+      std::string In = arr(), Sc = newScalar();
+      Body << "  let " << Sc << " = reduce (+) 0\n"
+           << "    (loop (h = replicate " << S.Pos << " 0) for i < n do\n"
+           << "      let c = " << In << "[i] % " << S.Pos << "\n"
+           << "      let c = if c < 0 then c + " << S.Pos << " else c\n"
+           << "      in h with [c] <- h[c] + 1)\n";
+      return;
+    }
+    case Step::Kind::Concat: {
+      std::string In = arr(), Sc = newScalar();
+      Body << "  let " << Sc << " = reduce (+) (0 + " << S.Small
+           << ") (concat " << In << " " << In << ")\n";
+      return;
+    }
+    case Step::Kind::Transpose: {
+      std::string In = arr(), Sc = newScalar();
+      int64_t K = S.Pos;
+      Body << "  let m" << Sc
+           << " = map (\\(x: i32): [" << K << "]i32 -> "
+           << "map (\\(i: i32): i32 -> x * " << ((S.Small & 3) + 1)
+           << " + i) (iota " << K << ")) " << In << "\n"
+           << "  let " << Sc
+           << " = reduce (+) 0 (map (\\(r: [n]i32): i32 -> reduce (+) 0 r)"
+           << " (transpose m" << Sc << "))\n";
+      return;
+    }
+    case Step::Kind::MapScan: {
+      std::string In = arr(), Out = newArr();
+      Body << "  let " << Out
+           << " = map (\\(x: i32): i32 -> reduce (+) x (scan (+) 0 (iota "
+           << S.Pos << "))) " << In << "\n";
+      return;
+    }
+    case Step::Kind::PowMap: {
+      std::string In = arr(), Out = newArr();
+      Body << "  let " << Out << " = map (\\(x: i32): i32 -> x ** "
+           << (S.Pos % 4) << " + " << std::to_string(S.Small) << ") " << In
+           << "\n";
+      return;
+    }
+    case Step::Kind::DivVar: {
+      // The divisor x % Pos + Small can be zero for some inputs, so this
+      // step exercises the typed-runtime-error agreement path.
+      std::string In = arr(), Out = newArr();
+      Body << "  let " << Out << " = map (\\(x: i32): i32 -> " << S.Pos
+           << " / (x % " << S.Pos << " + " << std::to_string(S.Small)
+           << ")) " << In << "\n";
+      return;
+    }
+    case Step::Kind::IndexScalar: {
+      std::string In = arr(), Sc = newScalar();
+      Body << "  let " << Sc << " = " << In << "[" << (S.Pos % N) << "] * "
+           << std::to_string((S.Small & 3) + 1) << "\n";
+      return;
+    }
+    }
+  }
+};
+
+} // namespace
+
+FuzzCase fut::fuzz::renderPlan(const Plan &P, uint64_t Seed) {
+  Render R(P.N);
+  R.Body << "fun main (n: i32) (a0: [n]i32): ([n]i32, i32) =\n";
+  for (const Step &S : P.Steps)
+    R.render(S);
+
+  // Fold every scalar produced along the way into the checksum so no
+  // construct's result escapes the comparison.
+  R.Body << "  let check = reduce (+) 0 " << R.arr() << "\n";
+  std::string Check = "check";
+  for (int I = 0; I < R.NextScalar; ++I)
+    Check += " + s" + std::to_string(I);
+  R.Body << "  in (" << R.arr() << ", " << Check << ")\n";
+
+  FuzzCase C;
+  C.Seed = Seed;
+  C.Source = R.Body.str();
+  std::vector<PrimValue> Elems;
+  for (int64_t I = 0; I < P.N; ++I)
+    Elems.push_back(PrimValue::makeI32(
+        I < static_cast<int64_t>(P.Input.size()) ? P.Input[I] : 0));
+  C.Args.push_back(
+      Value::scalar(PrimValue::makeI32(static_cast<int32_t>(P.N))));
+  C.Args.push_back(Value::array(ScalarKind::I32, {P.N}, std::move(Elems)));
+  return C;
+}
+
+FuzzCase fut::fuzz::generate(uint64_t Seed) {
+  return renderPlan(samplePlan(Seed), Seed);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential oracle
+//===----------------------------------------------------------------------===//
+
+Outcome fut::fuzz::runSourceDifferential(const std::string &Source,
+                                         const std::vector<Value> &Args) {
+  auto Fail = [&](const std::string &What) {
+    Outcome O;
+    O.Ok = false;
+    O.Message = What + "\nprogram:\n" + Source;
+    return O;
+  };
+
+  // Reference: the unoptimised frontend output on the plain interpreter.
+  NameSource RefNames;
+  auto RefProg = frontend(Source, RefNames);
+  if (!RefProg)
+    return Fail("frontend failed: " + RefProg.getError().str());
+  InterpOptions IO;
+  IO.ConsumeOnUpdate = true;
+  Program RefP = RefProg.take(); // Interpreter holds a reference
+  Interpreter I(RefP, IO);
+  auto Ref = I.run(Args);
+
+  // Subject: the full pipeline (with the IR verifier after every pass)
+  // on the simulated device.
+  NameSource Names;
+  auto C = compileSource(Source, Names, CompilerOptions());
+  if (!C)
+    return Fail("compilation failed: " + C.getError().str());
+  auto R = runOnDevice(C->P, Args);
+
+  // A typed runtime error is a legitimate program outcome; the two sides
+  // must agree on it exactly, like they must agree on values.
+  if (!Ref && !R) {
+    if (Ref.getError().isRuntime() && R.getError().isRuntime() &&
+        Ref.getError().Message == R.getError().Message) {
+      Outcome O;
+      O.Ok = true;
+      O.BothFailed = true;
+      return O;
+    }
+    return Fail("error mismatch\n  device:    " + R.getError().str() +
+                "\n  reference: " + Ref.getError().str());
+  }
+  if (!Ref)
+    return Fail("only the reference failed: " + Ref.getError().str());
+  if (!R)
+    return Fail("only the device failed: " + R.getError().str());
+
+  if (R->Outputs.size() != Ref->size())
+    return Fail("result arity mismatch: device returned " +
+                std::to_string(R->Outputs.size()) + ", reference " +
+                std::to_string(Ref->size()));
+  for (size_t J = 0; J < Ref->size(); ++J)
+    if (!(R->Outputs[J] == (*Ref)[J]))
+      return Fail("result " + std::to_string(J) +
+                  " differs\n  device:    " + R->Outputs[J].str() +
+                  "\n  reference: " + (*Ref)[J].str());
+
+  Outcome O;
+  O.Ok = true;
+  return O;
+}
+
+Outcome fut::fuzz::runDifferential(const FuzzCase &C) {
+  Outcome O = runSourceDifferential(C.Source, C.Args);
+  if (!O.Ok)
+    O.Message = "seed: " + std::to_string(C.Seed) + "\n" + O.Message;
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Shrinking
+//===----------------------------------------------------------------------===//
+
+ShrinkResult fut::fuzz::shrink(const Plan &P, uint64_t Seed) {
+  ShrinkResult SR;
+  Plan Cur = P;
+
+  auto Fails = [&](const Plan &Cand, std::string &Msg) {
+    ++SR.Attempts;
+    Outcome O = runDifferential(renderPlan(Cand, Seed));
+    if (!O.Ok)
+      Msg = O.Message;
+    return !O.Ok;
+  };
+
+  std::string Msg;
+  if (!Fails(Cur, Msg)) {
+    // Not failing (e.g. flaky environment); return the input untouched.
+    SR.MinimalPlan = Cur;
+    SR.Minimal = renderPlan(Cur, Seed);
+    SR.Message = "case does not fail; nothing to shrink";
+    return SR;
+  }
+  SR.Message = Msg;
+
+  // Pass 1: drop steps greedily until no single removal keeps the failure.
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (size_t I = 0; I < Cur.Steps.size(); ++I) {
+      Plan Cand = Cur;
+      Cand.Steps.erase(Cand.Steps.begin() + I);
+      if (Fails(Cand, Msg)) {
+        Cur = std::move(Cand);
+        SR.Message = Msg;
+        ++SR.StepsRemoved;
+        Progress = true;
+        break;
+      }
+    }
+  }
+
+  // Pass 2: shorten the array (halving, floor 4).
+  while (Cur.N > 4) {
+    Plan Cand = Cur;
+    Cand.N = std::max<int64_t>(4, Cand.N / 2);
+    Cand.Input.resize(static_cast<size_t>(Cand.N));
+    if (Cand.N == Cur.N || !Fails(Cand, Msg))
+      break;
+    Cur = std::move(Cand);
+    SR.Message = Msg;
+  }
+
+  // Pass 3: zero input elements where the failure persists.
+  for (size_t I = 0; I < Cur.Input.size(); ++I) {
+    if (Cur.Input[I] == 0)
+      continue;
+    Plan Cand = Cur;
+    Cand.Input[I] = 0;
+    if (Fails(Cand, Msg)) {
+      Cur = std::move(Cand);
+      SR.Message = Msg;
+    }
+  }
+
+  SR.MinimalPlan = Cur;
+  SR.Minimal = renderPlan(Cur, Seed);
+  return SR;
+}
+
+//===----------------------------------------------------------------------===//
+// Regression-file round trip
+//===----------------------------------------------------------------------===//
+
+std::string
+fut::fuzz::toRegressionFile(const FuzzCase &C,
+                            const std::vector<std::string> &CommentLines) {
+  std::ostringstream OS;
+  for (const std::string &L : CommentLines)
+    OS << "-- " << L << "\n";
+  OS << "-- args:";
+  for (const Value &V : C.Args) {
+    if (V.isScalar()) {
+      OS << " " << V.getScalar().str();
+    } else {
+      OS << " [";
+      const std::vector<PrimValue> &Flat = V.flat();
+      for (size_t I = 0; I < Flat.size(); ++I)
+        OS << (I ? "," : "") << Flat[I].str();
+      OS << "]";
+    }
+  }
+  OS << "\n" << C.Source;
+  return OS.str();
+}
+
+bool fut::fuzz::parseArgsLine(const std::string &Line,
+                              std::vector<Value> &Out) {
+  const std::string Prefix = "-- args:";
+  if (Line.rfind(Prefix, 0) != 0)
+    return false;
+  std::string Rest = Line.substr(Prefix.size());
+
+  auto ParseScalar = [](const std::string &T, PrimValue &V) {
+    if (T == "true") {
+      V = PrimValue::makeBool(true);
+      return true;
+    }
+    if (T == "false") {
+      V = PrimValue::makeBool(false);
+      return true;
+    }
+    try {
+      size_t Used = 0;
+      if (T.find('.') != std::string::npos ||
+          T.find("f32") != std::string::npos) {
+        V = PrimValue::makeF32(std::stof(T, &Used));
+        return true;
+      }
+      V = PrimValue::makeI32(static_cast<int32_t>(std::stol(T, &Used)));
+      return Used > 0;
+    } catch (...) {
+      return false;
+    }
+  };
+
+  size_t I = 0;
+  while (I < Rest.size()) {
+    while (I < Rest.size() && (Rest[I] == ' ' || Rest[I] == '\t'))
+      ++I;
+    if (I >= Rest.size())
+      break;
+    if (Rest[I] == '[') {
+      size_t End = Rest.find(']', I);
+      if (End == std::string::npos)
+        return false;
+      std::string Inner = Rest.substr(I + 1, End - I - 1);
+      std::vector<PrimValue> Elems;
+      std::stringstream SS(Inner);
+      std::string Tok;
+      while (std::getline(SS, Tok, ',')) {
+        PrimValue V;
+        if (!ParseScalar(Tok, V))
+          return false;
+        Elems.push_back(V);
+      }
+      if (Elems.empty())
+        return false;
+      ScalarKind K = Elems[0].kind();
+      int64_t N = static_cast<int64_t>(Elems.size());
+      Out.push_back(Value::array(K, {N}, std::move(Elems)));
+      I = End + 1;
+    } else {
+      size_t End = Rest.find(' ', I);
+      if (End == std::string::npos)
+        End = Rest.size();
+      PrimValue V;
+      if (!ParseScalar(Rest.substr(I, End - I), V))
+        return false;
+      Out.push_back(Value::scalar(V));
+      I = End;
+    }
+  }
+  return !Out.empty();
+}
+
+bool fut::fuzz::loadRegressionFile(const std::string &Contents,
+                                   FuzzCase &Out) {
+  std::stringstream SS(Contents);
+  std::string Line;
+  std::ostringstream Src;
+  bool HaveArgs = false;
+  while (std::getline(SS, Line)) {
+    if (!HaveArgs && Line.rfind("-- args:", 0) == 0) {
+      if (!parseArgsLine(Line, Out.Args))
+        return false;
+      HaveArgs = true;
+      continue;
+    }
+    if (Line.rfind("--", 0) == 0)
+      continue; // comment header
+    Src << Line << "\n";
+  }
+  Out.Source = Src.str();
+  return HaveArgs && !Out.Source.empty();
+}

@@ -1,0 +1,153 @@
+//===- Fuzz.h - Seeded well-typed program fuzzer ----------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded generator of small well-typed surface programs, a differential
+/// oracle (full pipeline on the simulated device vs. the reference
+/// interpreter straight from the frontend), and a shrinker producing
+/// minimal failing .fut cases.
+///
+/// Generation is plan-based: a seed is first sampled into a Plan — a list
+/// of construct steps with all constants pinned — and the plan is then
+/// rendered to source.  Because every step only consumes the newest chain
+/// array and previously produced scalars, any subset of steps still renders
+/// a well-typed program, so shrinking is plan-step removal plus re-render
+/// rather than syntactic surgery on source text.
+///
+/// The construct pool covers the surface the pipeline cares about: map
+/// nests (including 2D nests and transposition), reduce, scan, conditional
+/// masking, in-place updates, sequential loops in threads, histogram loops,
+/// concat, indexing, integer power, and division by a data-dependent
+/// divisor (so the typed-runtime-error path is exercised: a program where
+/// both sides fail with the identical runtime error is agreement, not a
+/// failure).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_FUZZ_FUZZ_H
+#define FUTHARKCC_FUZZ_FUZZ_H
+
+#include "gpusim/Device.h"
+#include "interp/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fut {
+namespace fuzz {
+
+/// One generation step; the meaning of the numeric fields depends on Kind.
+/// All randomness is resolved at plan-sampling time so rendering is a pure
+/// function of the plan.
+struct Step {
+  enum class Kind : uint8_t {
+    Map,       ///< map of a scalar expression over the chain array
+    Mask,      ///< conditional mask map (filter encoding)
+    Scan,      ///< scan (+) over the chain array
+    Reduce,    ///< reduce (+ | min | max) to a scalar
+    InPlace,   ///< in-place update of a fresh copy
+    ZipIota,   ///< two-array map against iota n
+    MapLoop,   ///< sequential loop inside every thread
+    MapReduce, ///< nested reduction over a thread-private iota
+    Histogram, ///< histogram loop into a replicated accumulator
+    Concat,    ///< reduce (+) over the chain array concat'd with itself
+    Transpose, ///< 2D nest, transpose, row-sums reduced to a scalar
+    MapScan,   ///< scan over a thread-private iota, reduced in-thread
+    PowMap,    ///< x ** k with a small non-negative k
+    DivVar,    ///< division by a data-dependent divisor (may fault)
+    IndexScalar, ///< read one element into the scalar pool
+  };
+
+  Kind K = Kind::Map;
+  /// Scalar-expression variant for steps that embed one (0..4).
+  int Variant = 0;
+  /// Step constants: a positive constant (>= 2) and a small constant.
+  int64_t Pos = 2;
+  int64_t Small = 0;
+  /// Index into the scalars produced so far; renderers clamp it against
+  /// the actually available pool (which shrinking may have emptied).
+  int SRef = 0;
+};
+
+/// A fully pinned generation plan: rendering it is deterministic.
+struct Plan {
+  int64_t N = 8;               ///< length of every chain array
+  std::vector<Step> Steps;
+  std::vector<int32_t> Input;  ///< the a0 argument, N elements
+};
+
+/// A renderable program with matching entry-point arguments.
+struct FuzzCase {
+  uint64_t Seed = 0;
+  std::string Source;
+  std::vector<Value> Args;
+};
+
+/// Deterministically samples plan number \p Seed: same seed, same plan,
+/// forever (existing seeds' programs are pinned by the regress corpus).
+Plan samplePlan(uint64_t Seed);
+
+/// Renders \p P to surface source + arguments.  \p Seed is only recorded
+/// in the result for reporting.
+FuzzCase renderPlan(const Plan &P, uint64_t Seed);
+
+/// samplePlan + renderPlan.
+FuzzCase generate(uint64_t Seed);
+
+/// The outcome of one differential run.
+struct Outcome {
+  bool Ok = false;
+  /// Both sides failed with the identical typed runtime error — counts as
+  /// agreement (Ok == true).
+  bool BothFailed = false;
+  /// On mismatch: the seed, the source, and both results, so the failure
+  /// reproduces from the log alone.
+  std::string Message;
+};
+
+/// Runs \p C through the reference interpreter (frontend output, no
+/// optimisation) and the full pipeline + simulated device, comparing
+/// bit-for-bit.  Typed runtime errors must agree in kind and message;
+/// any compile or verifier error is a failure (generated programs are
+/// well-typed by construction).
+Outcome runDifferential(const FuzzCase &C);
+
+/// Same oracle for an externally provided source + args (the regress
+/// corpus runner).
+Outcome runSourceDifferential(const std::string &Source,
+                              const std::vector<Value> &Args);
+
+/// Greedy shrink: repeatedly re-render with one step removed (then with a
+/// shorter array / zeroed inputs) while the differential failure persists.
+struct ShrinkResult {
+  Plan MinimalPlan;
+  FuzzCase Minimal;
+  std::string Message;   ///< failure message of the minimal case
+  int StepsRemoved = 0;
+  int Attempts = 0;
+};
+ShrinkResult shrink(const Plan &P, uint64_t Seed);
+
+/// Serialises \p C as a self-contained .fut regression file: comment
+/// header (one line per \p CommentLines entry), an "-- args:" line, then
+/// the source.  parseArgsLine inverts the args line.
+std::string toRegressionFile(const FuzzCase &C,
+                             const std::vector<std::string> &CommentLines);
+
+/// Parses an "-- args:" header line ("-- args: 8 [1,2,3]") back into
+/// values; returns false on malformed input.
+bool parseArgsLine(const std::string &Line, std::vector<Value> &Out);
+
+/// Loads a .fut regression file written by toRegressionFile (or by hand):
+/// splits the args header from the source.  Returns false if no valid
+/// "-- args:" line is present.
+bool loadRegressionFile(const std::string &Contents, FuzzCase &Out);
+
+} // namespace fuzz
+} // namespace fut
+
+#endif // FUTHARKCC_FUZZ_FUZZ_H

@@ -1,0 +1,183 @@
+//===- FuzzMain.cpp - The futharkcc-fuzz driver ---------------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differentially fuzzes the compiler: for each seed, generate a small
+/// well-typed program, run it through the full pipeline + simulated device
+/// and through the reference interpreter, and demand bit-identical results
+/// (or the identical typed runtime error).  Failures are shrunk to minimal
+/// plans and written out as self-contained .fut regression files.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace fut;
+using namespace fut::fuzz;
+
+namespace {
+
+void usage() {
+  fprintf(stderr,
+          "usage: futharkcc-fuzz [options]\n"
+          "  --seed <n>          fuzz exactly one seed\n"
+          "  --seed-range <a..b> fuzz seeds a through b inclusive "
+          "(default 1..100)\n"
+          "  --count <n>         fuzz seeds 1..n (shorthand)\n"
+          "  --out <dir>         where to write minimized .fut failures\n"
+          "                      (default: fuzz-failures)\n"
+          "  --no-shrink         report raw failures without minimizing\n"
+          "  --dump <n>          print the program for seed n and exit\n"
+          "  -v                  print every seed as it runs\n");
+}
+
+bool parseRange(const std::string &S, uint64_t &Lo, uint64_t &Hi) {
+  size_t Dots = S.find("..");
+  if (Dots == std::string::npos)
+    return false;
+  try {
+    Lo = std::stoull(S.substr(0, Dots));
+    Hi = std::stoull(S.substr(Dots + 2));
+  } catch (...) {
+    return false;
+  }
+  return Lo <= Hi;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Lo = 1, Hi = 100;
+  std::string OutDir = "fuzz-failures";
+  bool Shrink = true, Verbose = false;
+  int64_t DumpSeed = -1;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      return ++I < argc ? argv[I] : nullptr;
+    };
+    if (A == "--seed") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      Lo = Hi = std::stoull(V);
+    } else if (A == "--seed-range") {
+      const char *V = Next();
+      if (!V || !parseRange(V, Lo, Hi)) {
+        usage();
+        return 2;
+      }
+    } else if (A.rfind("--seed-range=", 0) == 0) {
+      if (!parseRange(A.substr(strlen("--seed-range=")), Lo, Hi)) {
+        usage();
+        return 2;
+      }
+    } else if (A == "--count") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      Lo = 1;
+      Hi = std::stoull(V);
+    } else if (A == "--out") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      OutDir = V;
+    } else if (A == "--no-shrink") {
+      Shrink = false;
+    } else if (A == "--dump") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      DumpSeed = std::stoll(V);
+    } else if (A == "-v") {
+      Verbose = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  if (DumpSeed >= 0) {
+    FuzzCase C = generate(static_cast<uint64_t>(DumpSeed));
+    printf("%s", toRegressionFile(C, {"seed " + std::to_string(DumpSeed)})
+                     .c_str());
+    return 0;
+  }
+
+  uint64_t Failures = 0, BothFailed = 0;
+  for (uint64_t Seed = Lo; Seed <= Hi; ++Seed) {
+    Plan P = samplePlan(Seed);
+    FuzzCase C = renderPlan(P, Seed);
+    Outcome O = runDifferential(C);
+    if (O.Ok) {
+      if (O.BothFailed)
+        ++BothFailed;
+      if (Verbose)
+        fprintf(stderr, "seed %llu: ok%s\n",
+                static_cast<unsigned long long>(Seed),
+                O.BothFailed ? " (agreed runtime error)" : "");
+      continue;
+    }
+
+    ++Failures;
+    fprintf(stderr, "seed %llu: FAIL\n%s\n",
+            static_cast<unsigned long long>(Seed), O.Message.c_str());
+
+    FuzzCase Min = C;
+    std::string MinMsg = O.Message;
+    if (Shrink) {
+      ShrinkResult SR = shrink(P, Seed);
+      Min = SR.Minimal;
+      MinMsg = SR.Message;
+      fprintf(stderr,
+              "shrunk (%d steps removed, %d attempts) to:\n%s\n",
+              SR.StepsRemoved, SR.Attempts, Min.Source.c_str());
+    }
+
+    std::string Path =
+        OutDir + "/seed" + std::to_string(Seed) + ".fut";
+    std::ofstream OS(Path);
+    if (OS) {
+      // First message line only: the full report repeats the source.
+      std::string FirstLine = MinMsg.substr(0, MinMsg.find('\n'));
+      OS << toRegressionFile(
+          Min, {"fuzzer failure, seed " + std::to_string(Seed),
+                FirstLine});
+      fprintf(stderr, "wrote %s\n", Path.c_str());
+    } else {
+      fprintf(stderr,
+              "cannot write %s (create the directory first?)\n",
+              Path.c_str());
+    }
+  }
+
+  fprintf(stderr,
+          "fuzzed seeds %llu..%llu: %llu failure(s), %llu agreed runtime "
+          "error(s)\n",
+          static_cast<unsigned long long>(Lo),
+          static_cast<unsigned long long>(Hi),
+          static_cast<unsigned long long>(Failures),
+          static_cast<unsigned long long>(BothFailed));
+  return Failures == 0 ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 using namespace fut;
@@ -334,7 +335,27 @@ PrimValue normalizeFloat(ScalarKind K, double V) {
   return PrimValue::makeF64(V);
 }
 
-/// Futhark-style floor division.
+/// Wrapping two's-complement arithmetic: signed overflow is undefined
+/// behaviour in C++, so wrap-prone operations go through unsigned and the
+/// result is truncated back to the operand kind by normalizeInt.
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapNeg(int64_t A) {
+  return static_cast<int64_t>(-static_cast<uint64_t>(A));
+}
+
+/// Futhark-style floor division.  Callers must reject B == 0 and the
+/// INT64_MIN / -1 overflow before calling (A / B would be UB).
 int64_t floorDiv(int64_t A, int64_t B) {
   int64_t Q = A / B;
   if ((A % B != 0) && ((A < 0) != (B < 0)))
@@ -342,12 +363,15 @@ int64_t floorDiv(int64_t A, int64_t B) {
   return Q;
 }
 
-int64_t floorMod(int64_t A, int64_t B) { return A - floorDiv(A, B) * B; }
+int64_t floorMod(int64_t A, int64_t B) {
+  return wrapSub(A, wrapMul(floorDiv(A, B), B));
+}
 
+/// Wrapping integer exponentiation; Exp must be non-negative.
 int64_t intPow(int64_t Base, int64_t Exp) {
   int64_t R = 1;
   for (int64_t I = 0; I < Exp; ++I)
-    R *= Base;
+    R = wrapMul(R, Base);
   return R;
 }
 
@@ -410,22 +434,30 @@ ErrorOr<PrimValue> fut::evalBinOp(BinOp Op, const PrimValue &A,
     int64_t X = A.getInt(), Y = B.getInt();
     switch (Op) {
     case BinOp::Add:
-      return normalizeInt(K, X + Y);
+      return normalizeInt(K, wrapAdd(X, Y));
     case BinOp::Sub:
-      return normalizeInt(K, X - Y);
+      return normalizeInt(K, wrapSub(X, Y));
     case BinOp::Mul:
-      return normalizeInt(K, X * Y);
+      return normalizeInt(K, wrapMul(X, Y));
+    // Faulting operations are typed runtime errors, never UB: the
+    // simplifier leaves the expression unfolded when evalBinOp fails, and
+    // the interpreter and gpusim surface the identical diagnostic, so
+    // fold == interpreter == device on every edge case by construction.
     case BinOp::Div:
       if (Y == 0)
-        return CompilerError("integer division by zero");
+        return CompilerError::runtime("integer division by zero");
+      if (X == INT64_MIN && Y == -1)
+        return CompilerError::runtime("integer division overflow");
       return normalizeInt(K, floorDiv(X, Y));
     case BinOp::Mod:
       if (Y == 0)
-        return CompilerError("integer modulo by zero");
+        return CompilerError::runtime("integer modulo by zero");
+      if (X == INT64_MIN && Y == -1)
+        return CompilerError::runtime("integer modulo overflow");
       return normalizeInt(K, floorMod(X, Y));
     case BinOp::Pow:
       if (Y < 0)
-        return CompilerError("negative integer exponent");
+        return CompilerError::runtime("negative integer exponent");
       return normalizeInt(K, intPow(X, Y));
     case BinOp::Min:
       return normalizeInt(K, X < Y ? X : Y);
@@ -461,9 +493,9 @@ ErrorOr<PrimValue> fut::evalUnOp(UnOp Op, const PrimValue &A) {
     int64_t X = A.getInt();
     switch (Op) {
     case UnOp::Neg:
-      return normalizeInt(K, -X);
+      return normalizeInt(K, wrapNeg(X));
     case UnOp::Abs:
-      return normalizeInt(K, X < 0 ? -X : X);
+      return normalizeInt(K, X < 0 ? wrapNeg(X) : X);
     case UnOp::Signum:
       return normalizeInt(K, X > 0 ? 1 : (X < 0 ? -1 : 0));
     default:

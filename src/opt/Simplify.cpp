@@ -202,7 +202,7 @@ private:
     }
   };
   using CSETable =
-      std::unordered_map<CSEKey, std::vector<VName>, CSEKeyHash, CSEKeyEq>;
+      std::unordered_map<CSEKey, std::vector<Param>, CSEKeyHash, CSEKeyEq>;
 
   void simplify(Body &B) {
     NameMap<SubExp> Subst;
@@ -249,19 +249,30 @@ private:
         CSEKey Key{S.E.get(), hashExpShallow(*S.E)};
         auto It = CSE.find(Key);
         if (It != CSE.end() && It->second.size() == S.Pat.size()) {
-          for (size_t I = 0; I < S.Pat.size(); ++I)
-            Subst[S.Pat[I].Name] = SubExp::var(It->second[I]);
+          for (size_t I = 0; I < S.Pat.size(); ++I) {
+            const Param &Dropped = S.Pat[I];
+            const Param &Kept = It->second[I];
+            Subst[Dropped.Name] = SubExp::var(Kept.Name);
+            // A dropped pattern may be the sole introduction of an
+            // existential dim (e.g. concat's result length); remap it to
+            // the surviving pattern's dim or later uses dangle.
+            if (Dropped.Ty.rank() == Kept.Ty.rank())
+              for (int D = 0; D < Dropped.Ty.rank(); ++D) {
+                const Dim &DD = Dropped.Ty.shape()[D];
+                const Dim &KD = Kept.Ty.shape()[D];
+                if (DD.isVar() && !(DD == KD) && !Subst.count(DD.getVar()))
+                  Subst[DD.getVar()] = KD;
+              }
+          }
           ++Rewrites;
           continue;
         }
-        std::vector<VName> Names;
-        for (const Param &P : S.Pat)
-          Names.push_back(P.Name);
+        std::vector<Param> Pat = S.Pat;
         // The key references the expression now owned by Out; push first.
         Out.push_back(std::move(S));
         CSE.emplace(CSEKey{Out.back().E.get(),
                            hashExpShallow(*Out.back().E)},
-                    std::move(Names));
+                    std::move(Pat));
         for (const Param &P : Out.back().Pat)
           Defs[P.Name] = Out.back().E.get();
         continue;

@@ -45,6 +45,10 @@ struct SrcLoc {
 /// fallback.
 enum class ErrorKind {
   Compile,
+  /// The IR verifier rejected the output of a compiler pass: static like
+  /// Compile, but distinguished so harnesses can tell "the input program is
+  /// wrong" from "the compiler broke its own IR".
+  Verify,
   Runtime,
   DeviceOOM,
   Watchdog,
@@ -56,6 +60,8 @@ inline const char *errorKindName(ErrorKind K) {
   switch (K) {
   case ErrorKind::Compile:
     return "compile";
+  case ErrorKind::Verify:
+    return "verify";
   case ErrorKind::Runtime:
     return "runtime";
   case ErrorKind::DeviceOOM:
@@ -106,8 +112,10 @@ struct CompilerError {
   }
 
   /// True for any failure that happens while running a program (as opposed
-  /// to compiling it).
-  bool isRuntime() const { return Kind != ErrorKind::Compile; }
+  /// to compiling or verifying it).
+  bool isRuntime() const {
+    return Kind != ErrorKind::Compile && Kind != ErrorKind::Verify;
+  }
 
   std::string str() const {
     std::string Tag = Kind == ErrorKind::Compile
@@ -120,6 +128,26 @@ struct CompilerError {
   }
 };
 
+/// Result of a stage that produces no value.  Success is the default state.
+class MaybeError {
+  bool Failed = false;
+  CompilerError Err;
+
+public:
+  MaybeError() = default;
+  MaybeError(CompilerError E) : Failed(true), Err(std::move(E)) {}
+
+  static MaybeError success() { return MaybeError(); }
+
+  /// True when an error is present (mirrors llvm::Error's convention).
+  explicit operator bool() const { return Failed; }
+
+  const CompilerError &getError() const {
+    assert(Failed && "no error present");
+    return Err;
+  }
+};
+
 /// Either a T or a CompilerError.  Implicitly convertible to bool (true on
 /// success); the value is accessed with operator* / operator->.
 template <typename T> class ErrorOr {
@@ -128,6 +156,8 @@ template <typename T> class ErrorOr {
 public:
   ErrorOr(T Value) : Storage(std::move(Value)) {}
   ErrorOr(CompilerError Err) : Storage(std::move(Err)) {}
+  /// Propagates a failed MaybeError (asserts it actually holds an error).
+  ErrorOr(const MaybeError &Err) : Storage(Err.getError()) {}
 
   explicit operator bool() const { return Storage.index() == 0; }
 
@@ -151,26 +181,6 @@ public:
   T take() {
     assert(*this && "taking value of failed ErrorOr");
     return std::move(std::get<0>(Storage));
-  }
-};
-
-/// Result of a stage that produces no value.  Success is the default state.
-class MaybeError {
-  bool Failed = false;
-  CompilerError Err;
-
-public:
-  MaybeError() = default;
-  MaybeError(CompilerError E) : Failed(true), Err(std::move(E)) {}
-
-  static MaybeError success() { return MaybeError(); }
-
-  /// True when an error is present (mirrors llvm::Error's convention).
-  explicit operator bool() const { return Failed; }
-
-  const CompilerError &getError() const {
-    assert(Failed && "no error present");
-    return Err;
   }
 };
 

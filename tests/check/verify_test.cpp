@@ -1,0 +1,174 @@
+//===- verify_test.cpp - Tests for the type-rederiving IR verifier ---------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verifier's contract: accept everything the real pipeline produces,
+/// and reject a deliberately broken rewrite at the pass boundary that
+/// produced it, naming the pass and the offending binding.  The broken
+/// rewrite is injected through CompilerOptions::PostPassHook, the
+/// test-only corruption point that runs before the verifier at every pass
+/// boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "check/Verify.h"
+
+#include "driver/Compiler.h"
+#include "ir/Builder.h"
+#include "parser/Desugar.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+using namespace fut::test;
+
+namespace {
+
+Type i32s() { return Type::scalar(ScalarKind::I32); }
+
+} // namespace
+
+TEST(VerifyTest, AcceptsFrontendOutput) {
+  NameSource NS;
+  auto P = frontend("fun main (n: i32) (xs: [n]i32): i32 =\n"
+                    "  reduce (+) 0 (map (+1) xs)",
+                    NS);
+  ASSERT_OK(P);
+  auto Err = verifyProgram(*P, "frontend", {});
+  EXPECT_FALSE(static_cast<bool>(Err)) << Err.getError().str();
+}
+
+TEST(VerifyTest, AcceptsWholePipelineOutput) {
+  // compileSource already verifies after every pass (VerifyIR defaults
+  // on); additionally verify the final flattened program explicitly.
+  NameSource NS;
+  auto C = compileSource(
+      "fun main (a: [n][m]f32) (steps: i32): [n][m]f32 =\n"
+      "  map (\\(row: [m]f32): [m]f32 ->\n"
+      "         loop (r = row) for t < steps do\n"
+      "           map (\\(x: f32): f32 -> x * 0.5) r)\n"
+      "      a",
+      NS);
+  ASSERT_OK(C);
+  VerifyOptions VO;
+  VO.Flattened = true;
+  auto Err = verifyProgram(C->P, "final", VO);
+  EXPECT_FALSE(static_cast<bool>(Err)) << Err.getError().str();
+}
+
+TEST(VerifyTest, BrokenRewriteCaughtAtPassBoundaryWithBindingName) {
+  // Corrupt the program right after the simplify pass: re-declare the
+  // first binding of main at the wrong rank.  The verifier must fail
+  // compilation with an ErrorKind::Verify diagnostic naming both the pass
+  // and the binding.  Structural checks are disabled so the verifier is
+  // provably the layer that catches it.
+  NameSource NS;
+  CompilerOptions Opts;
+  Opts.InternalChecks = false;
+  std::string Corrupted;
+  Opts.PostPassHook = [&](Program &P, const std::string &Pass) {
+    if (Pass != "simplify" || !Corrupted.empty())
+      return;
+    FunDef *F = P.findFun("main");
+    ASSERT_NE(F, nullptr);
+    ASSERT_FALSE(F->FBody.Stms.empty());
+    Param &Pat = F->FBody.Stms.front().Pat.front();
+    Pat.Ty = Type::array(Pat.Ty.elemKind(), {i32(3), i32(3), i32(3)});
+    Corrupted = Pat.Name.str();
+  };
+  auto C = compileSource("fun main (n: i32) (xs: [n]i32): i32 =\n"
+                         "  reduce (+) 0 (map (\\(x: i32): i32 -> x + n) xs)",
+                         NS, Opts);
+  ASSERT_FALSE(static_cast<bool>(C)) << "corrupted program compiled";
+  ASSERT_FALSE(Corrupted.empty()) << "hook never fired";
+  const CompilerError &E = C.getError();
+  EXPECT_EQ(E.Kind, ErrorKind::Verify) << E.str();
+  EXPECT_NE(E.Message.find("after pass 'simplify'"), std::string::npos)
+      << E.str();
+  EXPECT_NE(E.Message.find(Corrupted), std::string::npos) << E.str();
+}
+
+TEST(VerifyTest, DanglingOperandNamesTheBinding) {
+  NameSource NS;
+  VName Ghost = NS.fresh("ghost");
+  BodyBuilder BB(NS);
+  VName R = BB.bind("r", i32s(),
+                    std::make_unique<BinOpExp>(BinOp::Add, SubExp::var(Ghost),
+                                               i32(1)));
+  Program P = singleFun({}, {i32s()}, BB.finish({SubExp::var(R)}));
+  auto Err = verifyProgram(P, "test-pass", {});
+  ASSERT_TRUE(static_cast<bool>(Err));
+  EXPECT_EQ(Err.getError().Kind, ErrorKind::Verify);
+  EXPECT_NE(Err.getError().Message.find("unbound"), std::string::npos)
+      << Err.getError().str();
+  EXPECT_NE(Err.getError().Message.find(R.str()), std::string::npos)
+      << Err.getError().str();
+}
+
+TEST(VerifyTest, ConsumedArrayObservedAgainDetected) {
+  // let b = a with [0] <- x consumes a; reading a afterwards violates the
+  // post-uniq discipline the verifier enforces on every pass's output.
+  NameSource NS;
+  VName A = NS.fresh("a"), X = NS.fresh("x");
+  Type ArrT = Type::array(ScalarKind::I32, {i32(4)});
+  BodyBuilder BB(NS);
+  VName B = BB.bind("b", ArrT,
+                    std::make_unique<UpdateExp>(
+                        A, std::vector<SubExp>{i32(0)}, SubExp::var(X)));
+  SubExp Read = BB.index(A, {i32(0)}, i32s());
+  Program P = singleFun({Param(A, ArrT), Param(X, i32s())}, {i32s()},
+                        BB.finish({Read}));
+  (void)B;
+  auto Err = verifyProgram(P, "test-pass", {});
+  ASSERT_TRUE(static_cast<bool>(Err));
+  EXPECT_NE(Err.getError().Message.find("consumed"), std::string::npos)
+      << Err.getError().str();
+}
+
+TEST(VerifyTest, HostSOACRejectedOnlyAfterFlattening) {
+  NameSource NS;
+  VName Xs = NS.fresh("xs");
+  Type ArrT = Type::array(ScalarKind::I32, {i32(4)});
+  VName LP = NS.fresh("p");
+  BodyBuilder LB(NS);
+  Lambda Id({Param(LP, i32s())}, LB.finish({SubExp::var(LP)}), {i32s()});
+  BodyBuilder BB(NS);
+  VName M = BB.bind("m", ArrT,
+                    std::make_unique<MapExp>(i32(4), std::move(Id),
+                                             std::vector<VName>{Xs}));
+  Program P = singleFun({Param(Xs, ArrT)}, {ArrT},
+                        BB.finish({SubExp::var(M)}));
+
+  // Before kernel extraction a host map is fine...
+  auto Pre = verifyProgram(P, "simplify", {});
+  EXPECT_FALSE(static_cast<bool>(Pre)) << Pre.getError().str();
+
+  // ...after it, it is nested parallelism that escaped flattening.
+  VerifyOptions Flat;
+  Flat.Flattened = true;
+  auto Post = verifyProgram(P, "kernel-extraction", Flat);
+  ASSERT_TRUE(static_cast<bool>(Post));
+  EXPECT_NE(Post.getError().Message.find("host-level"), std::string::npos)
+      << Post.getError().str();
+
+  // ...unless the ablation pipeline legitimately leaves SOACs on the host.
+  Flat.AllowHostSOACs = true;
+  auto Ablation = verifyProgram(P, "kernel-extraction", Flat);
+  EXPECT_FALSE(static_cast<bool>(Ablation)) << Ablation.getError().str();
+}
+
+TEST(VerifyTest, PatternTypeMismatchDetected) {
+  NameSource NS;
+  BodyBuilder BB(NS);
+  // iota 4 derives [4]i32 but the pattern declares a scalar.
+  VName R = BB.bind("r", i32s(), std::make_unique<IotaExp>(i32(4)));
+  Program P = singleFun({}, {i32s()}, BB.finish({SubExp::var(R)}));
+  auto Err = verifyProgram(P, "test-pass", {});
+  ASSERT_TRUE(static_cast<bool>(Err));
+  EXPECT_NE(Err.getError().Message.find(R.str()), std::string::npos)
+      << Err.getError().str();
+}

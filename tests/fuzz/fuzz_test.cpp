@@ -1,0 +1,74 @@
+//===- fuzz_test.cpp - Tests for the seeded program fuzzer -----------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer itself is test infrastructure, so these tests pin the
+/// properties the regress corpus and CI smoke depend on: seeded generation
+/// is bit-stable, every rendered program is well-typed and agrees across
+/// both execution paths, plan subsets stay well-typed (the shrinker's
+/// soundness condition), and the .fut serialisation round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+using namespace fut::fuzz;
+
+TEST(FuzzTest, GenerationIsDeterministic) {
+  for (uint64_t Seed : {1u, 7u, 180u, 499u}) {
+    FuzzCase A = generate(Seed);
+    FuzzCase B = generate(Seed);
+    EXPECT_EQ(A.Source, B.Source) << "seed " << Seed;
+    ASSERT_EQ(A.Args.size(), B.Args.size());
+    for (size_t I = 0; I < A.Args.size(); ++I)
+      EXPECT_TRUE(A.Args[I] == B.Args[I]) << "seed " << Seed << " arg " << I;
+  }
+}
+
+TEST(FuzzTest, FixedSeedsAgreeAcrossPaths) {
+  // A small always-on smoke; CI additionally runs futharkcc-fuzz over a
+  // wider fixed range.
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    Outcome O = runDifferential(generate(Seed));
+    EXPECT_TRUE(O.Ok) << "seed " << Seed << ":\n" << O.Message;
+  }
+}
+
+TEST(FuzzTest, PlanSubsetsStayWellTyped) {
+  // The shrinker removes arbitrary steps; any subset must still compile
+  // and agree.  Exercise every leave-one-out subset of one plan.
+  Plan P = samplePlan(180);
+  for (size_t Drop = 0; Drop < P.Steps.size(); ++Drop) {
+    Plan Q = P;
+    Q.Steps.erase(Q.Steps.begin() + static_cast<long>(Drop));
+    Outcome O = runDifferential(renderPlan(Q, 180));
+    EXPECT_TRUE(O.Ok) << "dropped step " << Drop << ":\n" << O.Message;
+  }
+}
+
+TEST(FuzzTest, RegressionFileRoundTrips) {
+  FuzzCase C = generate(42);
+  std::string Text = toRegressionFile(C, {"round-trip test"});
+  FuzzCase Back;
+  ASSERT_TRUE(loadRegressionFile(Text, Back));
+  EXPECT_EQ(Back.Source, C.Source);
+  ASSERT_EQ(Back.Args.size(), C.Args.size());
+  for (size_t I = 0; I < C.Args.size(); ++I)
+    EXPECT_TRUE(Back.Args[I] == C.Args[I]) << "arg " << I;
+}
+
+TEST(FuzzTest, ArgsLineRejectsMalformedInput) {
+  std::vector<Value> Out;
+  EXPECT_FALSE(parseArgsLine("args: 1", Out));
+  EXPECT_FALSE(parseArgsLine("-- args: [1,2", Out));
+  EXPECT_TRUE(parseArgsLine("-- args: 8 [1,-2,3]", Out));
+  ASSERT_EQ(Out.size(), 2u);
+}

@@ -8,6 +8,7 @@
 
 #include "TestUtil.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 using namespace fut;
@@ -161,3 +162,85 @@ INSTANTIATE_TEST_SUITE_P(
                           BinOp::Geq),
         ::testing::Values(ScalarKind::Bool, ScalarKind::I32, ScalarKind::I64,
                           ScalarKind::F32, ScalarKind::F64)));
+
+TEST(PrimOpsTest, SignedOverflowWrapsToTwosComplement) {
+  // Add/Sub/Mul/Neg wrap modulo 2^64 instead of invoking signed-overflow
+  // UB; the interpreter, constant folder and simulated device all funnel
+  // through these, so wrapping here pins the semantics everywhere.
+  auto I64 = [](int64_t V) { return PrimValue::makeI64(V); };
+  auto Add = evalBinOp(BinOp::Add, I64(INT64_MAX), I64(1));
+  ASSERT_OK(Add);
+  EXPECT_EQ(Add.take().getInt(), INT64_MIN);
+
+  auto Sub = evalBinOp(BinOp::Sub, I64(INT64_MIN), I64(1));
+  ASSERT_OK(Sub);
+  EXPECT_EQ(Sub.take().getInt(), INT64_MAX);
+
+  auto Mul = evalBinOp(BinOp::Mul, I64(INT64_MIN), I64(-1));
+  ASSERT_OK(Mul);
+  EXPECT_EQ(Mul.take().getInt(), INT64_MIN);
+
+  auto Neg = evalUnOp(UnOp::Neg, I64(INT64_MIN));
+  ASSERT_OK(Neg);
+  EXPECT_EQ(Neg.take().getInt(), INT64_MIN);
+
+  auto Abs = evalUnOp(UnOp::Abs, I64(INT64_MIN));
+  ASSERT_OK(Abs);
+  EXPECT_EQ(Abs.take().getInt(), INT64_MIN);
+}
+
+TEST(PrimOpsTest, DivisionOverflowIsATypedRuntimeError) {
+  // INT64_MIN / -1 has no representable result; it must be the same typed
+  // runtime error on every execution path, never UB.
+  auto Div = evalBinOp(BinOp::Div, PrimValue::makeI64(INT64_MIN),
+                       PrimValue::makeI64(-1));
+  ASSERT_FALSE(static_cast<bool>(Div));
+  EXPECT_EQ(Div.getError().Kind, ErrorKind::Runtime);
+  EXPECT_NE(Div.getError().Message.find("division overflow"),
+            std::string::npos);
+
+  auto Mod = evalBinOp(BinOp::Mod, PrimValue::makeI64(INT64_MIN),
+                       PrimValue::makeI64(-1));
+  ASSERT_FALSE(static_cast<bool>(Mod));
+  EXPECT_EQ(Mod.getError().Kind, ErrorKind::Runtime);
+  EXPECT_NE(Mod.getError().Message.find("modulo overflow"),
+            std::string::npos);
+}
+
+TEST(PrimOpsTest, DivModByZeroAreRuntimeKind) {
+  // The error kind matters: the resilient host runtime only retries
+  // device-side faults, and the fuzzer's differential oracle treats two
+  // identical runtime errors as agreement.
+  auto Div = evalBinOp(BinOp::Div, PrimValue::makeI32(1),
+                       PrimValue::makeI32(0));
+  ASSERT_FALSE(static_cast<bool>(Div));
+  EXPECT_EQ(Div.getError().Kind, ErrorKind::Runtime);
+  auto Mod = evalBinOp(BinOp::Mod, PrimValue::makeI32(1),
+                       PrimValue::makeI32(0));
+  ASSERT_FALSE(static_cast<bool>(Mod));
+  EXPECT_EQ(Mod.getError().Kind, ErrorKind::Runtime);
+}
+
+TEST(PrimOpsTest, NegativeIntegerExponentIsATypedRuntimeError) {
+  auto R = evalBinOp(BinOp::Pow, PrimValue::makeI32(2),
+                     PrimValue::makeI32(-1));
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(R.getError().Kind, ErrorKind::Runtime);
+  EXPECT_NE(R.getError().Message.find("negative integer exponent"),
+            std::string::npos);
+
+  // Edge cases around zero stay total.
+  auto Zero = evalBinOp(BinOp::Pow, PrimValue::makeI32(0),
+                        PrimValue::makeI32(0));
+  ASSERT_OK(Zero);
+  EXPECT_EQ(Zero.take().getInt(), 1);
+}
+
+TEST(PrimOpsTest, INT32EdgesSurviveI32Division) {
+  // INT32_MIN / -1 is representable at the i64 evaluation width and
+  // truncates back to INT32_MIN: defined wraparound, not an error.
+  auto R = evalBinOp(BinOp::Div, PrimValue::makeI32(INT32_MIN),
+                     PrimValue::makeI32(-1));
+  ASSERT_OK(R);
+  EXPECT_EQ(R.take().getInt(), INT32_MIN);
+}

@@ -6,6 +6,7 @@
 
 #include "opt/Simplify.h"
 
+#include "check/Check.h"
 #include "interp/Interp.h"
 #include "ir/Printer.h"
 #include "ir/Traversal.h"
@@ -279,3 +280,53 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<SimplifyCase> &Info) {
       return Info.param.Name;
     });
+
+TEST(SimplifyTest, IntMinDividedByMinusOneIsNotFolded) {
+  // INT64_MIN / -1 overflows two's-complement division; constant folding
+  // must not evaluate it (that was UB in ir/Prim.cpp's floorDiv) but leave
+  // it to fault at runtime exactly like the interpreter does.
+  NameSource NS;
+  BodyBuilder BB(NS);
+  Type I64 = Type::scalar(ScalarKind::I64);
+  VName D = BB.bind(
+      "d", I64,
+      std::make_unique<BinOpExp>(
+          BinOp::Div, SubExp::constant(PrimValue::makeI64(INT64_MIN)),
+          SubExp::constant(PrimValue::makeI64(-1))));
+  Program P = singleFun({}, {I64}, BB.finish({SubExp::var(D)}));
+  simplifyProgram(P, NS);
+  EXPECT_EQ(countExps(P.Funs[0].FBody, ExpKind::BinOpE), 1);
+  Interpreter I(P);
+  EXPECT_ERR_CONTAINS(I.run({}), "division overflow");
+}
+
+TEST(SimplifyTest, NegativeExponentIsNotFolded) {
+  NameSource NS;
+  Program P = compile("fun main (x: i32): i32 = x + 2 ** -3", NS);
+  simplifyProgram(P, NS);
+  // The faulting power must survive to runtime.
+  Interpreter I(P);
+  EXPECT_ERR_CONTAINS(I.run({iv(1)}), "negative integer exponent");
+}
+
+TEST(SimplifyTest, CSEKeepsExistentialDimsBound) {
+  // Regression for a fuzzer-found miscompile (seeds 180/190/195/479/489,
+  // tests/regress/cases/concat-length-cse.fut): CSE dropped the second
+  // concat binding but its existential length variable stayed referenced
+  // by the second reduce's width, leaving a dangling name after simplify.
+  NameSource NS;
+  Program P = compile("fun main (n: i32) (a0: [n]i32): i32 =\n"
+                      "  let s0 = reduce (+) (0 + 3) (concat a0 a0)\n"
+                      "  let s1 = reduce (+) (0 + 1) (concat a0 a0)\n"
+                      "  in s0 + s1",
+                      NS);
+  simplifyProgram(P, NS);
+  auto Err = checkProgram(P);
+  EXPECT_FALSE(static_cast<bool>(Err)) << Err.getError().str();
+  // The two concats merged into one; nothing dangles.
+  EXPECT_EQ(countExps(P.Funs[0].FBody, ExpKind::Concat), 1);
+  Interpreter I(P);
+  auto R = I.run({iv(3), ivec({1, 2, 3})});
+  ASSERT_OK(R);
+  EXPECT_EQ(R.take()[0].getScalar().getInt(), 28);
+}

@@ -1,0 +1,16 @@
+-- Two identical `concat` bindings: CSE unified them, dropping the second
+-- binding, but later code (the second reduce's width) still referenced the
+-- dropped binding's existential length variable, which has no definition
+-- anywhere else.  Simplify then emitted IR with a dangling `concat_n` name
+-- ("internal error after simplify: use of unbound variable concat_n_NN").
+-- Fixed in src/opt/Simplify.cpp: on a CSE hit the substitution now also
+-- remaps the dropped pattern's dim variables onto the surviving pattern's
+-- dims, so existential dims keep exactly one introduction site.
+-- Found by futharkcc-fuzz (seeds 180, 190, 195, 479, 489 of 1..500),
+-- shrunk by hand to the two-concat core.
+-- args: 4 [1,2,3,4]
+fun main (n: i32) (a0: [n]i32): ([n]i32, i32) =
+  let s0 = reduce (+) (0 + 3) (concat a0 a0)
+  let s1 = reduce (+) (0 + 1) (concat a0 a0)
+  let check = reduce (+) 0 a0
+  in (a0, check + s0 + s1)

@@ -1,0 +1,71 @@
+//===- regress_test.cpp - Fuzzer-found miscompile regression corpus --------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every miscompile the fuzzer has ever found lives on as a minimized .fut
+/// case under cases/ (one file per bug, with the fix referenced in the
+/// header comment).  Each case is replayed through the same differential
+/// oracle the fuzzer uses — full pipeline + simulated device vs. the
+/// reference interpreter — so a regression reports exactly like the
+/// original fuzzer failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include "TestUtil.h"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace fut;
+using namespace fut::fuzz;
+
+namespace {
+
+std::filesystem::path casesDir() {
+  return std::filesystem::path(FUTHARKCC_REGRESS_DIR);
+}
+
+std::vector<std::filesystem::path> caseFiles() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry : std::filesystem::directory_iterator(casesDir()))
+    if (Entry.path().extension() == ".fut")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+std::string slurp(const std::filesystem::path &P) {
+  std::ifstream In(P);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+TEST(RegressTest, CorpusIsNonEmpty) {
+  ASSERT_TRUE(std::filesystem::is_directory(casesDir()))
+      << "missing regression corpus directory " << casesDir();
+  EXPECT_FALSE(caseFiles().empty())
+      << "no .fut cases in " << casesDir();
+}
+
+TEST(RegressTest, EveryCaseParsesAndAgrees) {
+  for (const auto &Path : caseFiles()) {
+    SCOPED_TRACE(Path.filename().string());
+    FuzzCase C;
+    ASSERT_TRUE(loadRegressionFile(slurp(Path), C))
+        << Path << ": malformed regression file (needs an '-- args:' line)";
+    Outcome O = runSourceDifferential(C.Source, C.Args);
+    EXPECT_TRUE(O.Ok) << Path << ":\n" << O.Message;
+  }
+}
