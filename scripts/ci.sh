@@ -38,12 +38,53 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
   -R 'VerifyTest|RegressTest|FuzzTest'
 
 echo "== smoke: fixed-seed differential fuzz (compiled vs interpreter) =="
-# A deterministic 200-program sweep through the full pipeline (with the
+# A deterministic 300-program sweep through the full pipeline (with the
 # IR verifier enabled after every pass) against the reference
 # interpreter.  Runs in every configuration, so the sanitized matrix leg
-# executes it under ASan+UBSan.
-"$BUILD_DIR"/src/fuzz/futharkcc-fuzz --seed-range 1..200 \
+# executes it under ASan+UBSan.  300 seeds keeps the leg under a minute;
+# the full 1..1200 sweep is clean and worth re-running by hand after
+# planner or flattening changes.
+"$BUILD_DIR"/src/fuzz/futharkcc-fuzz --seed-range 1..300 \
   --out "$BUILD_DIR"/fuzz-failures
+
+echo "== mem-plan leg: ablation fuzz + planned-vs-runtime peaks =="
+# The same sweep with the static memory planner disabled: the runtime
+# best-fit manager must agree bit-for-bit with the planned placement
+# (cycles, counters, results), so both modes see identical pass/agree
+# verdicts on every seed.
+"$BUILD_DIR"/src/fuzz/futharkcc-fuzz --seed-range 1..300 --no-mem-plan \
+  --out "$BUILD_DIR"/fuzz-failures-noplan
+# PlannedPeakBytes <= PeakDeviceBytes(runtime) on the whole bench suite,
+# with bit-identical cycles/launches/outputs across modes.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'PlannedPeakNeverExceedsRuntimePeak|MemPlan|VerifyTest'
+# --print-mem-plan dumps the static plan for a real program.
+"$BUILD_DIR"/src/driver/futharkcc --print-mem-plan examples/kmeans.fut \
+  > "$BUILD_DIR"/ci_memplan.txt 2>/dev/null
+grep -q "memory plan" "$BUILD_DIR"/ci_memplan.txt
+grep -q "slab 0" "$BUILD_DIR"/ci_memplan.txt
+# The planner's predicted peak must equal the observed plan-mode peak and
+# never exceed the --no-mem-plan runtime manager's.
+"$BUILD_DIR"/src/driver/futharkcc examples/kmeans.fut --run \
+  >/dev/null 2>"$BUILD_DIR"/ci_plan.log
+"$BUILD_DIR"/src/driver/futharkcc --no-mem-plan examples/kmeans.fut --run \
+  >/dev/null 2>"$BUILD_DIR"/ci_noplan.log
+python3 - "$BUILD_DIR" <<'EOF'
+import re, sys
+bd = sys.argv[1]
+def field(log, key):
+    m = re.search(key + r"=(\d+)", open(log).read())
+    assert m, f"no {key} in {log}"
+    return int(m.group(1))
+planned = field(f"{bd}/ci_plan.log", "plannedpeak")
+peak_plan = field(f"{bd}/ci_plan.log", "peakbytes")
+peak_runtime = field(f"{bd}/ci_noplan.log", "peakbytes")
+assert planned > 0, "planner produced no placement for kmeans"
+assert planned == peak_plan, f"plan-mode peak {peak_plan} != planned {planned}"
+assert planned <= peak_runtime, \
+    f"planned peak {planned} exceeds runtime peak {peak_runtime}"
+print(f"ok: kmeans planned {planned} <= runtime {peak_runtime} bytes")
+EOF
 
 echo "== fault-injection suite =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \

@@ -42,6 +42,7 @@
 #define FUTHARKCC_CHECK_VERIFY_H
 
 #include "ir/IR.h"
+#include "mem/MemPlan.h"
 #include "support/Error.h"
 
 #include <string>
@@ -75,6 +76,23 @@ MaybeError verifyProgram(const Program &P, const std::string &Pass,
 /// Verifies a single function (callees are looked up in \p P).
 MaybeError verifyFun(const Program &P, const FunDef &F,
                      const std::string &Pass, const VerifyOptions &Opts = {});
+
+/// Verifies a static memory plan against the (flattened) program it was
+/// computed for, by independently re-deriving liveness and aliasing:
+///
+///   * every kernel output array is placed by the plan,
+///   * aliases recorded in the plan correspond to real alias edges (let
+///     bindings, uniqueness-sanctioned consumption, loop results) and
+///     land in the same slab as their source,
+///   * no two simultaneously-live arrays overlap within a slab unless the
+///     re-derived aliasing proves they share storage legitimately (for a
+///     hoisted double-buffered slab the two halves may hold concurrently
+///     live tenants).
+///
+/// Violations are ErrorKind::Verify diagnostics naming \p Pass, the
+/// function, the slab and both offending arrays.
+MaybeError verifyMemoryPlan(const Program &P, const mem::MemoryPlan &MP,
+                            const std::string &Pass);
 
 } // namespace fut
 

@@ -1,0 +1,166 @@
+//===- VerifyMemPlan.cpp - Memory-plan soundness checker ------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Verify.h"
+
+#include "ir/Traversal.h"
+#include "mem/MemPlan.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace fut;
+
+namespace {
+
+/// Kernel output pattern names of \p B, recursively through loop and
+/// branch bodies (kernel thread bodies are leaves).  These are exactly
+/// the names the simulator binds to device storage, so each must have a
+/// slab assignment.
+void collectKernelOutputs(const Body &B, std::vector<VName> &Out) {
+  for (const Stm &S : B.Stms) {
+    if (expDynCast<KernelExp>(S.E.get())) {
+      for (const Param &Prm : S.Pat)
+        if (Prm.Ty.isArray())
+          Out.push_back(Prm.Name);
+      continue;
+    }
+    forEachChildBody(*S.E,
+                     [&](const Body &Inner) { collectKernelOutputs(Inner, Out); });
+  }
+}
+
+/// Union-find over re-derived alias classes (names are roots of
+/// themselves until united).
+struct AliasClasses {
+  NameMap<VName> Parent;
+
+  VName find(VName N) {
+    std::vector<VName> Path;
+    for (;;) {
+      auto It = Parent.find(N);
+      if (It == Parent.end() || It->second == N)
+        break;
+      Path.push_back(N);
+      N = It->second;
+    }
+    for (const VName &P : Path)
+      Parent[P] = N;
+    return N;
+  }
+
+  void unite(const VName &A, const VName &B) {
+    VName RA = find(A), RB = find(B);
+    if (!(RA == RB))
+      Parent[RA] = RB;
+  }
+};
+
+/// Whether two entries of the same slab can occupy overlapping bytes: a
+/// hoisted slab separates its tenants by double-buffer half; a flat slab
+/// by [Offset, Offset+Bytes) ranges, where a symbolic size (-1) extends
+/// to the end of the slab.
+bool bytesOverlap(const mem::SlabInfo &Slab, const mem::PlanEntry &A,
+                  const mem::PlanEntry &B) {
+  if (Slab.Hoisted)
+    return A.BufferIndex == B.BufferIndex;
+  int64_t AEnd = A.Bytes < 0 ? INT64_MAX : A.Offset + A.Bytes;
+  int64_t BEnd = B.Bytes < 0 ? INT64_MAX : B.Offset + B.Bytes;
+  return A.Offset < BEnd && B.Offset < AEnd;
+}
+
+MaybeError verifyFunPlan(const Program &P, const mem::FunPlan &FP,
+                         const std::string &Pass) {
+  auto Fail = [&](const std::string &Msg) {
+    return CompilerError(ErrorKind::Verify, "after pass '" + Pass +
+                                                "': in function '" + FP.Fun +
+                                                "': " + Msg);
+  };
+
+  const FunDef *F = P.findFun(FP.Fun);
+  if (!F)
+    return Fail("memory plan names a function the program does not define");
+
+  // Independently re-derive what the planner should have seen.
+  mem::FunMemAnalysis A = mem::analyseFun(*F);
+  AliasClasses AC;
+  for (const mem::AliasEdge &E : A.Aliases)
+    if (A.Intervals.lookup(E.Dst) && A.Intervals.lookup(E.Src))
+      AC.unite(E.Dst, E.Src);
+
+  // Completeness: every kernel output is placed.
+  std::vector<VName> Outputs;
+  collectKernelOutputs(F->FBody, Outputs);
+  for (const VName &N : Outputs)
+    if (!FP.lookup(N))
+      return Fail("kernel output '" + N.str() +
+                  "' has no slab assignment in the memory plan");
+
+  for (const mem::PlanEntry &E : FP.Entries) {
+    if (E.Slab < 0 || E.Slab >= static_cast<int>(FP.Slabs.size()))
+      return Fail("entry '" + E.Name.str() + "' names slab " +
+                  std::to_string(E.Slab) + " which does not exist");
+    if (!A.Intervals.lookup(E.Name))
+      return Fail("entry '" + E.Name.str() +
+                  "' is not an array binding of the function");
+    if (E.HasAlias) {
+      bool Real = false;
+      for (const mem::AliasEdge &AE : A.Aliases)
+        if (AE.Dst == E.Name && AE.Src == E.AliasOf) {
+          Real = true;
+          break;
+        }
+      if (!Real)
+        return Fail("entry '" + E.Name.str() + "' claims to alias '" +
+                    E.AliasOf.str() +
+                    "' but no let/consume/loop edge justifies it");
+      if (const mem::PlanEntry *Src = FP.lookup(E.AliasOf))
+        if (Src->Slab != E.Slab)
+          return Fail("entry '" + E.Name.str() + "' aliases '" +
+                      E.AliasOf.str() + "' but is placed in slab " +
+                      std::to_string(E.Slab) + " while its source is in slab " +
+                      std::to_string(Src->Slab));
+    }
+  }
+
+  // Overlap: two simultaneously-live, non-aliased arrays must not share
+  // bytes of a slab.
+  for (size_t I = 0; I < FP.Entries.size(); ++I) {
+    const mem::PlanEntry &EA = FP.Entries[I];
+    const mem::LiveInterval *IA = A.Intervals.lookup(EA.Name);
+    for (size_t J = I + 1; J < FP.Entries.size(); ++J) {
+      const mem::PlanEntry &EB = FP.Entries[J];
+      if (EA.Slab != EB.Slab)
+        continue;
+      const mem::LiveInterval *IB = A.Intervals.lookup(EB.Name);
+      if (!IA || !IB || !mem::interfere(*IA, *IB))
+        continue;
+      if (!bytesOverlap(FP.Slabs[EA.Slab], EA, EB))
+        continue;
+      if (AC.find(EA.Name) == AC.find(EB.Name))
+        continue; // Proven to share storage legitimately.
+      return Fail("arrays '" + EA.Name.str() + "' (live [" +
+                  std::to_string(IA->Start) + "," + std::to_string(IA->End) +
+                  "]) and '" + EB.Name.str() + "' (live [" +
+                  std::to_string(IB->Start) + "," + std::to_string(IB->End) +
+                  "]) are simultaneously live but overlap in slab " +
+                  std::to_string(EA.Slab));
+    }
+  }
+
+  return MaybeError::success();
+}
+
+} // namespace
+
+MaybeError fut::verifyMemoryPlan(const Program &P, const mem::MemoryPlan &MP,
+                                 const std::string &Pass) {
+  for (const mem::FunPlan &FP : MP.Funs)
+    if (auto Err = verifyFunPlan(P, FP, Pass))
+      return Err;
+  return MaybeError::success();
+}

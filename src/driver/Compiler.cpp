@@ -85,6 +85,20 @@ ErrorOr<CompileResult> fut::compileProgram(Program P, NameSource &Names,
     R.Locality = optimiseLocality(P, Opts.Locality);
     if (auto Err = AfterPass("locality", true))
       return Err;
+
+    if (Opts.PlanMemory) {
+      {
+        trace::ScopedSpan Span("pass:memplan", "compiler");
+        R.MemPlan = mem::planMemory(P);
+      }
+      if (Opts.PostPlanHook)
+        Opts.PostPlanHook(R.MemPlan);
+      if (Opts.VerifyIR) {
+        trace::ScopedSpan Span("verify:memplan", "compiler");
+        if (auto Err = verifyMemoryPlan(P, R.MemPlan, "memplan"))
+          return Err;
+      }
+    }
   }
 
   R.P = std::move(P);
@@ -108,5 +122,7 @@ ErrorOr<gpusim::RunResult> fut::runOnDevice(const Program &P,
                                             const DeviceRunOptions &Opts,
                                             const std::string &Fun) {
   gpusim::Device D(Opts.Device, Opts.Resilience);
+  if (Opts.MemPlan)
+    D.setMemoryPlan(Opts.MemPlan);
   return D.run(P, Fun, Args);
 }

@@ -21,6 +21,7 @@
 #include "gpusim/Device.h"
 #include "ir/IR.h"
 #include "locality/Locality.h"
+#include "mem/MemPlan.h"
 #include "opt/Simplify.h"
 #include "support/Error.h"
 
@@ -43,10 +44,20 @@ struct CompilerOptions {
   /// flag; on by default so tests and CI always compile under it.
   bool VerifyIR = true;
 
+  /// Run the static memory planner after locality and verify the plan
+  /// (flattened pipelines only).  Off under --no-mem-plan, where the
+  /// runtime buffer manager decides every allocation dynamically.
+  bool PlanMemory = true;
+
   /// Test-only hook run after each pass rewrites the program and before
   /// the verifier sees it; used to inject a deliberately broken rewrite
   /// and assert the verifier catches it at the right pass boundary.
   std::function<void(Program &, const std::string &Pass)> PostPassHook;
+
+  /// The memory-plan analogue of PostPassHook: runs on the freshly
+  /// computed plan before the plan verifier, so tests can inject a
+  /// deliberately overlapping layout and assert it is rejected.
+  std::function<void(mem::MemoryPlan &)> PostPlanHook;
 
   SimplifyOptions Simplify;
   FlattenOptions Flatten;
@@ -58,6 +69,9 @@ struct CompileResult {
   FusionStats Fusion;
   FlattenStats Flatten;
   LocalityStats Locality;
+  /// The static device-memory plan ("pass:memplan"), verified against the
+  /// program; empty when planning was disabled or kernels not extracted.
+  mem::MemoryPlan MemPlan;
 };
 
 /// Compiles surface source through the full pipeline.
@@ -77,6 +91,10 @@ ErrorOr<CompileResult> compileProgram(Program P, NameSource &Names,
 struct DeviceRunOptions {
   gpusim::DeviceParams Device = gpusim::DeviceParams::gtx780();
   gpusim::ResilienceParams Resilience;
+  /// Compile-time memory plan to execute (must outlive the run).  Null
+  /// lets the device plan the program itself when its parameters enable
+  /// plan execution.
+  const mem::MemoryPlan *MemPlan = nullptr;
 };
 
 /// Runs a compiled program's entry point under the resilient host runtime.

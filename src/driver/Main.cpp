@@ -51,6 +51,11 @@ void usage() {
           "  --no-interchange   disable map-loop interchange (G7)\n"
           "  --verify-ir        re-derive and check IR types after every\n"
           "                     pass (default; --no-verify-ir disables)\n"
+          "  --no-mem-plan      skip the static memory planner; the\n"
+          "                     runtime buffer manager decides every device\n"
+          "                     allocation dynamically (ablation)\n"
+          "  --print-mem-plan   dump the static memory plan (slab layout,\n"
+          "                     aliases, live ranges) after compilation\n"
           "  --device-mem <b>   device memory capacity in bytes (0 = "
           "unlimited)\n"
           "  --watchdog <c>     kill any kernel over <c> simulated cycles\n"
@@ -138,6 +143,7 @@ int main(int argc, char **argv) {
 
   std::string File;
   bool DumpIR = false, UseInterp = false, Run = false;
+  bool PrintMemPlan = false;
   bool TraceSummary = false;
   std::string TraceOut;
   CompilerOptions Opts;
@@ -179,6 +185,11 @@ int main(int argc, char **argv) {
       Opts.VerifyIR = true;
     } else if (A == "--no-verify-ir") {
       Opts.VerifyIR = false;
+    } else if (A == "--no-mem-plan") {
+      Opts.PlanMemory = false;
+      DP.UseMemPlan = false;
+    } else if (A == "--print-mem-plan") {
+      PrintMemPlan = true;
     } else if (A == "--device") {
       if (++I >= argc) {
         usage();
@@ -320,6 +331,8 @@ int main(int argc, char **argv) {
 
   if (DumpIR)
     printf("%s\n", printProgram(C->P).c_str());
+  if (PrintMemPlan)
+    printf("%s", C->MemPlan.str().c_str());
 
   // With tracing requested but no --run, a parameterless entry point is
   // run automatically so the trace includes kernel launches.
@@ -356,6 +369,8 @@ int main(int argc, char **argv) {
     DeviceRunOptions RO;
     RO.Device = DP;
     RO.Resilience = RP;
+    if (Opts.PlanMemory)
+      RO.MemPlan = &C->MemPlan;
     auto R = runOnDevice(C->P, Args, RO);
     if (!R) {
       fprintf(stderr, "%s\n", R.getError().str().c_str());

@@ -256,7 +256,8 @@ FuzzCase fut::fuzz::generate(uint64_t Seed) {
 //===----------------------------------------------------------------------===//
 
 Outcome fut::fuzz::runSourceDifferential(const std::string &Source,
-                                         const std::vector<Value> &Args) {
+                                         const std::vector<Value> &Args,
+                                         const gpusim::DeviceParams &DP) {
   auto Fail = [&](const std::string &What) {
     Outcome O;
     O.Ok = false;
@@ -281,7 +282,11 @@ Outcome fut::fuzz::runSourceDifferential(const std::string &Source,
   auto C = compileSource(Source, Names, CompilerOptions());
   if (!C)
     return Fail("compilation failed: " + C.getError().str());
-  auto R = runOnDevice(C->P, Args);
+  DeviceRunOptions RO;
+  RO.Device = DP;
+  if (DP.UseMemPlan)
+    RO.MemPlan = &C->MemPlan;
+  auto R = runOnDevice(C->P, Args, RO);
 
   // A typed runtime error is a legitimate program outcome; the two sides
   // must agree on it exactly, like they must agree on values.
@@ -316,8 +321,9 @@ Outcome fut::fuzz::runSourceDifferential(const std::string &Source,
   return O;
 }
 
-Outcome fut::fuzz::runDifferential(const FuzzCase &C) {
-  Outcome O = runSourceDifferential(C.Source, C.Args);
+Outcome fut::fuzz::runDifferential(const FuzzCase &C,
+                                   const gpusim::DeviceParams &DP) {
+  Outcome O = runSourceDifferential(C.Source, C.Args, DP);
   if (!O.Ok)
     O.Message = "seed: " + std::to_string(C.Seed) + "\n" + O.Message;
   return O;

@@ -113,13 +113,19 @@ struct Outcome {
 /// optimisation) and the full pipeline + simulated device, comparing
 /// bit-for-bit.  Typed runtime errors must agree in kind and message;
 /// any compile or verifier error is a failure (generated programs are
-/// well-typed by construction).
-Outcome runDifferential(const FuzzCase &C);
+/// well-typed by construction).  \p DP selects the simulated device —
+/// the --no-mem-plan sweep passes a configuration with UseMemPlan off to
+/// pin the ablation path against the same oracle.
+Outcome runDifferential(const FuzzCase &C,
+                        const gpusim::DeviceParams &DP =
+                            gpusim::DeviceParams::gtx780());
 
 /// Same oracle for an externally provided source + args (the regress
 /// corpus runner).
 Outcome runSourceDifferential(const std::string &Source,
-                              const std::vector<Value> &Args);
+                              const std::vector<Value> &Args,
+                              const gpusim::DeviceParams &DP =
+                                  gpusim::DeviceParams::gtx780());
 
 /// Greedy shrink: repeatedly re-render with one step removed (then with a
 /// shorter array / zeroed inputs) while the differential failure persists.

@@ -35,6 +35,8 @@ void usage() {
           "  --out <dir>         where to write minimized .fut failures\n"
           "                      (default: fuzz-failures)\n"
           "  --no-shrink         report raw failures without minimizing\n"
+          "  --no-mem-plan       run the device side with the static\n"
+          "                      memory planner disabled (ablation sweep)\n"
           "  --dump <n>          print the program for seed n and exit\n"
           "  -v                  print every seed as it runs\n");
 }
@@ -59,6 +61,7 @@ int main(int argc, char **argv) {
   std::string OutDir = "fuzz-failures";
   bool Shrink = true, Verbose = false;
   int64_t DumpSeed = -1;
+  gpusim::DeviceParams DP = gpusim::DeviceParams::gtx780();
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -100,6 +103,8 @@ int main(int argc, char **argv) {
       OutDir = V;
     } else if (A == "--no-shrink") {
       Shrink = false;
+    } else if (A == "--no-mem-plan") {
+      DP.UseMemPlan = false;
     } else if (A == "--dump") {
       const char *V = Next();
       if (!V) {
@@ -129,7 +134,7 @@ int main(int argc, char **argv) {
   for (uint64_t Seed = Lo; Seed <= Hi; ++Seed) {
     Plan P = samplePlan(Seed);
     FuzzCase C = renderPlan(P, Seed);
-    Outcome O = runDifferential(C);
+    Outcome O = runDifferential(C, DP);
     if (O.Ok) {
       if (O.BothFailed)
         ++BothFailed;

@@ -23,9 +23,26 @@
 /// carries dual residency state — a host readback keeps the device copy
 /// valid, so re-using the array on the device no longer pays a phantom
 /// re-upload — and a ready-time on the simulated timeline, which is the
-/// dependency the two-engine scheduler (Timeline.h) respects.  Released
-/// blocks land on a free-list; a later allocation served from a block of
-/// sufficient size counts as a free-list hit (reported in CostReport).
+/// dependency the two-engine scheduler (Timeline.h) respects.
+///
+/// The manager runs in one of two modes:
+///
+///  * Plan mode (the default, setPlan): byte accounting *executes* the
+///    compiler's static memory plan (mem/MemPlan.h).  Each name maps to
+///    its planned slab; a slab holds one occupant at a time, so a binding
+///    into a slab whose previous tenant's storage the plan reuses (a
+///    consumed input's block, a hoisted loop buffer, a coloured
+///    temporary) evicts the stale occupancy instead of double-charging.
+///    Residency and timeline state (refcounts, DeviceValid, ReadyAt) are
+///    byte-for-byte the same state machine as runtime mode, so simulated
+///    cycles never depend on the mode — only the byte counters do.
+///
+///  * Runtime mode (--no-mem-plan, no plan set): the legacy dynamic
+///    arena.  Released blocks become offset-aware free ranges; adjacent
+///    free ranges coalesce on release (the historical size-only free list
+///    could never merge fragments, so interleaved alloc/free patterns
+///    missed reuse).  An allocation served from a free range counts as a
+///    free-list hit.
 ///
 /// The manager is pure accounting: array contents always live in host
 /// interpreter Values.  Renamings the simulator cannot see (loop merge
@@ -39,9 +56,10 @@
 
 #include "ir/IR.h"
 #include "ir/Name.h"
+#include "mem/MemPlan.h"
 
 #include <cstdint>
-#include <set>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -74,12 +92,36 @@ class DeviceBufferManager {
     int Refs = 0;
     bool DeviceValid = true;
     double ReadyAt = 0; ///< Simulated time the device copy is usable.
+    int64_t Offset = 0; ///< Runtime mode: arena offset of the block.
+    int Slot = 0;       ///< Plan mode: slab occupied (keys Slots).
+  };
+
+  /// Plan mode: one slab's occupancy.  At most one allocation's bytes are
+  /// charged per slab; binding a new tenant evicts the stale occupancy
+  /// (the plan proved the lifetimes disjoint or aliasable).
+  struct SlotState {
+    int OccId = -1; ///< Occupant allocation, -1 when vacant.
+    bool EverUsed = false;
+    bool Hoisted = false;
+    VName LastName; ///< Last occupant's IR name (reuse counting).
   };
 
   int64_t Capacity; ///< <= 0 means unlimited.
   std::vector<Alloc> Allocs;
   NameMap<int> NameToAlloc;
-  std::multiset<int64_t> FreeList; ///< Sizes of released blocks.
+
+  /// Plan execution state (null Plan = runtime mode).
+  const mem::FunPlan *Plan = nullptr;
+  std::unordered_map<int, SlotState> Slots;
+  NameMap<int> ImplicitSlot; ///< Names the plan doesn't cover.
+  int NextImplicitSlot = -1; ///< Implicit slabs grow downwards.
+  int64_t HoistedAllocCount = 0;
+  int64_t ReusedBlockCount = 0;
+
+  /// Runtime-mode arena: offset -> size of free ranges, kept maximal
+  /// (adjacent ranges are coalesced on release), plus the bump pointer.
+  std::map<int64_t, int64_t> FreeRanges;
+  int64_t ArenaTop = 0;
 
   int64_t LiveBytesNow = 0;
   int64_t PeakBytesSeen = 0;
@@ -88,9 +130,17 @@ class DeviceBufferManager {
   int64_t FreeListReusedBytesTotal = 0;
 
   void dropRef(int Id);
+  void freeRange(int64_t Offset, int64_t Bytes);
+  int slotFor(const VName &N, bool &Hoisted);
+  void vacate(int Slot);
 
 public:
   explicit DeviceBufferManager(int64_t Capacity) : Capacity(Capacity) {}
+
+  /// Switches to plan-execution mode for one function's plan (null keeps
+  /// runtime mode).  Must be called before any allocation.
+  void setPlan(const mem::FunPlan *FP) { Plan = FP; }
+  bool planMode() const { return Plan != nullptr; }
 
   /// True when \p Bytes more would still fit.
   bool wouldFit(int64_t Bytes) const {
@@ -134,6 +184,10 @@ public:
   int64_t freedBytes() const { return FreedBytesTotal; }
   int64_t freeListHits() const { return FreeListHitCount; }
   int64_t freeListReusedBytes() const { return FreeListReusedBytesTotal; }
+  /// Plan mode: rebinds served by a hoisted double-buffered slab.
+  int64_t hoistedAllocs() const { return HoistedAllocCount; }
+  /// Plan mode: slab occupancies taken over from a different array.
+  int64_t reusedBlocks() const { return ReusedBlockCount; }
 };
 
 } // namespace gpusim

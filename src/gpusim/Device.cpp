@@ -52,7 +52,9 @@ std::string CostReport::str() const {
      << " copybusy=" << static_cast<int64_t>(CopyEngineBusy)
      << " computebusy=" << static_cast<int64_t>(ComputeEngineBusy)
      << " peakbytes=" << PeakDeviceBytes << " freedbytes=" << FreedBytes
-     << " freelisthits=" << FreeListHits;
+     << " freelisthits=" << FreeListHits
+     << " plannedpeak=" << PlannedPeakBytes << " hoisted=" << HoistedAllocs
+     << " reused=" << ReusedBlocks;
   return OS.str();
 }
 
@@ -1201,7 +1203,8 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
                                     FaultPlan &Plan, CostReport &Cost,
                                     const Program &Prog,
                                     const std::string &Fun,
-                                    const std::vector<Value> &Args) {
+                                    const std::vector<Value> &Args,
+                                    const mem::FunPlan *MPlan) {
   const FunDef *F = Prog.findFun(Fun);
   if (!F)
     return CompilerError("unknown function " + Fun);
@@ -1224,11 +1227,24 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
   const bool Async = P.AsyncTimeline;
   EngineTimeline TL;
   DeviceBufferManager Mgr(P.DeviceMemBytes);
+  Mgr.setPlan(MPlan);
   LivenessInfo Liveness(Prog);
 
   auto &TS = trace::TraceSession::global();
   TS.setThreadName(trace::kCopyEngineTid, "copy-engine");
   TS.setThreadName(trace::kComputeEngineTid, "compute-engine");
+
+  // One span per planned slab, so the arena layout is inspectable in the
+  // exported trace alongside the kernels that use it.
+  if (MPlan)
+    for (const mem::SlabInfo &SI : MPlan->Slabs) {
+      trace::ScopedSpan Span("memplan:slab" + std::to_string(SI.Id),
+                             "memplan");
+      Span.arg("bytes", SI.Bytes);
+      Span.arg("hoisted", static_cast<int64_t>(SI.Hoisted ? 1 : 0));
+      if (SI.Bytes < 0)
+        Span.arg("size", SI.SizeExpr);
+    }
 
   // Mirrors the buffer manager's byte accounting into the report after
   // every allocation event, so an aborted attempt still reports its
@@ -1237,6 +1253,11 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
     Cost.PeakDeviceBytes = Mgr.peakBytes();
     Cost.FreedBytes = Mgr.freedBytes();
     Cost.FreeListHits = Mgr.freeListHits();
+    if (Mgr.planMode()) {
+      Cost.PlannedPeakBytes = Mgr.peakBytes();
+      Cost.HoistedAllocs = Mgr.hoistedAllocs();
+      Cost.ReusedBlocks = Mgr.reusedBlocks();
+    }
   };
 
   // Simulated end of the most recent kernel command: the ready-time of
@@ -1677,7 +1698,24 @@ ErrorOr<RunResult> Device::run(const Program &Prog, const std::string &Fun,
   Span.arg("function", Fun);
   CostReport Cost;
   FaultPlan Plan(R.Faults);
-  auto Res = runDeviceAttempt(P, R, Plan, Cost, Prog, Fun, Args);
+  // Resolve the memory plan: the compiler's artifact when provided, a
+  // locally computed one otherwise, none under --no-mem-plan.
+  mem::MemoryPlan LocalPlan;
+  const mem::FunPlan *FP = nullptr;
+  if (P.UseMemPlan) {
+    if (MemPlan) {
+      FP = MemPlan->forFun(Fun);
+    } else {
+      LocalPlan = mem::planMemory(Prog);
+      FP = LocalPlan.forFun(Fun);
+    }
+  }
+  auto Res = runDeviceAttempt(P, R, Plan, Cost, Prog, Fun, Args, FP);
+  if (FP) {
+    trace::counter("device.planned_peak_bytes", Cost.PlannedPeakBytes);
+    trace::counter("device.hoisted_allocs", Cost.HoistedAllocs);
+    trace::counter("device.reused_blocks", Cost.ReusedBlocks);
+  }
   if (Res) {
     Span.arg("cycles", Res->Cost.TotalCycles);
     return Res;

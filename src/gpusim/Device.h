@@ -34,6 +34,7 @@
 #include "gpusim/Faults.h"
 #include "interp/Interp.h"
 #include "ir/IR.h"
+#include "mem/MemPlan.h"
 #include "support/Error.h"
 
 #include <cstdint>
@@ -96,6 +97,16 @@ struct DeviceParams {
   /// issued to an idle device still pays the full launch cost.
   double PipelinedLaunchFraction = 0.5;
 
+  /// When true (the default), device allocation executes the compiler's
+  /// static memory plan (mem/MemPlan.h): every kernel input/output lives
+  /// at its planned slab, consumed arrays alias their source's block, and
+  /// loop-carried arrays occupy hoisted double-buffered slabs.  When
+  /// false (the --no-mem-plan ablation) the legacy runtime
+  /// best-fit/refcounting manager decides every allocation dynamically.
+  /// Simulated cycles are identical either way; only byte accounting and
+  /// the reuse counters differ.
+  bool UseMemPlan = true;
+
   /// A GTX 780 Ti-like configuration (the default).
   static DeviceParams gtx780();
   /// A FirePro W8100-like configuration: comparable bandwidth, slightly
@@ -154,6 +165,14 @@ struct CostReport {
   int64_t FreedBytes = 0;
   int64_t FreeListHits = 0;
 
+  /// Memory-plan execution accounting (zero under --no-mem-plan): the
+  /// peak device bytes under the static plan, rebinds served in place by
+  /// hoisted double-buffered loop slabs, and slab occupancies taken over
+  /// from a dead or consumed array (static reuse).
+  int64_t PlannedPeakBytes = 0;
+  int64_t HoistedAllocs = 0;
+  int64_t ReusedBlocks = 0;
+
   /// Resilience accounting: simulated cycles spent in retry backoff,
   /// launches that had to be retried, faults the FaultPlan injected, and
   /// kernels the watchdog killed.
@@ -179,6 +198,10 @@ struct RunResult {
 class Device {
   DeviceParams P;
   ResilienceParams R;
+  /// Compiler-provided memory plan; when null and UseMemPlan is set, the
+  /// device plans the program itself before running (so directly
+  /// constructed Devices — tests, benches — still execute a plan).
+  const mem::MemoryPlan *MemPlan = nullptr;
 
 public:
   explicit Device(DeviceParams P = DeviceParams::gtx780(),
@@ -187,6 +210,10 @@ public:
 
   const DeviceParams &params() const { return P; }
   const ResilienceParams &resilience() const { return R; }
+
+  /// Installs the compile-time memory plan (must outlive the Device's
+  /// runs); only consulted when the parameters enable plan execution.
+  void setMemoryPlan(const mem::MemoryPlan *MP) { MemPlan = MP; }
 
   /// Runs the named function of a flattened program, simulating kernels on
   /// the device and everything else on the host.  Transient faults (per the

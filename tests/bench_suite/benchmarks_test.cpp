@@ -42,6 +42,33 @@ TEST_P(BenchmarkSweep, CompilesRunsAndMatchesReference) {
       << "every benchmark must actually use the device";
 }
 
+TEST_P(BenchmarkSweep, PlannedPeakNeverExceedsRuntimePeak) {
+  // The static memory plan must match or beat the runtime manager's peak
+  // residency on every benchmark, while keeping cycles and results
+  // bit-identical — the planner only changes byte accounting.
+  const BenchmarkDef *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  gpusim::DeviceParams Planned = gpusim::DeviceParams::gtx780();
+  gpusim::DeviceParams Runtime = Planned;
+  Runtime.UseMemPlan = false;
+  auto RPlan = runBenchmark(*B, CompilerOptions{}, Planned);
+  ASSERT_TRUE(static_cast<bool>(RPlan)) << RPlan.getError().str();
+  auto RRun = runBenchmark(*B, CompilerOptions{}, Runtime);
+  ASSERT_TRUE(static_cast<bool>(RRun)) << RRun.getError().str();
+
+  EXPECT_GT(RPlan->Cost.PlannedPeakBytes, 0);
+  EXPECT_EQ(RPlan->Cost.PlannedPeakBytes, RPlan->Cost.PeakDeviceBytes);
+  EXPECT_LE(RPlan->Cost.PlannedPeakBytes, RRun->Cost.PeakDeviceBytes)
+      << "the plan may never do worse than the runtime manager";
+
+  EXPECT_DOUBLE_EQ(RPlan->Cost.TotalCycles, RRun->Cost.TotalCycles);
+  EXPECT_EQ(RPlan->Cost.KernelLaunches, RRun->Cost.KernelLaunches);
+  EXPECT_EQ(RPlan->Cost.TransferredBytes, RRun->Cost.TransferredBytes);
+  ASSERT_EQ(RPlan->Outputs.size(), RRun->Outputs.size());
+  for (size_t J = 0; J < RPlan->Outputs.size(); ++J)
+    EXPECT_TRUE(RPlan->Outputs[J].approxEqual(RRun->Outputs[J]));
+}
+
 TEST_P(BenchmarkSweep, ReferenceConfigurationRuns) {
   const BenchmarkDef *B = findBenchmark(GetParam());
   ASSERT_NE(B, nullptr);

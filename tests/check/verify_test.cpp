@@ -172,3 +172,91 @@ TEST(VerifyTest, PatternTypeMismatchDetected) {
   EXPECT_NE(Err.getError().Message.find(R.str()), std::string::npos)
       << Err.getError().str();
 }
+
+TEST(VerifyTest, OverlappingMemoryPlanRejected) {
+  // Corrupt the memory plan right after planning: collapse every entry
+  // onto slab 0 at offset 0.  The two map results are simultaneously
+  // live (both feed the final reduce), so the re-deriving plan verifier
+  // must reject the layout, naming the pass and the slab.
+  NameSource NS;
+  CompilerOptions Opts;
+  bool Corrupted = false;
+  Opts.PostPlanHook = [&](mem::MemoryPlan &MP) {
+    for (mem::FunPlan &FP : MP.Funs) {
+      if (FP.Entries.size() < 2)
+        continue;
+      for (mem::PlanEntry &E : FP.Entries) {
+        E.Slab = 0;
+        E.Offset = 0;
+        E.BufferIndex = 0;
+        Corrupted = true;
+      }
+      for (mem::SlabInfo &S : FP.Slabs)
+        S.Hoisted = false;
+    }
+  };
+  auto C = compileSource(
+      "fun main (n: i32) (xs: [n]i32): i32 =\n"
+      "  let a = map (\\(x: i32): i32 -> x + 1) xs\n"
+      "  let b = map (\\(x: i32): i32 -> x * 2) xs\n"
+      "  in reduce (\\(p: i32) (q: i32): i32 -> p + q) 0\n"
+      "            (map (\\(p: i32) (q: i32): i32 -> p + q) a b)",
+      NS, Opts);
+  ASSERT_FALSE(static_cast<bool>(C)) << "overlapping plan accepted";
+  ASSERT_TRUE(Corrupted) << "hook never fired";
+  const CompilerError &E = C.getError();
+  EXPECT_EQ(E.Kind, ErrorKind::Verify) << E.str();
+  EXPECT_NE(E.Message.find("after pass 'memplan'"), std::string::npos)
+      << E.str();
+  EXPECT_NE(E.Message.find("overlap in slab"), std::string::npos) << E.str();
+}
+
+TEST(VerifyTest, FabricatedAliasInPlanRejected) {
+  // A plan claiming a consumption alias no let/consume/loop edge
+  // justifies must be rejected even if the byte layout happens to be
+  // consistent.
+  NameSource NS;
+  CompilerOptions Opts;
+  bool Corrupted = false;
+  Opts.PostPlanHook = [&](mem::MemoryPlan &MP) {
+    for (mem::FunPlan &FP : MP.Funs)
+      for (size_t I = 1; I < FP.Entries.size(); ++I)
+        if (!FP.Entries[I].HasAlias) {
+          FP.Entries[I].HasAlias = true;
+          FP.Entries[I].AliasOf = FP.Entries[0].Name;
+          FP.Entries[I].Alias = mem::AliasKind::Consume;
+          Corrupted = true;
+          return;
+        }
+  };
+  auto C = compileSource(
+      "fun main (n: i32) (xs: [n]i32): i32 =\n"
+      "  let a = map (\\(x: i32): i32 -> x + 1) xs\n"
+      "  in reduce (\\(p: i32) (q: i32): i32 -> p + q) 0 a",
+      NS, Opts);
+  ASSERT_FALSE(static_cast<bool>(C)) << "fabricated alias accepted";
+  ASSERT_TRUE(Corrupted) << "hook never fired";
+  EXPECT_EQ(C.getError().Kind, ErrorKind::Verify) << C.getError().str();
+  EXPECT_NE(C.getError().Message.find("memplan"), std::string::npos)
+      << C.getError().str();
+}
+
+TEST(VerifyTest, AcceptsEveryPipelinePlan) {
+  // The plan verifier runs inside compileSource on every compile (the
+  // default VerifyIR); a loop + consumption heavy program must come out
+  // with a verified plan.
+  NameSource NS;
+  auto C = compileSource(
+      "fun main (n: i32) (xss: [4][8]i32): [4][8]i32 =\n"
+      "  loop (a = xss) for i < 3 do\n"
+      "    let t = map (\\(r: [8]i32): [8]i32 ->\n"
+      "                   map (\\(x: i32): i32 -> x + 1) r) a\n"
+      "    in map (\\(r: [8]i32): [8]i32 -> r with [0] <- 5) t",
+      NS);
+  ASSERT_OK(C);
+  const mem::FunPlan *FP = C->MemPlan.forFun("main");
+  ASSERT_NE(FP, nullptr);
+  EXPECT_FALSE(FP->Entries.empty());
+  MaybeError Err = verifyMemoryPlan(C->P, C->MemPlan, "memplan");
+  EXPECT_FALSE(static_cast<bool>(Err)) << Err.getError().Message;
+}

@@ -292,9 +292,11 @@ TEST(BufferManagerTest, LoopIntermediatesAreReleased) {
   // every iteration's output (kernel results were only released by a host
   // readback), so a 3072-byte device OOMed on iteration 3.  With
   // rebinding release + the liveness sweep, peak residency stays at two
-  // buffers and the run fits.
+  // buffers and the run fits.  This pins the --no-mem-plan ablation path
+  // (the free-list counters only exist in runtime mode).
   DeviceParams DP = DeviceParams::gtx780();
   DP.DeviceMemBytes = 3072;
+  DP.UseMemPlan = false;
   Program P = compiled(kLoopSrc);
   ResilienceParams RS;
   RS.InterpFallback = false; // an OOM must fail, not degrade
@@ -316,6 +318,79 @@ TEST(BufferManagerTest, LoopIntermediatesAreReleased) {
   ASSERT_TRUE(static_cast<bool>(Want));
   ASSERT_EQ(R->Outputs.size(), Want->size());
   EXPECT_TRUE(R->Outputs[0].approxEqual((*Want)[0]));
+}
+
+TEST(BufferManagerTest, PlannedLoopUsesHoistedDoubleBuffer) {
+  // The same loop under the static memory plan: the carried array and the
+  // merge parameter share one hoisted double-buffered slab, so per-
+  // iteration rebinds are hoisted-slab flips, residency still fits the
+  // 3072-byte device, and — the core invariant — simulated cycles are
+  // bit-identical to the runtime-managed ablation.
+  DeviceParams Planned = DeviceParams::gtx780();
+  Planned.DeviceMemBytes = 3072;
+  DeviceParams Runtime = Planned;
+  Runtime.UseMemPlan = false;
+  Program P = compiled(kLoopSrc);
+  ResilienceParams RS;
+  RS.InterpFallback = false;
+
+  auto RPlan = Device(Planned, RS).runMain(P, i32Args(256));
+  ASSERT_TRUE(static_cast<bool>(RPlan)) << RPlan.getError().str();
+  auto RRun = Device(Runtime, RS).runMain(P, i32Args(256));
+  ASSERT_TRUE(static_cast<bool>(RRun)) << RRun.getError().str();
+
+  EXPECT_LE(RPlan->Cost.PeakDeviceBytes, 3072);
+  EXPECT_EQ(RPlan->Cost.PlannedPeakBytes, RPlan->Cost.PeakDeviceBytes);
+  EXPECT_GT(RPlan->Cost.HoistedAllocs, 0);
+  // The plan never does worse than the runtime manager on peak bytes.
+  EXPECT_LE(RPlan->Cost.PlannedPeakBytes, RRun->Cost.PeakDeviceBytes);
+  // Runtime mode reports no plan counters.
+  EXPECT_EQ(RRun->Cost.PlannedPeakBytes, 0);
+  EXPECT_EQ(RRun->Cost.HoistedAllocs, 0);
+
+  // Cycle accounting is mode-independent.
+  EXPECT_DOUBLE_EQ(RPlan->Cost.TotalCycles, RRun->Cost.TotalCycles);
+  EXPECT_DOUBLE_EQ(RPlan->Cost.KernelCycles, RRun->Cost.KernelCycles);
+  EXPECT_DOUBLE_EQ(RPlan->Cost.TransferCycles, RRun->Cost.TransferCycles);
+  EXPECT_EQ(RPlan->Cost.KernelLaunches, RRun->Cost.KernelLaunches);
+
+  // ... and so are the results.
+  ASSERT_EQ(RPlan->Outputs.size(), RRun->Outputs.size());
+  for (size_t I = 0; I < RPlan->Outputs.size(); ++I)
+    EXPECT_TRUE(RPlan->Outputs[I].approxEqual(RRun->Outputs[I]));
+}
+
+TEST(BufferManagerTest, AdjacentFreeRangesCoalesceOnRelease) {
+  // Interleaved alloc/free regression: two adjacent 512-byte blocks are
+  // released, then a 1024-byte allocation arrives.  The historical
+  // size-only free list kept two 512-byte entries and could never serve
+  // it; coalesced offset-aware ranges merge into one 1024-byte block and
+  // hit.
+  DeviceBufferManager M(0); // Runtime mode: no plan installed.
+  VName A("a", 1), B("b", 2), C("c", 3), D("d", 4);
+  EXPECT_TRUE(M.bind(A, 512, 0));
+  EXPECT_TRUE(M.bind(B, 512, 0));
+  EXPECT_EQ(M.liveBytes(), 1024);
+  M.release(A);
+  M.release(B);
+  EXPECT_EQ(M.liveBytes(), 0);
+  EXPECT_EQ(M.freeListHits(), 0);
+
+  EXPECT_TRUE(M.bind(C, 1024, 0));
+  EXPECT_EQ(M.freeListHits(), 1);
+  EXPECT_EQ(M.freeListReusedBytes(), 1024);
+  // The arena did not grow: the whole allocation came from the merged
+  // range, so peak stays at one kilobyte.
+  EXPECT_EQ(M.peakBytes(), 1024);
+
+  // Release out of order and re-coalesce across the hole.
+  EXPECT_TRUE(M.bind(D, 256, 0));
+  M.release(C);
+  M.release(D);
+  VName E2("e", 5);
+  EXPECT_TRUE(M.bind(E2, 1280, 0));
+  EXPECT_EQ(M.freeListHits(), 2);
+  EXPECT_EQ(M.peakBytes(), 1280);
 }
 
 TEST(BufferManagerTest, SameVariableReturnedTwiceDownloadsOnce) {

@@ -1,0 +1,72 @@
+//===- memplan_golden_test.cpp - Pinned --print-mem-plan output -----------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins the stable textual format of MemoryPlan::str(), which is what the
+// --print-mem-plan driver flag emits.  Any change to the planner's
+// placement decisions or to the dump format shows up here as an exact
+// string diff.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/MemPlan.h"
+
+#include "driver/Compiler.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+using namespace fut::test;
+
+TEST(MemPlanGolden, LoopWithInKernelConsumption) {
+  // A loop whose body produces t and then consumes it in a row-updating
+  // kernel: the whole iteration collapses into one hoisted double-buffered
+  // slab — merge parameter in one half, both kernel results sharing the
+  // other via the consume/loop alias chain.
+  NameSource NS;
+  auto C = compileSource(
+      "fun main (xss: [4][8]i32): [4][8]i32 =\n"
+      "  loop (a = xss) for i < 3 do\n"
+      "    let t = map (\\(r: [8]i32): [8]i32 ->\n"
+      "                   map (\\(x: i32): i32 -> x + 1) r) a\n"
+      "    in map (\\(r: [8]i32): [8]i32 -> r with [0] <- 5) t",
+      NS);
+  ASSERT_OK(C);
+  EXPECT_EQ(C->MemPlan.str(),
+            "memory plan\n"
+            "fun main: 1 slabs, arena 256 bytes, 1 hoisted, 0 reused\n"
+            "  slab 0: 2x 128 bytes, hoisted double-buffer\n"
+            "    a_1: half 1, 128 bytes, alias of dist_29 (loop), "
+            "live [1,3]\n"
+            "    dist_25: half 0, 128 bytes, loop-carried, live [2,3]\n"
+            "    dist_29: half 0, 128 bytes, alias of dist_25 (consume), "
+            "live [1,3]\n"
+            "    loopres_11: half 0, 128 bytes, alias of dist_29 (loop), "
+            "live [1,3]\n");
+}
+
+TEST(MemPlanGolden, PipelineWithSymbolicSizesAndReuse) {
+  // Symbolically sized pipeline: ys dies into the scan, so its slab is
+  // reused for the scan result (equal symbolic size), while the scan input
+  // needs its own.
+  NameSource NS;
+  auto C = compileSource(
+      "fun main (n: i32) (xs: [n]i32): i32 =\n"
+      "  let ys = map (\\(x: i32): i32 -> x * 3) xs\n"
+      "  let zs = scan (\\(a: i32) (b: i32): i32 -> a + b) 0 ys\n"
+      "  in reduce (\\(a: i32) (b: i32): i32 -> a + b) 0 zs",
+      NS);
+  ASSERT_OK(C);
+  EXPECT_EQ(C->MemPlan.str(),
+            "memory plan\n"
+            "fun main: 2 slabs, arena 0 bytes, 0 hoisted, 1 reused\n"
+            "  slab 0: dyn [n_0]i32\n"
+            "    xs_1: offset 0, dyn [n_0]i32, live [0,1]\n"
+            "    scanr_25: offset 0, dyn [n_0]i32, reuse, live [2,3]\n"
+            "  slab 1: dyn [n_0]i32\n"
+            "    dist_17: offset 0, dyn [n_0]i32, live [1,2]\n");
+}
