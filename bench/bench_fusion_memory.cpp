@@ -134,17 +134,23 @@ int main() {
          RU->Cost.TotalCycles / RF->Cost.TotalCycles);
 
   // Static memory planning on a loop-heavy in-place pipeline: each
-  // iteration scales the carried matrix into t and then consumes t with a
-  // row-updating kernel.  The runtime manager charges t and the update
-  // result simultaneously; the planner aliases the consumed input's block
-  // and double-buffers the carried array, halving peak residency at
-  // bit-identical cycles.
+  // iteration materialises a large matrix, row-updates it in place, and
+  // folds it into a small carried accumulator.  The runtime manager must
+  // hold the consumed input and the fresh output simultaneously while
+  // the row-updating kernel runs (two large blocks); the planner proves
+  // the update consumes its input and aliases both into one slab, so
+  // plan mode peaks at a single large block — at bit-identical cycles.
   const char *LoopHeavy =
-      "fun main (n: i32): [64][256]f32 =\n"
-      "  loop (a = replicate 64 (replicate 256 0.5)) for i < 8 do\n"
-      "    let t = map (\\(r: [256]f32): [256]f32 ->\n"
-      "                   map (\\(x: f32): f32 -> x * 0.9 + 0.1) r) a\n"
-      "    in map (\\(r: [256]f32): [256]f32 -> r with [0] <- 1.0) t";
+      "fun main (n: i32): [64]f32 =\n"
+      "  loop (acc = replicate 64 0.0) for i < 8 do\n"
+      "    let big = map (\\(j: i32): [256]f32 ->\n"
+      "                     map (\\(k: i32): f32 -> f32 (j + k + i) * 0.001)\n"
+      "                         (iota 256))\n"
+      "                  (iota 64)\n"
+      "    let big2 = map (\\(r: [256]f32): [256]f32 -> r with [0] <- 1.0)\n"
+      "                   big\n"
+      "    in map (\\(j: i32): f32 -> acc[j] + big2[j, 0] + big2[j, 1])\n"
+      "           (iota 64)";
   std::vector<Value> LArgs = {Value::scalar(PrimValue::makeI32(8))};
   NameSource NS3;
   auto CL = compileSource(LoopHeavy, NS3);
@@ -164,20 +170,23 @@ int main() {
   }
   Trace.record("memplan-loop-inplace", "gtx780",
                {{"planned_peak_bytes", (double)RP->Cost.PlannedPeakBytes},
+                {"peak_device_bytes_plan", (double)RP->Cost.PeakDeviceBytes},
                 {"peak_device_bytes_runtime", (double)RR->Cost.PeakDeviceBytes},
                 {"hoisted_allocs", (double)RP->Cost.HoistedAllocs},
                 {"reused_blocks", (double)RP->Cost.ReusedBlocks},
                 {"total_cycles", RP->Cost.TotalCycles}});
   printf("\nstatic memory planning (loop-heavy in-place pipeline, 8 "
          "iterations):\n");
-  printf("%-24s %14lld\n", "planned peak bytes",
+  printf("%-24s %14lld\n", "planned peak (bound)",
          (long long)RP->Cost.PlannedPeakBytes);
+  printf("%-24s %14lld\n", "plan-mode peak bytes",
+         (long long)RP->Cost.PeakDeviceBytes);
   printf("%-24s %14lld\n", "runtime peak bytes",
          (long long)RR->Cost.PeakDeviceBytes);
   printf("%-24s %14.2fx (cycles identical: %s)\n", "peak reduction",
          (double)RR->Cost.PeakDeviceBytes /
-             (double)(RP->Cost.PlannedPeakBytes ? RP->Cost.PlannedPeakBytes
-                                                : 1),
+             (double)(RP->Cost.PeakDeviceBytes ? RP->Cost.PeakDeviceBytes
+                                               : 1),
          RP->Cost.TotalCycles == RR->Cost.TotalCycles ? "yes" : "NO");
 
   if (!Trace.write("BENCH_trace.json"))

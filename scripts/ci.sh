@@ -54,8 +54,9 @@ echo "== mem-plan leg: ablation fuzz + planned-vs-runtime peaks =="
 # verdicts on every seed.
 "$BUILD_DIR"/src/fuzz/futharkcc-fuzz --seed-range 1..300 --no-mem-plan \
   --out "$BUILD_DIR"/fuzz-failures-noplan
-# PlannedPeakBytes <= PeakDeviceBytes(runtime) on the whole bench suite,
-# with bit-identical cycles/launches/outputs across modes.
+# Plan-mode PeakDeviceBytes stays within the plan-derived bound and never
+# exceeds the runtime manager's peak on the whole bench suite, with
+# bit-identical cycles/launches/outputs across modes.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
   -R 'PlannedPeakNeverExceedsRuntimePeak|MemPlan|VerifyTest'
 # --print-mem-plan dumps the static plan for a real program.
@@ -63,8 +64,8 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
   > "$BUILD_DIR"/ci_memplan.txt 2>/dev/null
 grep -q "memory plan" "$BUILD_DIR"/ci_memplan.txt
 grep -q "slab 0" "$BUILD_DIR"/ci_memplan.txt
-# The planner's predicted peak must equal the observed plan-mode peak and
-# never exceed the --no-mem-plan runtime manager's.
+# The observed plan-mode peak must stay within the planner's static bound
+# and never exceed the --no-mem-plan runtime manager's peak.
 "$BUILD_DIR"/src/driver/futharkcc examples/kmeans.fut --run \
   >/dev/null 2>"$BUILD_DIR"/ci_plan.log
 "$BUILD_DIR"/src/driver/futharkcc --no-mem-plan examples/kmeans.fut --run \
@@ -80,10 +81,12 @@ planned = field(f"{bd}/ci_plan.log", "plannedpeak")
 peak_plan = field(f"{bd}/ci_plan.log", "peakbytes")
 peak_runtime = field(f"{bd}/ci_noplan.log", "peakbytes")
 assert planned > 0, "planner produced no placement for kmeans"
-assert planned == peak_plan, f"plan-mode peak {peak_plan} != planned {planned}"
-assert planned <= peak_runtime, \
-    f"planned peak {planned} exceeds runtime peak {peak_runtime}"
-print(f"ok: kmeans planned {planned} <= runtime {peak_runtime} bytes")
+assert peak_plan <= planned, \
+    f"plan-mode peak {peak_plan} exceeds static bound {planned}"
+assert peak_plan <= peak_runtime, \
+    f"plan-mode peak {peak_plan} exceeds runtime peak {peak_runtime}"
+print(f"ok: kmeans plan peak {peak_plan} <= bound {planned}, "
+      f"<= runtime {peak_runtime} bytes")
 EOF
 
 echo "== fault-injection suite =="

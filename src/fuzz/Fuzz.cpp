@@ -333,13 +333,17 @@ Outcome fut::fuzz::runDifferential(const FuzzCase &C,
 // Shrinking
 //===----------------------------------------------------------------------===//
 
-ShrinkResult fut::fuzz::shrink(const Plan &P, uint64_t Seed) {
+ShrinkResult fut::fuzz::shrink(const Plan &P, uint64_t Seed,
+                               const gpusim::DeviceParams &DP) {
   ShrinkResult SR;
   Plan Cur = P;
 
+  // Candidates rerun under the same device configuration the failure was
+  // found with, so mode-specific failures (--no-mem-plan ablation sweeps)
+  // keep failing while they shrink.
   auto Fails = [&](const Plan &Cand, std::string &Msg) {
     ++SR.Attempts;
-    Outcome O = runDifferential(renderPlan(Cand, Seed));
+    Outcome O = runDifferential(renderPlan(Cand, Seed), DP);
     if (!O.Ok)
       Msg = O.Message;
     return !O.Ok;

@@ -129,6 +129,9 @@ Outcome runSourceDifferential(const std::string &Source,
 
 /// Greedy shrink: repeatedly re-render with one step removed (then with a
 /// shorter array / zeroed inputs) while the differential failure persists.
+/// \p DP must be the device configuration the failure was found under —
+/// a --no-mem-plan ablation failure only reproduces with the planner off,
+/// so shrinking under the default parameters would see nothing to shrink.
 struct ShrinkResult {
   Plan MinimalPlan;
   FuzzCase Minimal;
@@ -136,7 +139,9 @@ struct ShrinkResult {
   int StepsRemoved = 0;
   int Attempts = 0;
 };
-ShrinkResult shrink(const Plan &P, uint64_t Seed);
+ShrinkResult shrink(const Plan &P, uint64_t Seed,
+                    const gpusim::DeviceParams &DP =
+                        gpusim::DeviceParams::gtx780());
 
 /// Serialises \p C as a self-contained .fut regression file: comment
 /// header (one line per \p CommentLines entry), an "-- args:" line, then

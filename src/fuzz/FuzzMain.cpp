@@ -152,7 +152,7 @@ int main(int argc, char **argv) {
     FuzzCase Min = C;
     std::string MinMsg = O.Message;
     if (Shrink) {
-      ShrinkResult SR = shrink(P, Seed);
+      ShrinkResult SR = shrink(P, Seed, DP);
       Min = SR.Minimal;
       MinMsg = SR.Message;
       fprintf(stderr,

@@ -58,19 +58,61 @@ NameSet LivenessInfo::computeBody(const Body &B, NameSet Live) {
 // DeviceBufferManager
 //===----------------------------------------------------------------------===//
 
-int DeviceBufferManager::slotFor(const VName &N, bool &Hoisted) {
+/// Composite occupancy key: slab \p Slab, double-buffer half \p Half.
+/// Plan slab ids are non-negative, so keys never collide with the
+/// negative implicit-slot ids.
+static int slotKey(int Slab, int Half) { return Slab * 2 + Half; }
+
+int DeviceBufferManager::planSlot(const VName &N, bool &Hoisted) {
   Hoisted = false;
-  if (Plan)
-    if (const mem::PlanEntry *E = Plan->lookup(N)) {
-      Hoisted = E->Hoisted;
-      return E->Slab;
+  const mem::PlanEntry *E = Plan ? Plan->lookup(N) : nullptr;
+  if (!E) {
+    auto It = ImplicitSlot.find(N);
+    if (It != ImplicitSlot.end())
+      return It->second;
+    int S = NextImplicitSlot--;
+    ImplicitSlot[N] = S;
+    return S;
+  }
+  Hoisted = E->Hoisted;
+  if (!E->Hoisted)
+    return slotKey(E->Slab, 0);
+
+  // A hoisted slab holds two concurrently charged tenants, one per half.
+  // The static plan fixes the merge parameter in half 1, but at runtime
+  // the carried value is simply the previous generation of a half-0 name,
+  // so the half a bind lands in is resolved dynamically:
+  int K0 = slotKey(E->Slab, 0), K1 = slotKey(E->Slab, 1);
+  auto Occupant = [&](int K) {
+    auto It = Slots.find(K);
+    return It == Slots.end() ? -1 : It->second.OccId;
+  };
+  // A consumer takes over the half holding the block it updates in place.
+  if (E->HasAlias) {
+    auto SIt = NameToAlloc.find(E->AliasOf);
+    if (SIt != NameToAlloc.end()) {
+      if (Occupant(K0) == SIt->second)
+        return K0;
+      if (Occupant(K1) == SIt->second)
+        return K1;
     }
-  auto It = ImplicitSlot.find(N);
-  if (It != ImplicitSlot.end())
-    return It->second;
-  int S = NextImplicitSlot--;
-  ImplicitSlot[N] = S;
-  return S;
+  }
+  // Rebinding a name that still holds a half releases in place — the
+  // same release-then-alloc a rebind performs in runtime mode.
+  auto NIt = NameToAlloc.find(N);
+  if (NIt != NameToAlloc.end()) {
+    if (Occupant(K0) == NIt->second)
+      return K0;
+    if (Occupant(K1) == NIt->second)
+      return K1;
+  }
+  // A fresh generation is written opposite the occupied half, keeping the
+  // carried value charged while the kernel reads it — the double-buffer
+  // flip the slab was sized 2x for.
+  bool Occ0 = Occupant(K0) >= 0, Occ1 = Occupant(K1) >= 0;
+  if (Occ0 != Occ1)
+    return Occ0 ? K1 : K0;
+  return slotKey(E->Slab, E->BufferIndex ? 1 : 0);
 }
 
 void DeviceBufferManager::vacate(int Slot) {
@@ -79,6 +121,8 @@ void DeviceBufferManager::vacate(int Slot) {
     return;
   int64_t B = Allocs[It->second.OccId].Bytes;
   LiveBytesNow = std::max<int64_t>(0, LiveBytesNow - B);
+  if (Slot < 0)
+    ImplicitLiveBytes = std::max<int64_t>(0, ImplicitLiveBytes - B);
   FreedBytesTotal += B;
   It->second.OccId = -1;
 }
@@ -132,13 +176,13 @@ bool DeviceBufferManager::bind(const VName &N, int64_t Bytes,
                                double ReadyAt) {
   if (planMode()) {
     bool Hoisted = false;
-    int Slot = slotFor(N, Hoisted);
+    int Slot = planSlot(N, Hoisted);
     SlotState &SS = Slots[Slot];
 
     // Capacity pre-check, simulating (without committing) the release of
-    // N's previous binding and the eviction of the slab's stale
-    // occupant: the plan's whole point is that a reused slab is not
-    // double-charged.
+    // N's previous binding and the eviction of this half's stale
+    // occupant: the plan's whole point is that reused storage is not
+    // double-charged — while a hoisted slab's other half stays charged.
     auto Old = NameToAlloc.find(N);
     int OldId = Old != NameToAlloc.end() ? Old->second : -1;
     int64_t Projected = LiveBytesNow + Bytes;
@@ -182,7 +226,12 @@ bool DeviceBufferManager::bind(const VName &N, int64_t Bytes,
     SS.EverUsed = true;
     SS.Hoisted = Hoisted;
     SS.LastName = N;
+    SS.MaxBytes = std::max(SS.MaxBytes, Bytes);
     LiveBytesNow += Bytes;
+    if (Slot < 0) {
+      ImplicitLiveBytes += Bytes;
+      ImplicitPeakBytes = std::max(ImplicitPeakBytes, ImplicitLiveBytes);
+    }
     PeakBytesSeen = std::max(PeakBytesSeen, LiveBytesNow);
     return true;
   }
@@ -228,6 +277,29 @@ bool DeviceBufferManager::bind(const VName &N, int64_t Bytes,
   LiveBytesNow += Bytes;
   PeakBytesSeen = std::max(PeakBytesSeen, LiveBytesNow);
   return true;
+}
+
+int64_t DeviceBufferManager::plannedPeakBytes() const {
+  if (!Plan)
+    return 0;
+  // Every slab half the run materialised is charged at its planned
+  // extent: the slab's static per-half size when the plan knows it, the
+  // widest observed tenant when the size is symbolic.  Allocations the
+  // plan does not cover contribute their own high-water mark.
+  int64_t Total = ImplicitPeakBytes;
+  for (const mem::SlabInfo &SI : Plan->Slabs) {
+    int Halves = SI.Hoisted ? 2 : 1;
+    int64_t PerHalf = SI.Bytes < 0 ? -1 : SI.Bytes / Halves;
+    for (int H = 0; H < Halves; ++H) {
+      auto It = Slots.find(slotKey(SI.Id, H));
+      if (It == Slots.end() || !It->second.EverUsed)
+        continue;
+      // max() keeps the bound sound even if a tenant outgrew the planned
+      // extent (a symbolic member the planner sized statically).
+      Total += std::max(PerHalf, It->second.MaxBytes);
+    }
+  }
+  return Total;
 }
 
 void DeviceBufferManager::alias(const VName &Dst, const VName &Src) {

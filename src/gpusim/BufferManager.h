@@ -29,13 +29,17 @@
 ///
 ///  * Plan mode (the default, setPlan): byte accounting *executes* the
 ///    compiler's static memory plan (mem/MemPlan.h).  Each name maps to
-///    its planned slab; a slab holds one occupant at a time, so a binding
-///    into a slab whose previous tenant's storage the plan reuses (a
-///    consumed input's block, a hoisted loop buffer, a coloured
-///    temporary) evicts the stale occupancy instead of double-charging.
-///    Residency and timeline state (refcounts, DeviceValid, ReadyAt) are
-///    byte-for-byte the same state machine as runtime mode, so simulated
-///    cycles never depend on the mode — only the byte counters do.
+///    its planned slab, and occupancy is tracked per (slab, double-buffer
+///    half): a flat slab holds one occupant, a hoisted slab holds two —
+///    the carried generation in one half stays charged while the new one
+///    is written to the other, exactly the concurrency the plan sized the
+///    slab at 2x for.  A binding whose storage the plan reuses (a
+///    consumed input's block, a rebound name's own half, a coloured
+///    temporary) evicts only that half's stale occupancy instead of
+///    double-charging.  Residency and timeline state (refcounts,
+///    DeviceValid, ReadyAt) are byte-for-byte the same state machine as
+///    runtime mode, so simulated cycles never depend on the mode — only
+///    the byte counters do.
 ///
 ///  * Runtime mode (--no-mem-plan, no plan set): the legacy dynamic
 ///    arena.  Released blocks become offset-aware free ranges; adjacent
@@ -96,27 +100,34 @@ class DeviceBufferManager {
     int Slot = 0;       ///< Plan mode: slab occupied (keys Slots).
   };
 
-  /// Plan mode: one slab's occupancy.  At most one allocation's bytes are
-  /// charged per slab; binding a new tenant evicts the stale occupancy
-  /// (the plan proved the lifetimes disjoint or aliasable).
+  /// Plan mode: one (slab, half)'s occupancy.  At most one allocation's
+  /// bytes are charged per half; binding a new tenant into a half evicts
+  /// its stale occupancy (the plan proved the lifetimes disjoint or
+  /// aliasable), while the other half of a hoisted slab stays charged.
   struct SlotState {
     int OccId = -1; ///< Occupant allocation, -1 when vacant.
     bool EverUsed = false;
     bool Hoisted = false;
-    VName LastName; ///< Last occupant's IR name (reuse counting).
+    VName LastName;       ///< Last occupant's IR name (reuse counting).
+    int64_t MaxBytes = 0; ///< Widest tenant ever charged (plannedPeakBytes
+                          ///< fallback for symbolically sized slabs).
   };
 
   int64_t Capacity; ///< <= 0 means unlimited.
   std::vector<Alloc> Allocs;
   NameMap<int> NameToAlloc;
 
-  /// Plan execution state (null Plan = runtime mode).
+  /// Plan execution state (null Plan = runtime mode).  Slots is keyed by
+  /// a composite slot id: planned slab S, half H -> 2*S + H (flat slabs
+  /// only use half 0); names the plan doesn't cover get negative ids.
   const mem::FunPlan *Plan = nullptr;
   std::unordered_map<int, SlotState> Slots;
   NameMap<int> ImplicitSlot; ///< Names the plan doesn't cover.
   int NextImplicitSlot = -1; ///< Implicit slabs grow downwards.
   int64_t HoistedAllocCount = 0;
   int64_t ReusedBlockCount = 0;
+  int64_t ImplicitLiveBytes = 0; ///< Live bytes in implicit (unplanned)
+  int64_t ImplicitPeakBytes = 0; ///< slots, and their high-water mark.
 
   /// Runtime-mode arena: offset -> size of free ranges, kept maximal
   /// (adjacent ranges are coalesced on release), plus the bump pointer.
@@ -131,7 +142,7 @@ class DeviceBufferManager {
 
   void dropRef(int Id);
   void freeRange(int64_t Offset, int64_t Bytes);
-  int slotFor(const VName &N, bool &Hoisted);
+  int planSlot(const VName &N, bool &Hoisted);
   void vacate(int Slot);
 
 public:
@@ -188,6 +199,14 @@ public:
   int64_t hoistedAllocs() const { return HoistedAllocCount; }
   /// Plan mode: slab occupancies taken over from a different array.
   int64_t reusedBlocks() const { return ReusedBlockCount; }
+  /// Plan mode: the plan-derived residency bound — the sum of every slab
+  /// half the run actually materialised, charged at its planned static
+  /// extent (widest observed tenant for symbolically sized slabs), plus
+  /// the peak of allocations the plan does not cover.  An upper bound on
+  /// peakBytes() by construction, and genuinely static for fully
+  /// statically shaped programs: it reflects the arena layout, not the
+  /// moment-to-moment live counter.  0 in runtime mode.
+  int64_t plannedPeakBytes() const;
 };
 
 } // namespace gpusim

@@ -1254,7 +1254,10 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
     Cost.FreedBytes = Mgr.freedBytes();
     Cost.FreeListHits = Mgr.freeListHits();
     if (Mgr.planMode()) {
-      Cost.PlannedPeakBytes = Mgr.peakBytes();
+      // The plan-derived bound, not the live counter peakBytes() already
+      // feeds into PeakDeviceBytes: asserting observed <= planned is a
+      // genuine cross-check of the static layout against residency.
+      Cost.PlannedPeakBytes = Mgr.plannedPeakBytes();
       Cost.HoistedAllocs = Mgr.hoistedAllocs();
       Cost.ReusedBlocks = Mgr.reusedBlocks();
     }

@@ -166,9 +166,10 @@ struct CostReport {
   int64_t FreeListHits = 0;
 
   /// Memory-plan execution accounting (zero under --no-mem-plan): the
-  /// peak device bytes under the static plan, rebinds served in place by
-  /// hoisted double-buffered loop slabs, and slab occupancies taken over
-  /// from a dead or consumed array (static reuse).
+  /// plan-derived residency bound (every materialised slab half at its
+  /// planned extent — observed PeakDeviceBytes never exceeds it), rebinds
+  /// served in place by hoisted double-buffered loop slabs, and slab
+  /// occupancies taken over from a dead or consumed array (static reuse).
   int64_t PlannedPeakBytes = 0;
   int64_t HoistedAllocs = 0;
   int64_t ReusedBlocks = 0;

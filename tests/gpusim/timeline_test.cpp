@@ -340,9 +340,14 @@ TEST(BufferManagerTest, PlannedLoopUsesHoistedDoubleBuffer) {
   ASSERT_TRUE(static_cast<bool>(RRun)) << RRun.getError().str();
 
   EXPECT_LE(RPlan->Cost.PeakDeviceBytes, 3072);
-  EXPECT_EQ(RPlan->Cost.PlannedPeakBytes, RPlan->Cost.PeakDeviceBytes);
+  // Observed residency stays within the plan-derived bound — a genuine
+  // cross-check of the static layout against what the run charged, not a
+  // copy of the same counter.
+  EXPECT_GT(RPlan->Cost.PlannedPeakBytes, 0);
+  EXPECT_LE(RPlan->Cost.PeakDeviceBytes, RPlan->Cost.PlannedPeakBytes);
   EXPECT_GT(RPlan->Cost.HoistedAllocs, 0);
   // The plan never does worse than the runtime manager on peak bytes.
+  EXPECT_LE(RPlan->Cost.PeakDeviceBytes, RRun->Cost.PeakDeviceBytes);
   EXPECT_LE(RPlan->Cost.PlannedPeakBytes, RRun->Cost.PeakDeviceBytes);
   // Runtime mode reports no plan counters.
   EXPECT_EQ(RRun->Cost.PlannedPeakBytes, 0);
