@@ -139,4 +139,47 @@ assert {"copy-engine", "compute-engine"} <= names, f"engine tracks missing: {nam
 print(f"ok: kmeans async {async_} <= sync {sync} cycles; engine tracks present")
 EOF
 
+echo "== serve suite (artifact cache, admission, quarantine) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'Serve|ArtifactHash'
+
+echo "== serve soak: seeded fault-injected workload drains clean =="
+# 32 requests over the built-in program mix with a 40% injected
+# launch-failure rate and 10% corruption: every request must complete
+# (retried, quarantine-recompiled, or degraded to the interpreter),
+# every successful response must be bit-identical to the reference
+# interpreter (--check exits 1 on any cross-request contamination), and
+# the queue must drain to exactly one response per submission (the
+# binary exits 1 on a count mismatch).
+"$BUILD_DIR"/src/serve/futharkcc-serve --builtin 32 --fault-rate 0.4 \
+  --corrupt-rate 0.1 --fault-seed 1 --check --quiet \
+  2>"$BUILD_DIR"/ci_serve_soak.log
+grep -q "0 mismatches" "$BUILD_DIR"/ci_serve_soak.log
+# Nothing may be silently dropped or left hanging under faults.
+grep -Eq "32 submitted, 32 admitted, 32 completed, 0 failed" \
+  "$BUILD_DIR"/ci_serve_soak.log
+
+echo "== serve bench: sustained rate + cache hit rate into BENCH_trace =="
+# bench_serve exits 1 itself when any request fails or the hit rate on
+# the repeated-program workload drops below 90%; the python pass
+# re-asserts from the machine-readable BENCH_trace.json that CI and
+# notebooks consume.
+(cd "$BUILD_DIR" && ./bench/bench_serve >/dev/null)
+python3 - "$BUILD_DIR"/BENCH_trace.json <<'EOF'
+import json, sys
+rows = {r["benchmark"]: r for r in json.load(open(sys.argv[1]))["benchmarks"]}
+tp, soak = rows["serve_throughput"], rows["serve_soak"]
+assert tp["completed"] == tp["requests"], "throughput leg dropped requests"
+assert tp["cache_hit_rate"] >= 0.9, \
+    f"cache hit rate {tp['cache_hit_rate']:.2%} below 90%"
+assert tp["requests_per_sec"] > 0, "no sustained rate reported"
+assert soak["completed"] == soak["requests"], \
+    "soak leg dropped requests under 40% faults"
+assert soak["counters"].get("serve.cache_evictions", 0) == 0, \
+    "fault recovery evicted healthy artifacts"
+print(f"ok: {tp['requests_per_sec']:.0f} req/s simulated, "
+      f"{tp['cache_hit_rate']:.1%} hit rate, "
+      f"soak {soak['completed']:.0f}/{soak['requests']:.0f} under faults")
+EOF
+
 echo "== ci.sh: all green =="

@@ -8,11 +8,60 @@
 
 #include "check/Check.h"
 #include "check/Verify.h"
+#include "ir/Printer.h"
 #include "parser/Desugar.h"
+#include "support/Utils.h"
 #include "trace/Trace.h"
 #include "uniq/Uniqueness.h"
 
+#include <sstream>
+
 using namespace fut;
+
+std::string fut::CompilerOptions::cacheCanonical() const {
+  // One line per knob, fixed order.  InternalChecks/VerifyIR and the test
+  // hooks are deliberately absent: they gate acceptance, not output.
+  std::ostringstream OS;
+  OS << "uniq=" << CheckUniqueness << ";inline=" << Inline
+     << ";fusion=" << EnableFusion << ";kernels=" << ExtractKernels
+     << ";memplan=" << PlanMemory << ";cse=" << Simplify.EnableCSE
+     << ";hoist=" << Simplify.EnableHoisting
+     << ";rounds=" << Simplify.MaxRounds
+     << ";chunks=" << Flatten.StreamChunks
+     << ";interchange=" << Flatten.EnableInterchange
+     << ";segreduce=" << Flatten.EnableSegReduce
+     << ";kreduce=" << Flatten.KernelizeReduce
+     << ";coalesce=" << Locality.EnableCoalescing
+     << ";tile=" << Locality.EnableTiling
+     << ";mintile=" << Locality.MinTileElems;
+  return OS.str();
+}
+
+std::string fut::DeviceProgram::str() const { return printProgram(*this); }
+
+uint64_t fut::CompileResult::fingerprint() const {
+  std::ostringstream Meta;
+  Meta << "fusion=" << Fusion.Vertical << "," << Fusion.Redomap << ","
+       << Fusion.StreamFusions << "," << Fusion.Horizontal
+       << ";flatten=" << Flatten.kernels() << "," << Flatten.SegReduces
+       << "," << Flatten.SegScans << "," << Flatten.Interchanges << ","
+       << Flatten.SequentialisedSOACs
+       << ";locality=" << Locality.CoalescedInputs << ","
+       << Locality.TiledInputs;
+  uint64_t H = fnv1a64(P.str());
+  H = fnv1a64(MemPlan.str(), H);
+  H = fnv1a64(Meta.str(), H);
+  return H;
+}
+
+uint64_t fut::artifactCacheKey(const std::string &Source,
+                               const CompilerOptions &Opts) {
+  uint64_t H = fnv1a64(Source);
+  // NUL separator so (source, options) pairs cannot collide by sliding
+  // bytes across the boundary.
+  H = fnv1a64(std::string(1, '\0'), H);
+  return fnv1a64(Opts.cacheCanonical(), H);
+}
 
 ErrorOr<CompileResult> fut::compileProgram(Program P, NameSource &Names,
                                            const CompilerOptions &Opts) {

@@ -62,17 +62,53 @@ struct CompilerOptions {
   SimplifyOptions Simplify;
   FlattenOptions Flatten;
   LocalityOptions Locality;
+
+  /// Stable textual dump of every option that changes the compiled
+  /// artifact (test hooks and verification toggles are excluded: they
+  /// affect *whether* compilation succeeds, never what it produces).
+  /// Feeds the artifact cache key, so two requests differing in any
+  /// semantically relevant flag never share an artifact.
+  std::string cacheCanonical() const;
+};
+
+/// The device-executable half of a compiled artifact: the fully lowered
+/// (flattened, fused, locality-optimised) program the simulator runs.
+/// Structurally it *is* a Program — every existing consumer keeps working —
+/// but it additionally carries the canonical dump used for content
+/// addressing: str() is deterministic (the pipeline and the name source are
+/// pure functions of the input), pinned by a golden-hash test so cache keys
+/// cannot silently drift when a pass changes.
+struct DeviceProgram : Program {
+  DeviceProgram() = default;
+  DeviceProgram(Program P) : Program(std::move(P)) {}
+
+  /// Canonical textual form (the IR printer's output; stable order, tagged
+  /// names, no pointers).
+  std::string str() const;
 };
 
 struct CompileResult {
-  Program P;
+  DeviceProgram P;
   FusionStats Fusion;
   FlattenStats Flatten;
   LocalityStats Locality;
   /// The static device-memory plan ("pass:memplan"), verified against the
   /// program; empty when planning was disabled or kernels not extracted.
   mem::MemoryPlan MemPlan;
+
+  /// Content hash of the whole artifact: the canonical program dump, the
+  /// memory-plan dump and the cost metadata (pass statistics).  Recompiling
+  /// the same source with the same options always reproduces the same
+  /// fingerprint — the property the serving layer's artifact cache and the
+  /// quarantine recompile path rely on.
+  uint64_t fingerprint() const;
 };
+
+/// The artifact-cache key: a content hash of the source text plus the
+/// canonical compiler options.  Computable without compiling, which is what
+/// makes compile-once/serve-many cheap on the hit path.
+uint64_t artifactCacheKey(const std::string &Source,
+                          const CompilerOptions &Opts);
 
 /// Compiles surface source through the full pipeline.
 ErrorOr<CompileResult> compileSource(const std::string &Source,

@@ -51,7 +51,8 @@ std::string CostReport::str() const {
      << " overlapsaved=" << static_cast<int64_t>(OverlapSavedCycles)
      << " copybusy=" << static_cast<int64_t>(CopyEngineBusy)
      << " computebusy=" << static_cast<int64_t>(ComputeEngineBusy)
-     << " peakbytes=" << PeakDeviceBytes << " freedbytes=" << FreedBytes
+     << " peakbytes=" << PeakDeviceBytes << " peakdemand=" << PeakDemandBytes
+     << " freedbytes=" << FreedBytes
      << " freelisthits=" << FreeListHits
      << " plannedpeak=" << PlannedPeakBytes << " hoisted=" << HoistedAllocs
      << " reused=" << ReusedBlocks;
@@ -149,6 +150,9 @@ public:
         OutBudgetBytes(OutBudgetBytes) {}
 
   ErrorOr<std::vector<Value>> run();
+
+  /// Bytes of results this launch materialised (valid after run()).
+  int64_t outBytes() const { return OutBytesSoFar; }
 
 private:
   //===-- Setup -----------------------------------------------------------===//
@@ -249,9 +253,9 @@ private:
   /// exactly the elements of the assembled output array, so the running
   /// total matches the final outputs' footprint.
   MaybeError chargeOutput(const Value &V) {
+    OutBytesSoFar += V.numElems() * elemBytes(V.elemKind());
     if (OutBudgetBytes < 0)
       return MaybeError::success();
-    OutBytesSoFar += V.numElems() * elemBytes(V.elemKind());
     if (OutBytesSoFar > OutBudgetBytes)
       return CompilerError::deviceOOM(
           "device out of memory materialising kernel results: " +
@@ -1226,7 +1230,10 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
 
   const bool Async = P.AsyncTimeline;
   EngineTimeline TL;
-  DeviceBufferManager Mgr(P.DeviceMemBytes);
+  // On a shared (multi-tenant) device the run only sees the capacity left
+  // after co-resident tenants' admission reservations.
+  const int64_t MemCap = P.effectiveMemBytes();
+  DeviceBufferManager Mgr(MemCap);
   Mgr.setPlan(MPlan);
   LivenessInfo Liveness(Prog);
 
@@ -1459,8 +1466,10 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
         return CompilerError::deviceOOM(
             "device out of memory uploading " + In.Arr.str() + ": " +
             std::to_string(Bytes) + " bytes needed, " +
-            std::to_string(P.DeviceMemBytes - Mgr.liveBytes()) + " of " +
-            std::to_string(P.DeviceMemBytes) + " free");
+            std::to_string(MemCap - Mgr.liveBytes()) + " of " +
+            std::to_string(MemCap) + " free (" +
+            std::to_string(P.ReservedBytes) +
+            " reserved by co-tenants)");
       Cost.TransferredBytes += Bytes;
       double Cycles = Bytes / P.TransferBytesPerCycle;
       if (ParamNames.count(In.Arr)) {
@@ -1530,12 +1539,19 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
 
       trace::ScopedSpan KSpan(SpanName, "device", trace::kComputeEngineTid);
       CostReport KCost;
-      int64_t OutBudget =
-          P.DeviceMemBytes > 0 ? P.DeviceMemBytes - Mgr.liveBytes() : -1;
+      int64_t OutBudget = MemCap > 0 ? MemCap - Mgr.liveBytes() : -1;
       KernelSim Sim(P, K, Env, KCost, OutBudget);
       auto Res = Sim.run();
       if (!Res)
         return Res; // evaluation errors and mid-kernel OOM are not transient
+
+      // Transient demand of this launch: the inputs are still live while
+      // the results materialise, so capacity must briefly hold both.  The
+      // residency peaks (PeakDeviceBytes, PlannedPeakBytes) never see this
+      // overlap — the serving layer's admission reservations are taken
+      // from the demand peak, which does.
+      Cost.PeakDemandBytes =
+          std::max(Cost.PeakDemandBytes, Mgr.liveBytes() + Sim.outBytes());
 
       // Tiled traffic: each staged element is read once per workgroup from
       // global memory (coalesced), instead of once per thread.  The byte
@@ -1639,8 +1655,10 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
         return CompilerError::deviceOOM(
             "device out of memory allocating kernel outputs: " +
             std::to_string(OutBytes) + " bytes needed, " +
-            std::to_string(P.DeviceMemBytes - Mgr.liveBytes()) + " of " +
-            std::to_string(P.DeviceMemBytes) + " free");
+            std::to_string(MemCap - Mgr.liveBytes()) + " of " +
+            std::to_string(MemCap) + " free (" +
+            std::to_string(P.ReservedBytes) +
+            " reserved by co-tenants)");
       return Res;
     }
   };

@@ -37,6 +37,7 @@
 #include "mem/MemPlan.h"
 #include "support/Error.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -74,6 +75,21 @@ struct DeviceParams {
   /// and outputs are accounted against this while device-resident, and an
   /// allocation that would exceed it fails with a DeviceOOM runtime error.
   int64_t DeviceMemBytes = 3LL << 30; // 3 GiB, like the GTX 780 Ti
+
+  /// Bytes of DeviceMemBytes already reserved by co-resident tenants on a
+  /// shared device (the serving layer's admission controller packs tenants
+  /// by their plan-derived PlannedPeakBytes bound).  This run's capacity
+  /// checks see DeviceMemBytes - ReservedBytes, so a tenant that outgrows
+  /// its reservation OOMs in its own sandbox instead of starving the
+  /// others.  Ignored when DeviceMemBytes is 0 (unlimited).
+  int64_t ReservedBytes = 0;
+
+  /// Effective capacity visible to this run; 0 means unlimited.
+  int64_t effectiveMemBytes() const {
+    if (DeviceMemBytes <= 0)
+      return 0;
+    return std::max<int64_t>(1, DeviceMemBytes - ReservedBytes);
+  }
 
   /// Watchdog budgets in simulated cycles; 0 disables the check.  A single
   /// kernel exceeding WatchdogKernelCycles, or a whole run exceeding
@@ -162,6 +178,12 @@ struct CostReport {
   /// bytes, bytes released by liveness/rebinding, and allocations served
   /// from the free-list of released blocks.
   int64_t PeakDeviceBytes = 0;
+  /// High-water mark of transient demand: live bytes at a kernel launch
+  /// plus the results that launch materialised while its inputs were
+  /// still live.  Always >= PeakDeviceBytes; the smallest capacity the
+  /// run actually fits in, which is what the serving layer's admission
+  /// controller reserves for packed tenants.
+  int64_t PeakDemandBytes = 0;
   int64_t FreedBytes = 0;
   int64_t FreeListHits = 0;
 

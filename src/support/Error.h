@@ -54,6 +54,14 @@ enum class ErrorKind {
   Watchdog,
   TransientFault,
   FallbackExhausted,
+  /// The serving layer shed the request because a bounded queue or the
+  /// device's admission capacity was saturated; the request was never
+  /// executed and retrying later is safe.
+  Overload,
+  /// The request's deadline expired (while queued, or by the time its run
+  /// completed); distinguished from Watchdog, which is the *device's* own
+  /// runaway-kernel budget rather than a client-facing latency contract.
+  Deadline,
 };
 
 inline const char *errorKindName(ErrorKind K) {
@@ -72,6 +80,10 @@ inline const char *errorKindName(ErrorKind K) {
     return "transient-fault";
   case ErrorKind::FallbackExhausted:
     return "fallback-exhausted";
+  case ErrorKind::Overload:
+    return "overload";
+  case ErrorKind::Deadline:
+    return "deadline";
   }
   return "unknown";
 }
@@ -109,6 +121,12 @@ struct CompilerError {
   }
   static CompilerError fallbackExhausted(std::string Msg) {
     return CompilerError(ErrorKind::FallbackExhausted, std::move(Msg));
+  }
+  static CompilerError overload(std::string Msg) {
+    return CompilerError(ErrorKind::Overload, std::move(Msg));
+  }
+  static CompilerError deadline(std::string Msg) {
+    return CompilerError(ErrorKind::Deadline, std::move(Msg));
   }
 
   /// True for any failure that happens while running a program (as opposed

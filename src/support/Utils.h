@@ -40,6 +40,18 @@ inline void hashCombine(size_t &Seed, size_t Value) {
   Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
 }
 
+/// 64-bit FNV-1a over a byte string.  Used for content-addressing compiled
+/// artifacts: platform-independent and stable across processes, unlike
+/// std::hash.
+inline uint64_t fnv1a64(const std::string &S,
+                        uint64_t H = 0xcbf29ce484222325ULL) {
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
 /// A deterministic splitmix64-based PRNG used by tests and workload
 /// generators so results are reproducible across platforms.
 class SplitMix64 {

@@ -50,6 +50,9 @@ namespace trace {
 constexpr int kHostTid = 1;
 constexpr int kCopyEngineTid = 2;
 constexpr int kComputeEngineTid = 3;
+/// The serving layer (futharkcc-serve): one span per request, plus
+/// admission/shedding/quarantine instants.
+constexpr int kServeTid = 4;
 
 /// One key/value argument attached to a span or instant event.  Numeric
 /// args stay numeric in the exported JSON.
