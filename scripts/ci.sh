@@ -182,4 +182,46 @@ print(f"ok: {tp['requests_per_sec']:.0f} req/s simulated, "
       f"soak {soak['completed']:.0f}/{soak['requests']:.0f} under faults")
 EOF
 
+echo "== shard leg: multi-device differential, fuzz and scaling =="
+# The sharding test layer: property tests that the shard-plan verifier
+# rejects corrupted plans (overlapping ownership, dropped transfers,
+# over-budget shards), the pinned plan dumps + N=1 no-op invariant, and
+# the 20-seed differential sweep at 1/2/4 devices (Sharded* legs).
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'ShardVerifyTest|ShardPlanGolden|Sharded'
+# Fixed-seed differential fuzz through the sharded path: 150 seeds at
+# two devices, bit-identical to the reference interpreter.
+"$BUILD_DIR"/src/fuzz/futharkcc-fuzz --seed-range 1..150 --devices 2 \
+  --out "$BUILD_DIR"/fuzz-failures-shard
+# --print-shard-plan dumps the decomposition for a real program.
+"$BUILD_DIR"/src/driver/futharkcc --devices 4 --print-shard-plan \
+  examples/kmeans.fut > "$BUILD_DIR"/ci_shardplan.txt 2>/dev/null
+grep -q "shard plan (devices=4)" "$BUILD_DIR"/ci_shardplan.txt
+grep -q "sharded width=" "$BUILD_DIR"/ci_shardplan.txt
+# Scaling: bench_shard exits 1 itself unless >= 2 aligned-chain members
+# reach 1.5x at 4 devices; the python pass re-asserts from the
+# machine-readable trace that the 2-device makespan never exceeds the
+# 1-device makespan on every member that must scale.  bench_shard
+# overwrites BENCH_trace.json, so the serve leg's rows are set aside
+# first (both files are uploaded as CI artifacts).
+cp "$BUILD_DIR"/BENCH_trace.json "$BUILD_DIR"/BENCH_trace_serve.json
+(cd "$BUILD_DIR" && ./bench/bench_shard >/dev/null)
+python3 - "$BUILD_DIR"/BENCH_trace.json <<'EOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))["benchmarks"]
+by = {}
+for r in rows:
+    by.setdefault(r["benchmark"], {})[int(r["devices"])] = r
+wins = 0
+for name, curve in sorted(by.items()):
+    if name == "reduce-tail":
+        continue  # documented anti-pattern member (all-gather tax)
+    assert curve[2]["makespan"] <= curve[1]["makespan"], \
+        f"{name}: 2-device makespan exceeds 1-device"
+    if curve[4]["speedup"] >= 1.5:
+        wins += 1
+assert wins >= 2, f"only {wins} members reached 1.5x at 4 devices"
+print(f"ok: {wins} members >= 1.5x at 4 devices; 2-device <= 1-device")
+EOF
+
 echo "== ci.sh: all green =="

@@ -43,6 +43,7 @@
 
 #include "ir/IR.h"
 #include "mem/MemPlan.h"
+#include "shard/ShardPlan.h"
 #include "support/Error.h"
 
 #include <string>
@@ -93,6 +94,22 @@ MaybeError verifyFun(const Program &P, const FunDef &F,
 /// function, the slab and both offending arrays.
 MaybeError verifyMemoryPlan(const Program &P, const mem::MemoryPlan &MP,
                             const std::string &Pass);
+
+/// Verifies a multi-device shard plan against the (flattened) program it
+/// was computed for, by independently re-deriving the decomposition:
+///
+///   * a kernel marked sharded is actually block-partitionable and its
+///     recorded blocks partition the outer dimension exactly (every row
+///     owned by one device — no overlap, no gap),
+///   * every inter-device transfer the decomposition requires (a
+///     partitioned value consumed whole, or observed by the host) is
+///     present in the plan,
+///   * the re-derived per-device peak bytes fit each device's budget.
+///
+/// Violations are ErrorKind::Verify diagnostics naming \p Pass, the
+/// function, the kernel and the offending rows or arrays.
+MaybeError verifyShardPlan(const Program &P, const shard::ShardPlan &SP,
+                           const std::string &Pass);
 
 } // namespace fut
 

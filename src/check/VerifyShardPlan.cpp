@@ -1,0 +1,178 @@
+//===- VerifyShardPlan.cpp - Shard-plan soundness checker -----------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-derives the multi-device shard decomposition independently of the
+/// planner, mirroring VerifyMemPlan: every sharded kernel must actually be
+/// shardable, its recorded blocks must partition the outer dimension with
+/// every row owned by exactly one device, every transfer the decomposition
+/// requires must be present in the plan, and the re-derived per-device
+/// peak must fit each device's budget.  Marking a shardable kernel whole,
+/// or recording extra transfers, is conservative and allowed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "check/Verify.h"
+
+#include "shard/ShardPlan.h"
+
+#include <string>
+#include <vector>
+
+using namespace fut;
+
+namespace {
+
+MaybeError verifyFunShards(const Program &P, const shard::FunShardPlan &FP,
+                           int Devices, const std::string &Pass) {
+  auto Fail = [&](const std::string &Msg) {
+    return CompilerError(ErrorKind::Verify, "after pass '" + Pass +
+                                                "': in function '" + FP.Fun +
+                                                "': " + Msg);
+  };
+
+  const FunDef *F = P.findFun(FP.Fun);
+  if (!F)
+    return Fail("shard plan names a function the program does not define");
+
+  // Kernel-by-kernel: the plan's sharding decisions must be justified by
+  // an independent re-derivation.
+  int Seen = 0;
+  MaybeError Err = MaybeError::success();
+  shard::forEachKernel(*F, [&](const KernelExp &K, const Stm &S, int Id,
+                               bool Top) {
+    ++Seen;
+    if (Err)
+      return;
+    const shard::KernelShard *KS = FP.kernel(Id);
+    if (!KS) {
+      Err = Fail("kernel " + std::to_string(Id) +
+                 " has no entry in the shard plan");
+      return;
+    }
+    shard::KernelShardability A = shard::analyseShardability(K, S, Top);
+    if (!KS->Sharded)
+      return; // Running a kernel whole is always sound.
+    if (!A.Sharded) {
+      Err = Fail("kernel " + std::to_string(Id) +
+                 " is marked sharded but cannot be partitioned (" +
+                 A.WhyNot + ")");
+      return;
+    }
+    if (!(KS->Width == A.Width)) {
+      Err = Fail("kernel " + std::to_string(Id) + " shards width '" +
+                 KS->Width.str() + "' but its outer grid dimension is '" +
+                 A.Width.str() + "'");
+      return;
+    }
+    for (const shard::ShardInput &SI : KS->Inputs) {
+      if (SI.Class != shard::InputClass::Aligned)
+        continue;
+      bool Justified = false;
+      for (const shard::ShardInput &AI : A.Inputs)
+        if (AI.Arr == SI.Arr && AI.Class == shard::InputClass::Aligned)
+          Justified = true;
+      if (!Justified) {
+        Err = Fail("kernel " + std::to_string(Id) + " input '" +
+                   SI.Arr.str() +
+                   "' is classified aligned but its uses require the "
+                   "whole array on every device");
+        return;
+      }
+    }
+    // Ownership: for constant widths the recorded blocks must partition
+    // [0, W) exactly — no row on two devices, no row on none.
+    if (KS->ConstWidth >= 0) {
+      if (static_cast<int>(KS->Blocks.size()) != Devices) {
+        Err = Fail("kernel " + std::to_string(Id) + " records " +
+                   std::to_string(KS->Blocks.size()) + " blocks for " +
+                   std::to_string(Devices) + " devices");
+        return;
+      }
+      int64_t Expect = 0;
+      for (size_t D = 0; D < KS->Blocks.size(); ++D) {
+        int64_t Start = KS->Blocks[D].first, End = KS->Blocks[D].second;
+        if (Start > End) {
+          Err = Fail("kernel " + std::to_string(Id) + " device " +
+                     std::to_string(D) + " owns an inverted row range [" +
+                     std::to_string(Start) + "," + std::to_string(End) +
+                     ")");
+          return;
+        }
+        if (Start < Expect) {
+          Err = Fail("kernel " + std::to_string(Id) + " rows [" +
+                     std::to_string(Start) + "," +
+                     std::to_string(Expect) +
+                     ") are owned by more than one device");
+          return;
+        }
+        if (Start > Expect) {
+          Err = Fail("kernel " + std::to_string(Id) + " rows [" +
+                     std::to_string(Expect) + "," +
+                     std::to_string(Start) + ") are owned by no device");
+          return;
+        }
+        Expect = End;
+      }
+      if (Expect != KS->ConstWidth) {
+        Err = Fail("kernel " + std::to_string(Id) + " blocks cover [0," +
+                   std::to_string(Expect) + ") but the outer dimension is " +
+                   std::to_string(KS->ConstWidth));
+        return;
+      }
+    }
+  });
+  if (Err)
+    return Err;
+  if (Seen != static_cast<int>(FP.Kernels.size()))
+    return Fail("shard plan records " + std::to_string(FP.Kernels.size()) +
+                " kernels but the function has " + std::to_string(Seen));
+
+  // Transfers: everything the plan's own sharding decisions require must
+  // be present (extra transfers are conservative and allowed).
+  std::vector<shard::TransferEdge> Required =
+      shard::deriveTransfers(*F, FP.Kernels);
+  for (const shard::TransferEdge &R : Required) {
+    bool Present = false;
+    for (const shard::TransferEdge &E : FP.Transfers)
+      if (E.Arr == R.Arr && E.ProducerKernel == R.ProducerKernel &&
+          E.ConsumerKernel == R.ConsumerKernel)
+        Present = true;
+    if (!Present)
+      return Fail(
+          "missing inter-device transfer for '" + R.Arr.str() +
+          "' (produced partitioned by kernel " +
+          std::to_string(R.ProducerKernel) + ", consumed whole by " +
+          (R.ConsumerKernel < 0 ? std::string("the host")
+                                : "kernel " +
+                                      std::to_string(R.ConsumerKernel)) +
+          ")");
+  }
+
+  // Budget: the independently re-derived per-device peak must fit.
+  if (FP.PerDeviceMemBytes > 0) {
+    std::vector<int64_t> Peaks =
+        shard::derivePeakBytes(*F, FP.Kernels, Required, Devices);
+    for (size_t D = 0; D < Peaks.size(); ++D)
+      if (Peaks[D] > FP.PerDeviceMemBytes)
+        return Fail("shard for device " + std::to_string(D) + " needs " +
+                    std::to_string(Peaks[D]) +
+                    " bytes, over the per-device budget of " +
+                    std::to_string(FP.PerDeviceMemBytes));
+  }
+
+  return MaybeError::success();
+}
+
+} // namespace
+
+MaybeError fut::verifyShardPlan(const Program &P, const shard::ShardPlan &SP,
+                                const std::string &Pass) {
+  for (const shard::FunShardPlan &FP : SP.Funs)
+    if (auto Err = verifyFunShards(P, FP, SP.Devices, Pass))
+      return Err;
+  return MaybeError::success();
+}

@@ -34,6 +34,11 @@ std::string fut::CompilerOptions::cacheCanonical() const {
      << ";coalesce=" << Locality.EnableCoalescing
      << ";tile=" << Locality.EnableTiling
      << ";mintile=" << Locality.MinTileElems;
+  // Devices only enters the key when it changes the artifact: N=1 sharding
+  // is a pinned no-op, so the default keeps every existing cache key (and
+  // the golden artifact hash) byte-identical.
+  if (Devices != 1)
+    OS << ";devices=" << Devices;
   return OS.str();
 }
 
@@ -51,6 +56,11 @@ uint64_t fut::CompileResult::fingerprint() const {
   uint64_t H = fnv1a64(P.str());
   H = fnv1a64(MemPlan.str(), H);
   H = fnv1a64(Meta.str(), H);
+  // The shard plan is part of the artifact only when it can change
+  // execution: at one device the fingerprint (pinned by a golden test)
+  // must not move.
+  if (Shards.Devices > 1)
+    H = fnv1a64(Shards.str(), H);
   return H;
 }
 
@@ -148,6 +158,22 @@ ErrorOr<CompileResult> fut::compileProgram(Program P, NameSource &Names,
           return Err;
       }
     }
+
+    {
+      {
+        trace::ScopedSpan Span("pass:shardplan", "compiler");
+        shard::ShardOptions SO;
+        SO.Devices = std::max(1, Opts.Devices);
+        R.Shards = shard::planShards(P, SO);
+      }
+      if (Opts.PostShardPlanHook)
+        Opts.PostShardPlanHook(R.Shards);
+      if (Opts.VerifyIR) {
+        trace::ScopedSpan Span("verify:shardplan", "compiler");
+        if (auto Err = verifyShardPlan(P, R.Shards, "shardplan"))
+          return Err;
+      }
+    }
   }
 
   R.P = std::move(P);
@@ -173,5 +199,7 @@ ErrorOr<gpusim::RunResult> fut::runOnDevice(const Program &P,
   gpusim::Device D(Opts.Device, Opts.Resilience);
   if (Opts.MemPlan)
     D.setMemoryPlan(Opts.MemPlan);
+  if (Opts.Shards && Opts.Devices > 1)
+    D.setShardPlan(Opts.Shards, Opts.Devices);
   return D.run(P, Fun, Args);
 }

@@ -23,6 +23,7 @@
 #include "locality/Locality.h"
 #include "mem/MemPlan.h"
 #include "opt/Simplify.h"
+#include "shard/ShardPlan.h"
 #include "support/Error.h"
 
 #include <functional>
@@ -49,6 +50,12 @@ struct CompilerOptions {
   /// runtime buffer manager decides every allocation dynamically.
   bool PlanMemory = true;
 
+  /// Number of simulated devices the program will be sharded across (the
+  /// --devices flag).  The shard plan is always computed for flattened
+  /// pipelines (so it can be printed and verified), but only a value > 1
+  /// changes the artifact: N=1 sharding is a pinned no-op.
+  int Devices = 1;
+
   /// Test-only hook run after each pass rewrites the program and before
   /// the verifier sees it; used to inject a deliberately broken rewrite
   /// and assert the verifier catches it at the right pass boundary.
@@ -58,6 +65,12 @@ struct CompilerOptions {
   /// computed plan before the plan verifier, so tests can inject a
   /// deliberately overlapping layout and assert it is rejected.
   std::function<void(mem::MemoryPlan &)> PostPlanHook;
+
+  /// The shard-plan analogue of PostPlanHook: runs on the freshly computed
+  /// shard plan before the shard verifier, so tests can plant overlapping
+  /// ownership, dropped boundary transfers or over-budget shards and
+  /// assert each is rejected with a named diagnostic.
+  std::function<void(shard::ShardPlan &)> PostShardPlanHook;
 
   SimplifyOptions Simplify;
   FlattenOptions Flatten;
@@ -95,6 +108,11 @@ struct CompileResult {
   /// The static device-memory plan ("pass:memplan"), verified against the
   /// program; empty when planning was disabled or kernels not extracted.
   mem::MemoryPlan MemPlan;
+  /// The multi-device shard plan ("pass:shardplan"), verified against the
+  /// program; empty when kernels were not extracted.  Computed even at
+  /// Devices=1 so it can be printed and golden-tested, but it only enters
+  /// the fingerprint when Devices > 1.
+  shard::ShardPlan Shards;
 
   /// Content hash of the whole artifact: the canonical program dump, the
   /// memory-plan dump and the cost metadata (pass statistics).  Recompiling
@@ -131,6 +149,11 @@ struct DeviceRunOptions {
   /// lets the device plan the program itself when its parameters enable
   /// plan execution.
   const mem::MemoryPlan *MemPlan = nullptr;
+  /// Compile-time shard plan plus the simulated device count; with
+  /// Devices <= 1 (or no plan) execution is single-device and
+  /// bit-identical to the pre-sharding model.
+  const shard::ShardPlan *Shards = nullptr;
+  int Devices = 1;
 };
 
 /// Runs a compiled program's entry point under the resilient host runtime.

@@ -56,6 +56,11 @@ void usage() {
           "                     allocation dynamically (ablation)\n"
           "  --print-mem-plan   dump the static memory plan (slab layout,\n"
           "                     aliases, live ranges) after compilation\n"
+          "  --devices <n>      shard kernels across <n> simulated devices\n"
+          "                     (default 1: single-device, bit-identical to\n"
+          "                     the pre-sharding model)\n"
+          "  --print-shard-plan dump the multi-device shard plan (block\n"
+          "                     ownership, input classes, transfer edges)\n"
           "  --device-mem <b>   device memory capacity in bytes (0 = "
           "unlimited)\n"
           "  --watchdog <c>     kill any kernel over <c> simulated cycles\n"
@@ -144,6 +149,7 @@ int main(int argc, char **argv) {
   std::string File;
   bool DumpIR = false, UseInterp = false, Run = false;
   bool PrintMemPlan = false;
+  bool PrintShardPlan = false;
   bool TraceSummary = false;
   std::string TraceOut;
   CompilerOptions Opts;
@@ -190,6 +196,25 @@ int main(int argc, char **argv) {
       DP.UseMemPlan = false;
     } else if (A == "--print-mem-plan") {
       PrintMemPlan = true;
+    } else if (A == "--print-shard-plan") {
+      PrintShardPlan = true;
+    } else if (A == "--devices") {
+      if (!NumArg(I, N) || N < 1) {
+        usage();
+        return 2;
+      }
+      Opts.Devices = static_cast<int>(N);
+    } else if (A.rfind("--devices=", 0) == 0) {
+      try {
+        Opts.Devices = std::stoi(A.substr(strlen("--devices=")));
+      } catch (...) {
+        usage();
+        return 2;
+      }
+      if (Opts.Devices < 1) {
+        usage();
+        return 2;
+      }
     } else if (A == "--device") {
       if (++I >= argc) {
         usage();
@@ -333,6 +358,8 @@ int main(int argc, char **argv) {
     printf("%s\n", printProgram(C->P).c_str());
   if (PrintMemPlan)
     printf("%s", C->MemPlan.str().c_str());
+  if (PrintShardPlan)
+    printf("%s", C->Shards.str().c_str());
 
   // With tracing requested but no --run, a parameterless entry point is
   // run automatically so the trace includes kernel launches.
@@ -371,6 +398,10 @@ int main(int argc, char **argv) {
     RO.Resilience = RP;
     if (Opts.PlanMemory)
       RO.MemPlan = &C->MemPlan;
+    if (Opts.Devices > 1) {
+      RO.Shards = &C->Shards;
+      RO.Devices = Opts.Devices;
+    }
     auto R = runOnDevice(C->P, Args, RO);
     if (!R) {
       fprintf(stderr, "%s\n", R.getError().str().c_str());

@@ -257,7 +257,8 @@ FuzzCase fut::fuzz::generate(uint64_t Seed) {
 
 Outcome fut::fuzz::runSourceDifferential(const std::string &Source,
                                          const std::vector<Value> &Args,
-                                         const gpusim::DeviceParams &DP) {
+                                         const gpusim::DeviceParams &DP,
+                                         int Devices) {
   auto Fail = [&](const std::string &What) {
     Outcome O;
     O.Ok = false;
@@ -279,13 +280,19 @@ Outcome fut::fuzz::runSourceDifferential(const std::string &Source,
   // Subject: the full pipeline (with the IR verifier after every pass)
   // on the simulated device.
   NameSource Names;
-  auto C = compileSource(Source, Names, CompilerOptions());
+  CompilerOptions CO;
+  CO.Devices = Devices;
+  auto C = compileSource(Source, Names, CO);
   if (!C)
     return Fail("compilation failed: " + C.getError().str());
   DeviceRunOptions RO;
   RO.Device = DP;
   if (DP.UseMemPlan)
     RO.MemPlan = &C->MemPlan;
+  if (Devices > 1) {
+    RO.Shards = &C->Shards;
+    RO.Devices = Devices;
+  }
   auto R = runOnDevice(C->P, Args, RO);
 
   // A typed runtime error is a legitimate program outcome; the two sides
@@ -322,8 +329,9 @@ Outcome fut::fuzz::runSourceDifferential(const std::string &Source,
 }
 
 Outcome fut::fuzz::runDifferential(const FuzzCase &C,
-                                   const gpusim::DeviceParams &DP) {
-  Outcome O = runSourceDifferential(C.Source, C.Args, DP);
+                                   const gpusim::DeviceParams &DP,
+                                   int Devices) {
+  Outcome O = runSourceDifferential(C.Source, C.Args, DP, Devices);
   if (!O.Ok)
     O.Message = "seed: " + std::to_string(C.Seed) + "\n" + O.Message;
   return O;
@@ -334,16 +342,16 @@ Outcome fut::fuzz::runDifferential(const FuzzCase &C,
 //===----------------------------------------------------------------------===//
 
 ShrinkResult fut::fuzz::shrink(const Plan &P, uint64_t Seed,
-                               const gpusim::DeviceParams &DP) {
+                               const gpusim::DeviceParams &DP, int Devices) {
   ShrinkResult SR;
   Plan Cur = P;
 
   // Candidates rerun under the same device configuration the failure was
-  // found with, so mode-specific failures (--no-mem-plan ablation sweeps)
-  // keep failing while they shrink.
+  // found with, so mode-specific failures (--no-mem-plan ablation sweeps,
+  // --devices sharding sweeps) keep failing while they shrink.
   auto Fails = [&](const Plan &Cand, std::string &Msg) {
     ++SR.Attempts;
-    Outcome O = runDifferential(renderPlan(Cand, Seed), DP);
+    Outcome O = runDifferential(renderPlan(Cand, Seed), DP, Devices);
     if (!O.Ok)
       Msg = O.Message;
     return !O.Ok;

@@ -115,23 +115,30 @@ struct Outcome {
 /// any compile or verifier error is a failure (generated programs are
 /// well-typed by construction).  \p DP selects the simulated device —
 /// the --no-mem-plan sweep passes a configuration with UseMemPlan off to
-/// pin the ablation path against the same oracle.
+/// pin the ablation path against the same oracle.  \p Devices > 1 routes
+/// the device leg through the sharded path (compiled with a shard plan,
+/// executed on a DeviceGroup); results must stay bit-identical to the
+/// reference at any device count.
 Outcome runDifferential(const FuzzCase &C,
                         const gpusim::DeviceParams &DP =
-                            gpusim::DeviceParams::gtx780());
+                            gpusim::DeviceParams::gtx780(),
+                        int Devices = 1);
 
 /// Same oracle for an externally provided source + args (the regress
 /// corpus runner).
 Outcome runSourceDifferential(const std::string &Source,
                               const std::vector<Value> &Args,
                               const gpusim::DeviceParams &DP =
-                                  gpusim::DeviceParams::gtx780());
+                                  gpusim::DeviceParams::gtx780(),
+                              int Devices = 1);
 
 /// Greedy shrink: repeatedly re-render with one step removed (then with a
 /// shorter array / zeroed inputs) while the differential failure persists.
-/// \p DP must be the device configuration the failure was found under —
-/// a --no-mem-plan ablation failure only reproduces with the planner off,
-/// so shrinking under the default parameters would see nothing to shrink.
+/// \p DP and \p Devices must be the device configuration the failure was
+/// found under — a --no-mem-plan ablation failure only reproduces with
+/// the planner off, and a sharding failure only with the same device
+/// count, so shrinking under the default parameters would see nothing to
+/// shrink.
 struct ShrinkResult {
   Plan MinimalPlan;
   FuzzCase Minimal;
@@ -141,7 +148,8 @@ struct ShrinkResult {
 };
 ShrinkResult shrink(const Plan &P, uint64_t Seed,
                     const gpusim::DeviceParams &DP =
-                        gpusim::DeviceParams::gtx780());
+                        gpusim::DeviceParams::gtx780(),
+                    int Devices = 1);
 
 /// Serialises \p C as a self-contained .fut regression file: comment
 /// header (one line per \p CommentLines entry), an "-- args:" line, then

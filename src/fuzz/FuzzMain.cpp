@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 
 using namespace fut;
@@ -37,6 +38,8 @@ void usage() {
           "  --no-shrink         report raw failures without minimizing\n"
           "  --no-mem-plan       run the device side with the static\n"
           "                      memory planner disabled (ablation sweep)\n"
+          "  --devices <n>       run the device side sharded across n\n"
+          "                      simulated devices (default 1)\n"
           "  --dump <n>          print the program for seed n and exit\n"
           "  -v                  print every seed as it runs\n");
 }
@@ -61,6 +64,7 @@ int main(int argc, char **argv) {
   std::string OutDir = "fuzz-failures";
   bool Shrink = true, Verbose = false;
   int64_t DumpSeed = -1;
+  int Devices = 1;
   gpusim::DeviceParams DP = gpusim::DeviceParams::gtx780();
 
   for (int I = 1; I < argc; ++I) {
@@ -105,6 +109,16 @@ int main(int argc, char **argv) {
       Shrink = false;
     } else if (A == "--no-mem-plan") {
       DP.UseMemPlan = false;
+    } else if (A == "--devices" || A.rfind("--devices=", 0) == 0) {
+      const char *V =
+          A == "--devices" ? Next() : A.c_str() + strlen("--devices=");
+      try {
+        if (!V || (Devices = std::stoi(V)) < 1)
+          throw std::invalid_argument("devices");
+      } catch (...) {
+        usage();
+        return 2;
+      }
     } else if (A == "--dump") {
       const char *V = Next();
       if (!V) {
@@ -134,7 +148,7 @@ int main(int argc, char **argv) {
   for (uint64_t Seed = Lo; Seed <= Hi; ++Seed) {
     Plan P = samplePlan(Seed);
     FuzzCase C = renderPlan(P, Seed);
-    Outcome O = runDifferential(C, DP);
+    Outcome O = runDifferential(C, DP, Devices);
     if (O.Ok) {
       if (O.BothFailed)
         ++BothFailed;
@@ -152,7 +166,7 @@ int main(int argc, char **argv) {
     FuzzCase Min = C;
     std::string MinMsg = O.Message;
     if (Shrink) {
-      ShrinkResult SR = shrink(P, Seed, DP);
+      ShrinkResult SR = shrink(P, Seed, DP, Devices);
       Min = SR.Minimal;
       MinMsg = SR.Message;
       fprintf(stderr,

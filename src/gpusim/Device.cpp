@@ -7,15 +7,18 @@
 #include "gpusim/Device.h"
 
 #include "gpusim/BufferManager.h"
+#include "gpusim/DeviceGroup.h"
 #include "gpusim/Timeline.h"
 #include "ir/Printer.h"
 #include "ir/Builder.h"
 #include "ir/Traversal.h"
+#include "shard/ShardPlan.h"
 #include "trace/Trace.h"
 
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <unordered_map>
 
 using namespace fut;
 using namespace fut::gpusim;
@@ -56,6 +59,14 @@ std::string CostReport::str() const {
      << " freelisthits=" << FreeListHits
      << " plannedpeak=" << PlannedPeakBytes << " hoisted=" << HoistedAllocs
      << " reused=" << ReusedBlocks;
+  if (NumDevices > 1) {
+    OS << " devices=" << NumDevices << " shardedlaunches=" << ShardedLaunches
+       << " interdevbytes=" << InterDeviceBytes
+       << " interdevcycles=" << static_cast<int64_t>(InterDeviceCycles)
+       << " devpeaks=";
+    for (size_t D = 0; D < PerDevicePeakBytes.size(); ++D)
+      OS << (D ? "," : "") << PerDevicePeakBytes[D];
+  }
   return OS.str();
 }
 
@@ -142,6 +153,11 @@ class KernelSim {
   int64_t OutBudgetBytes = -1;
   int64_t OutBytesSoFar = 0;
 
+  /// Sharded launch window over the outer grid dimension; OuterCount < 0
+  /// means the whole grid (the single-device default).
+  int64_t OuterOffset = 0;
+  int64_t OuterCount = -1;
+
 public:
   KernelSim(const DeviceParams &P, const KernelExp &K,
             const NameMap<Value> &HostEnv, CostReport &Cost,
@@ -150,6 +166,16 @@ public:
         OutBudgetBytes(OutBudgetBytes) {}
 
   ErrorOr<std::vector<Value>> run();
+
+  /// Restricts this launch to outer-grid indices [Off, Off + Count) of a
+  /// sharded kernel.  Thread-index values and output-write addresses stay
+  /// global (so coalescing behaves as on the real shard), but only the
+  /// local rows are simulated and materialised — the caller concatenates
+  /// the per-device results along the outer dimension.
+  void setOuterRange(int64_t Off, int64_t Count) {
+    OuterOffset = Off;
+    OuterCount = Count;
+  }
 
   /// Bytes of results this launch materialised (valid after run()).
   int64_t outBytes() const { return OutBytesSoFar; }
@@ -937,12 +963,24 @@ ErrorOr<std::vector<Value>> KernelSim::run() {
 
 ErrorOr<std::vector<Value>> KernelSim::runThreadBody() {
   std::vector<int64_t> Grid;
-  int64_t Threads = 1;
   for (const SubExp &D : K.GridDims) {
     FUT_TRY(G, resolveInt(D));
     Grid.push_back(G);
-    Threads *= G;
   }
+  // A sharded launch covers only [OuterOffset, OuterOffset + OuterCount)
+  // of the outer grid dimension; addresses and thread-index values stay
+  // global so per-shard coalescing matches the unsharded access pattern.
+  int64_t OuterTotal = Grid.empty() ? 1 : Grid[0];
+  if (OuterCount >= 0 && !Grid.empty())
+    Grid[0] = OuterCount;
+  int64_t Threads = 1;
+  for (int64_t G : Grid)
+    Threads *= G;
+  int64_t InnerElems = 1;
+  for (size_t I = 1; I < Grid.size(); ++I)
+    InnerElems *= Grid[I];
+  int64_t GlobalThreads = OuterTotal * InnerElems;
+  int64_t ThreadOffset = OuterOffset * InnerElems;
 
   TEnv Base;
   for (size_t I = 0; I < K.Inputs.size(); ++I) {
@@ -962,9 +1000,10 @@ ErrorOr<std::vector<Value>> KernelSim::runThreadBody() {
 
     TEnv Env = Base;
     for (size_t I = 0; I < Grid.size(); ++I)
-      Env[K.ThreadIndices[I]] = TValue(Value::scalar(
-          PrimValue::makeI32(static_cast<int32_t>(Idx[I]))));
+      Env[K.ThreadIndices[I]] = TValue(Value::scalar(PrimValue::makeI32(
+          static_cast<int32_t>(Idx[I] + (I == 0 ? OuterOffset : 0)))));
 
+    int64_t GlobalT = T + ThreadOffset;
     FUT_TRY(Res, evalBody(K.ThreadBody, std::move(Env)));
     if (Res.size() != NumRes)
       return CompilerError("kernel thread result arity mismatch");
@@ -972,15 +1011,16 @@ ErrorOr<std::vector<Value>> KernelSim::runThreadBody() {
       FUT_TRY(V, force(Res[J]));
       FUT_CHECK(chargeOutput(V));
       // Charge the output writes: row-major per thread, or with the
-      // thread index innermost when results are stored transposed.
+      // thread index innermost when results are stored transposed.  The
+      // global thread id keeps shard-boundary addresses exact.
       uint64_t OutBase = (2ULL << 50) + (static_cast<uint64_t>(J) << 44);
       int64_t Elems = V.numElems();
       for (int64_t EIdx = 0; EIdx < Elems; ++EIdx) {
         uint64_t Off = K.TransposedOutputs
                            ? static_cast<uint64_t>(EIdx) *
-                                     static_cast<uint64_t>(Threads) +
-                                 static_cast<uint64_t>(T)
-                           : static_cast<uint64_t>(T * Elems + EIdx);
+                                     static_cast<uint64_t>(GlobalThreads) +
+                                 static_cast<uint64_t>(GlobalT)
+                           : static_cast<uint64_t>(GlobalT * Elems + EIdx);
         chargeWrite(OutBase + Off * elemBytes(V.elemKind()));
       }
       PerThread[J].push_back(std::move(V));
@@ -1023,12 +1063,17 @@ ErrorOr<std::vector<Value>> KernelSim::runThreadBody() {
 
 ErrorOr<std::vector<Value>> KernelSim::runSegmented() {
   std::vector<int64_t> Grid;
-  int64_t NumSegs = 1;
   for (const SubExp &D : K.GridDims) {
     FUT_TRY(G, resolveInt(D));
     Grid.push_back(G);
-    NumSegs *= G;
   }
+  // Sharded window over the outer (segment) dimension; segment-index
+  // values handed to the thread body stay global.
+  if (OuterCount >= 0 && !Grid.empty())
+    Grid[0] = OuterCount;
+  int64_t NumSegs = 1;
+  for (int64_t G : Grid)
+    NumSegs *= G;
   FUT_TRY(SegSize, resolveInt(K.SegSize));
 
   TEnv Base;
@@ -1085,8 +1130,8 @@ ErrorOr<std::vector<Value>> KernelSim::runSegmented() {
 
       TEnv Env = Base;
       for (size_t I = 0; I < Grid.size(); ++I)
-        Env[K.ThreadIndices[I]] = TValue(Value::scalar(
-            PrimValue::makeI32(static_cast<int32_t>(Idx[I]))));
+        Env[K.ThreadIndices[I]] = TValue(Value::scalar(PrimValue::makeI32(
+            static_cast<int32_t>(Idx[I] + (I == 0 ? OuterOffset : 0)))));
       Env[K.SegIndex] = TValue(Value::scalar(
           PrimValue::makeI32(static_cast<int32_t>(S))));
 
@@ -1208,7 +1253,9 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
                                     const Program &Prog,
                                     const std::string &Fun,
                                     const std::vector<Value> &Args,
-                                    const mem::FunPlan *MPlan) {
+                                    const mem::FunPlan *MPlan,
+                                    const shard::FunShardPlan *SPlan,
+                                    int NumDevices) {
   const FunDef *F = Prog.findFun(Fun);
   if (!F)
     return CompilerError("unknown function " + Fun);
@@ -1229,7 +1276,12 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
   Opts.ConsumeOnUpdate = true;
 
   const bool Async = P.AsyncTimeline;
-  EngineTimeline TL;
+  // Sharded execution needs the asynchronous per-device timelines; under
+  // --sync (or without a plan) the group degenerates to one device, which
+  // behaves bit-for-bit like the plain single-device model.
+  const int NumDev = (Async && SPlan) ? std::max(1, NumDevices) : 1;
+  DeviceGroup DG(NumDev);
+  EngineTimeline &TL = DG.dev(0);
   // On a shared (multi-tenant) device the run only sees the capacity left
   // after co-resident tenants' admission reservations.
   const int64_t MemCap = P.effectiveMemBytes();
@@ -1240,6 +1292,39 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
   auto &TS = trace::TraceSession::global();
   TS.setThreadName(trace::kCopyEngineTid, "copy-engine");
   TS.setThreadName(trace::kComputeEngineTid, "compute-engine");
+  for (int D = 1; D < NumDev; ++D) {
+    TS.setThreadName(trace::deviceCopyTid(D),
+                     "dev" + std::to_string(D) + "-copy-engine");
+    TS.setThreadName(trace::deviceComputeTid(D),
+                     "dev" + std::to_string(D) + "-compute-engine");
+  }
+
+  // Shard lookup by kernel expression: the interpreter evaluates the very
+  // Exp nodes the plan was derived from, so pointer identity maps each
+  // launch to its planned shard (the liveness analysis relies on the same
+  // property).
+  std::unordered_map<const KernelExp *, const shard::KernelShard *> ShardOf;
+  if (NumDev > 1 && SPlan)
+    shard::forEachKernel(
+        *F, [&](const KernelExp &K, const Stm &, int Id, bool) {
+          if (const shard::KernelShard *KS = SPlan->kernel(Id))
+            ShardOf[&K] = KS;
+        });
+
+  // Runtime distribution state of device arrays (multi-device only):
+  // an array is block-partitioned (each device owns a contiguous row
+  // block, with per-device ready times), replicated on every device, or
+  // — the default — whole on device 0.
+  struct DistInfo {
+    std::vector<std::pair<int64_t, int64_t>> Cuts;
+    std::vector<double> Ready;
+  };
+  NameMap<DistInfo> PartitionedArrs;
+  NameSet ReplicatedArrs;
+  // Output distribution of the sharded launch currently returning, applied
+  // to the bound pattern names in OnBind.
+  DistInfo PendingOutDist;
+  bool HavePendingOutDist = false;
 
   // One span per planned slab, so the arena layout is inspectable in the
   // exported trace alongside the kernels that use it.
@@ -1280,7 +1365,7 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
   // recompute it here).
   auto RunningCycles = [&] {
     if (Async)
-      return TL.makespan();
+      return DG.makespan();
     return Cost.KernelCycles + Cost.TransferCycles + Cost.RetryCycles +
            Cost.HostOps * P.HostCyclesPerOp;
   };
@@ -1310,6 +1395,43 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
         return;
       int64_t Bytes =
           It->second.numElems() * elemBytes(It->second.elemKind());
+      if (NumDev > 1) {
+        auto PIt = PartitionedArrs.find(S.getVar());
+        if (PIt != PartitionedArrs.end()) {
+          // Host gather of a block-partitioned array: each owning device
+          // downloads its rows in parallel; the host blocks until the
+          // slowest block lands.  TransferCycles carries the serial sum
+          // of the block charges (== the full array).
+          const DistInfo &DI = PIt->second;
+          int64_t W = DI.Cuts.empty() ? 1 : DI.Cuts.back().second;
+          DG.syncHostClocks();
+          for (int D = 0; D < NumDev && D < static_cast<int>(DI.Cuts.size());
+               ++D) {
+            int64_t Len = DI.Cuts[D].second - DI.Cuts[D].first;
+            if (Len <= 0)
+              continue;
+            int64_t BlockBytes = W > 0 ? Bytes / W * Len : Bytes;
+            double BCycles = BlockBytes / P.TransferBytesPerCycle;
+            Cost.TransferredBytes += BlockBytes;
+            Cost.TransferCycles += BCycles;
+            double Ready = D < static_cast<int>(DI.Ready.size())
+                               ? DI.Ready[D]
+                               : 0;
+            ScheduledCmd BD = DG.dev(D).download(BCycles, Ready);
+            trace::ScopedSpan XSpan("xfer:readback", "device",
+                                    trace::deviceCopyTid(D));
+            XSpan.arg("array", S.getVar().str());
+            XSpan.arg("bytes", BlockBytes);
+            XSpan.arg("cycles", BCycles);
+            XSpan.arg("sim_start", BD.Start);
+            XSpan.arg("sim_end", BD.End);
+          }
+          DG.syncHostClocks();
+          HostValid.insert(S.getVar());
+          SyncMemStats();
+          return;
+        }
+      }
       Cost.TransferredBytes += Bytes;
       double Cycles = Bytes / P.TransferBytesPerCycle;
       Cost.TransferCycles += Cycles;
@@ -1355,7 +1477,16 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
         int64_t Bytes = V.numElems() * elemBytes(V.elemKind());
         Mgr.bind(S.Pat[I].Name, Bytes, LastKernelReady);
         HostValid.erase(S.Pat[I].Name);
+        if (NumDev > 1) {
+          // Rebinding invalidates any previous distribution; a sharded
+          // launch leaves its outputs block-partitioned.
+          PartitionedArrs.erase(S.Pat[I].Name);
+          ReplicatedArrs.erase(S.Pat[I].Name);
+          if (HavePendingOutDist)
+            PartitionedArrs[S.Pat[I].Name] = PendingOutDist;
+        }
       }
+      HavePendingOutDist = false;
       SyncMemStats();
       return;
     }
@@ -1363,16 +1494,33 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
       // let y = x: y shares x's device allocation (refcounted).
       if (SE->Val.isVar() && S.Pat.size() == 1) {
         Mgr.alias(S.Pat[0].Name, SE->Val.getVar());
+        if (NumDev > 1) {
+          // The alias shares the source's distribution.
+          auto PIt = PartitionedArrs.find(SE->Val.getVar());
+          if (PIt != PartitionedArrs.end())
+            PartitionedArrs[S.Pat[0].Name] = PIt->second;
+          else
+            PartitionedArrs.erase(S.Pat[0].Name);
+          if (ReplicatedArrs.count(SE->Val.getVar()))
+            ReplicatedArrs.insert(S.Pat[0].Name);
+          else
+            ReplicatedArrs.erase(S.Pat[0].Name);
+        }
         return;
       }
     }
     // Any other binding produces its value on the host: a stale device
     // buffer under the same name (a loop-body rebinding) is released.
-    for (const Param &Prm : S.Pat)
+    for (const Param &Prm : S.Pat) {
+      if (NumDev > 1) {
+        PartitionedArrs.erase(Prm.Name);
+        ReplicatedArrs.erase(Prm.Name);
+      }
       if (Mgr.tracked(Prm.Name)) {
         Mgr.release(Prm.Name);
         SyncMemStats();
       }
+    }
   };
 
   NameSet ManifestedTransposes;
@@ -1400,6 +1548,99 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
       Mgr.freeDead(Keep);
       SyncMemStats();
     }
+
+    // Resolve this launch against the shard plan: a planned-sharded kernel
+    // whose runtime outer width exceeds one row is split over the device
+    // group with the canonical block cuts; everything else runs whole on
+    // device 0, exactly as before.
+    const shard::KernelShard *KS = nullptr;
+    int64_t ShardW = -1;
+    if (NumDev > 1) {
+      auto SIt = ShardOf.find(&K);
+      if (SIt != ShardOf.end() && SIt->second->Sharded) {
+        const SubExp &WS = SIt->second->Width;
+        if (WS.isConst()) {
+          ShardW = WS.getConst().asInt64();
+        } else {
+          auto WIt = Env.find(WS.getVar());
+          if (WIt != Env.end() && !WIt->second.isArray())
+            ShardW = WIt->second.getScalar().asInt64();
+        }
+        if (ShardW > 1)
+          KS = SIt->second;
+      }
+    }
+    const bool DoShard = KS != nullptr;
+    std::vector<std::pair<int64_t, int64_t>> Cuts;
+    if (DoShard)
+      Cuts = shard::blockCuts(ShardW, NumDev);
+
+    auto InputBytes = [&](const VName &Arr) -> int64_t {
+      auto It = Env.find(Arr);
+      if (It == Env.end() || !It->second.isArray())
+        return 0;
+      return It->second.numElems() * elemBytes(It->second.elemKind());
+    };
+
+    // One inter-device hop: the receiving device's copy engine pulls the
+    // bytes once the source block is ready on its producing device.
+    auto InterDev = [&](int Dst, int64_t Bytes, double SrcReady,
+                        const char *What, const VName &Arr) {
+      double Cycles = Bytes / P.TransferBytesPerCycle;
+      Cost.InterDeviceBytes += Bytes;
+      Cost.InterDeviceCycles += Cycles;
+      Cost.TransferredBytes += Bytes;
+      Cost.TransferCycles += Cycles;
+      ScheduledCmd C = DG.dev(Dst).recv(Cycles, SrcReady);
+      trace::ScopedSpan XSpan(What, "device", trace::deviceCopyTid(Dst));
+      XSpan.arg("array", Arr.str());
+      XSpan.arg("bytes", Bytes);
+      XSpan.arg("cycles", Cycles);
+      XSpan.arg("sim_start", C.Start);
+      XSpan.arg("sim_end", C.End);
+      return C.End;
+    };
+
+    // Re-assemble block-partitioned inputs this launch cannot consume in
+    // place: a broadcast (or unsharded, or width-mismatched) consumer
+    // needs the whole array — an all-gather onto every device when the
+    // launch is sharded, onto device 0 alone otherwise.  These are exactly
+    // the plan's TransferEdges, now costed on the copy engines.
+    if (NumDev > 1)
+      for (const KernelExp::KInput &In : K.Inputs) {
+        auto PIt = PartitionedArrs.find(In.Arr);
+        if (PIt == PartitionedArrs.end())
+          continue;
+        const shard::ShardInput *SI =
+            DoShard ? KS->findInput(In.Arr) : nullptr;
+        if (SI && SI->Class == shard::InputClass::Aligned &&
+            PIt->second.Cuts == Cuts)
+          continue; // consumed in place, block for block
+        DistInfo DI = PIt->second;
+        int64_t Bytes = InputBytes(In.Arr);
+        int64_t W = DI.Cuts.empty() ? 1 : DI.Cuts.back().second;
+        double AllReady = Mgr.readyAt(In.Arr);
+        for (double Rd : DI.Ready)
+          AllReady = std::max(AllReady, Rd);
+        DG.syncHostClocks();
+        double MaxEnd = AllReady;
+        int NumDst = DoShard ? NumDev : 1;
+        for (int Dst = 0; Dst < NumDst; ++Dst) {
+          int64_t Own = Dst < static_cast<int>(DI.Cuts.size())
+                            ? DI.Cuts[Dst].second - DI.Cuts[Dst].first
+                            : 0;
+          int64_t Miss = Bytes - (W > 0 ? Bytes / W * Own : 0);
+          if (Miss <= 0)
+            continue;
+          MaxEnd = std::max(MaxEnd, InterDev(Dst, Miss, AllReady,
+                                             "xfer:all-gather", In.Arr));
+        }
+        PartitionedArrs.erase(In.Arr);
+        if (DoShard)
+          ReplicatedArrs.insert(In.Arr);
+        Mgr.setReady(In.Arr, MaxEnd);
+        trace::counter("device.shard_gathers");
+      }
 
     // Inputs whose representation was changed by the coalescing pass are
     // manifested by a transposition in memory, once per array (Section
@@ -1472,6 +1713,46 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
             " reserved by co-tenants)");
       Cost.TransferredBytes += Bytes;
       double Cycles = Bytes / P.TransferBytesPerCycle;
+      const shard::ShardInput *UploadSI = DoShard ? KS->findInput(In.Arr)
+                                                  : nullptr;
+      if (UploadSI && UploadSI->Class == shard::InputClass::Aligned) {
+        // Block-partitioned upload: each device's copy engine receives
+        // only its own rows, in parallel.  The serial charge (the sum of
+        // the block charges) equals the whole array's, so the serial-sum
+        // bound is unchanged.
+        DistInfo DI;
+        DI.Cuts = Cuts;
+        DI.Ready.assign(NumDev, 0);
+        if (ParamNames.count(In.Arr)) {
+          Cost.ExcludedTransferCycles += Cycles;
+        } else {
+          DG.syncHostClocks();
+          double MaxEnd = 0;
+          for (int D = 0; D < NumDev; ++D) {
+            int64_t Len = Cuts[D].second - Cuts[D].first;
+            if (Len <= 0)
+              continue;
+            int64_t BlockBytes = Bytes / ShardW * Len;
+            double BCycles = BlockBytes / P.TransferBytesPerCycle;
+            Cost.TransferCycles += BCycles;
+            ScheduledCmd U = DG.dev(D).upload(BCycles);
+            DI.Ready[D] = U.End;
+            MaxEnd = std::max(MaxEnd, U.End);
+            trace::ScopedSpan XSpan("xfer:upload", "device",
+                                    trace::deviceCopyTid(D));
+            XSpan.arg("array", In.Arr.str());
+            XSpan.arg("bytes", BlockBytes);
+            XSpan.arg("cycles", BCycles);
+            XSpan.arg("sim_start", U.Start);
+            XSpan.arg("sim_end", U.End);
+          }
+          Mgr.setReady(In.Arr, MaxEnd);
+        }
+        ReplicatedArrs.erase(In.Arr);
+        PartitionedArrs[In.Arr] = DI;
+        SyncMemStats();
+        continue;
+      }
       if (ParamNames.count(In.Arr)) {
         Cost.ExcludedTransferCycles += Cycles;
       } else {
@@ -1495,10 +1776,77 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
       SyncMemStats();
     }
 
+    // A sharded launch's remaining distribution fixups: broadcast inputs
+    // that only device 0 holds are replicated dev0 -> all, and aligned
+    // inputs produced whole on device 0 are scattered block by block.
+    if (DoShard) {
+      for (const KernelExp::KInput &In : K.Inputs) {
+        const shard::ShardInput *SI = KS->findInput(In.Arr);
+        if (!SI || PartitionedArrs.count(In.Arr) ||
+            ReplicatedArrs.count(In.Arr))
+          continue;
+        int64_t Bytes = InputBytes(In.Arr);
+        if (Bytes <= 0)
+          continue;
+        double SrcReady = Mgr.readyAt(In.Arr);
+        DG.syncHostClocks();
+        if (SI->Class == shard::InputClass::Broadcast) {
+          double MaxEnd = SrcReady;
+          for (int Dst = 1; Dst < NumDev; ++Dst)
+            MaxEnd = std::max(MaxEnd, InterDev(Dst, Bytes, SrcReady,
+                                               "xfer:broadcast", In.Arr));
+          ReplicatedArrs.insert(In.Arr);
+          Mgr.setReady(In.Arr, MaxEnd);
+        } else {
+          DistInfo DI;
+          DI.Cuts = Cuts;
+          DI.Ready.assign(NumDev, SrcReady);
+          double MaxEnd = SrcReady;
+          for (int Dst = 1; Dst < NumDev; ++Dst) {
+            int64_t Len = Cuts[Dst].second - Cuts[Dst].first;
+            if (Len <= 0)
+              continue;
+            int64_t BlockBytes = Bytes / ShardW * Len;
+            double End = InterDev(Dst, BlockBytes, SrcReady, "xfer:scatter",
+                                  In.Arr);
+            DI.Ready[Dst] = End;
+            MaxEnd = std::max(MaxEnd, End);
+          }
+          PartitionedArrs[In.Arr] = DI;
+          Mgr.setReady(In.Arr, MaxEnd);
+        }
+      }
+    }
+
     // The launch depends on every input's device copy being ready.
     double DepsReady = 0;
     for (const KernelExp::KInput &In : K.Inputs)
       DepsReady = std::max(DepsReady, Mgr.readyAt(In.Arr));
+
+    // Per-device dependencies of a sharded launch: a block-partitioned
+    // aligned input gates each device only on its own block; everything
+    // else gates every device on the whole array.
+    std::vector<double> DevDeps;
+    if (DoShard) {
+      DevDeps.assign(NumDev, 0);
+      for (const KernelExp::KInput &In : K.Inputs) {
+        auto PIt = PartitionedArrs.find(In.Arr);
+        const shard::ShardInput *SI = KS->findInput(In.Arr);
+        if (PIt != PartitionedArrs.end() && SI &&
+            SI->Class == shard::InputClass::Aligned &&
+            PIt->second.Cuts == Cuts) {
+          for (int D = 0; D < NumDev; ++D)
+            DevDeps[D] = std::max(
+                DevDeps[D], D < static_cast<int>(PIt->second.Ready.size())
+                                ? PIt->second.Ready[D]
+                                : 0);
+        } else {
+          double Rd = Mgr.readyAt(In.Arr);
+          for (int D = 0; D < NumDev; ++D)
+            DevDeps[D] = std::max(DevDeps[D], Rd);
+        }
+      }
+    }
 
     // Launch, retrying transient injected faults with exponential
     // simulated-cycle backoff.
@@ -1508,9 +1856,9 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
       ++Cost.RetriedLaunches;
       double Backoff = R.RetryBackoffCycles * std::ldexp(1.0, Retries - 1);
       Cost.RetryCycles += Backoff;
-      // A retry serialises the device: both engines drain, then the host
-      // spins for the backoff before re-issuing.
-      TL.barrier(Backoff);
+      // A retry serialises the whole group: every engine on every device
+      // drains, then the host spins for the backoff before re-issuing.
+      DG.barrierAll(Backoff);
       trace::counter("device.retries");
       size_t I = TS.instant("retry-backoff", "device");
       TS.spanArg(I, "cycles", Backoff);
@@ -1535,6 +1883,181 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
               std::to_string(R.MaxRetries) + " retries exhausted)");
         ChargeBackoff();
         continue;
+      }
+
+      if (DoShard) {
+        // ---- Sharded launch: one logical kernel over the device group.
+        // Each device simulates only its own row block (with global
+        // thread indices and addresses), launches on its own compute
+        // engine, and the blocks are concatenated back in device order —
+        // bit-identical to the unsharded result.
+        DG.syncHostClocks();
+        std::vector<int> ActiveDevs;
+        std::vector<std::vector<Value>> DevVals;
+        std::vector<double> KTimes;
+        std::vector<CostReport> KCosts;
+        double MaxKTime = 0;
+        int64_t SumOutBytes = 0;
+        for (int D = 0; D < NumDev; ++D) {
+          int64_t Len = Cuts[D].second - Cuts[D].first;
+          if (Len <= 0)
+            continue;
+          CostReport KCost;
+          int64_t OutBudget = MemCap > 0 ? MemCap - Mgr.liveBytes() : -1;
+          KernelSim Sim(P, K, Env, KCost, OutBudget);
+          Sim.setOuterRange(Cuts[D].first, Len);
+          auto Res = Sim.run();
+          if (!Res)
+            return Res; // evaluation errors / mid-kernel OOM: not transient
+          SumOutBytes += Sim.outBytes();
+          // Per-device working set: aligned inputs contribute their row
+          // block, broadcast inputs their full size, plus this device's
+          // output block.
+          int64_t WS = Sim.outBytes();
+          for (const KernelExp::KInput &In : K.Inputs) {
+            int64_t B = InputBytes(In.Arr);
+            const shard::ShardInput *SI = KS->findInput(In.Arr);
+            if (SI && SI->Class == shard::InputClass::Aligned && ShardW > 0)
+              WS += B / ShardW * Len;
+            else
+              WS += B;
+          }
+          DG.noteWorkingSet(D, WS);
+          double TiledTx = static_cast<double>(KCost.TiledElementBytes) /
+                           std::max(1, P.WorkgroupSize) / P.SegmentBytes;
+          double ComputeT = KCost.ComputeOps / P.ComputeOpsPerCycle;
+          double MemT =
+              (KCost.GlobalTransactions + TiledTx) / P.GlobalTxPerCycle;
+          double LocalT = KCost.LocalAccesses / P.LocalAccessesPerCycle;
+          double PrivT = KCost.PrivateAccesses / P.PrivateAccessesPerCycle;
+          double KTime = P.LaunchCycles + std::max(std::max(ComputeT, MemT),
+                                                   std::max(LocalT, PrivT));
+          ActiveDevs.push_back(D);
+          DevVals.push_back(Res.take());
+          KTimes.push_back(KTime);
+          KCosts.push_back(KCost);
+          MaxKTime = std::max(MaxKTime, KTime);
+        }
+        Cost.PeakDemandBytes =
+            std::max(Cost.PeakDemandBytes, Mgr.liveBytes() + SumOutBytes);
+
+        // The per-kernel watchdog sees the slowest shard: the logical
+        // kernel is only done when every device's block is.
+        if (P.WatchdogKernelCycles > 0 && MaxKTime > P.WatchdogKernelCycles) {
+          ++Cost.WatchdogKills;
+          ++Cost.KernelLaunches;
+          Cost.KernelCycles += P.WatchdogKernelCycles;
+          TL.kernel(DepsReady, 0, 0, P.WatchdogKernelCycles);
+          trace::counter("device.kernel_launches");
+          trace::counter("device.watchdog_kills");
+          trace::TraceSession::global().instant("watchdog-kill", "device");
+          return CompilerError::watchdog(
+              "kernel killed by watchdog: " +
+              std::to_string(static_cast<int64_t>(MaxKTime)) +
+              " simulated cycles exceed the per-kernel budget of " +
+              std::to_string(static_cast<int64_t>(P.WatchdogKernelCycles)));
+        }
+
+        ++Cost.ShardedLaunches;
+        trace::counter("device.sharded_launches");
+        double GroupEnd = 0;
+        PendingOutDist.Cuts = Cuts;
+        PendingOutDist.Ready.assign(NumDev, 0);
+        for (size_t SId = 0; SId < ActiveDevs.size(); ++SId) {
+          int D = ActiveDevs[SId];
+          const CostReport &KCost = KCosts[SId];
+          double KTime = KTimes[SId];
+          Cost.KernelCycles += KTime;
+          ++Cost.KernelLaunches;
+          ScheduledCmd KC =
+              DG.dev(D).kernel(DevDeps[D], P.LaunchCycles,
+                               P.PipelinedLaunchFraction,
+                               KTime - P.LaunchCycles);
+          PendingOutDist.Ready[D] = KC.End;
+          GroupEnd = std::max(GroupEnd, KC.End);
+          double TiledTx = static_cast<double>(KCost.TiledElementBytes) /
+                           std::max(1, P.WorkgroupSize) / P.SegmentBytes;
+          int64_t LaunchGlobalTx =
+              KCost.GlobalTransactions + static_cast<int64_t>(TiledTx);
+          int64_t LaunchCoalescedTx =
+              KCost.CoalescedTransactions + static_cast<int64_t>(TiledTx);
+          Cost.GlobalTransactions += LaunchGlobalTx;
+          Cost.CoalescedTransactions += LaunchCoalescedTx;
+          Cost.ScatteredTransactions += KCost.ScatteredTransactions;
+          Cost.GlobalAccesses += KCost.GlobalAccesses;
+          Cost.LocalAccesses += KCost.LocalAccesses;
+          Cost.PrivateAccesses += KCost.PrivateAccesses;
+          Cost.ComputeOps += KCost.ComputeOps;
+          Cost.TiledElementTouches += KCost.TiledElementTouches;
+          Cost.TiledElementBytes += KCost.TiledElementBytes;
+          {
+            trace::ScopedSpan KSpan(SpanName, "device",
+                                    trace::deviceComputeTid(D));
+            KSpan.arg("cycles", KTime);
+            KSpan.arg("sim_start", KC.Start);
+            KSpan.arg("sim_end", KC.End);
+            KSpan.arg("shard_device", D);
+            KSpan.arg("shard_rows", Cuts[D].second - Cuts[D].first);
+            KSpan.arg("global_tx", LaunchGlobalTx);
+            KSpan.arg("coalesced_tx", LaunchCoalescedTx);
+            KSpan.arg("scattered_tx", KCost.ScatteredTransactions);
+            KSpan.arg("local_accesses", KCost.LocalAccesses);
+            KSpan.arg("private_accesses", KCost.PrivateAccesses);
+            KSpan.arg("compute_ops", KCost.ComputeOps);
+          }
+          trace::counter("device.kernel_launches");
+          trace::counter("device.global_tx", LaunchGlobalTx);
+          trace::counter("device.coalesced_tx", LaunchCoalescedTx);
+          trace::counter("device.scattered_tx", KCost.ScatteredTransactions);
+        }
+        LastKernelReady = GroupEnd;
+
+        // Detected result corruption: the whole logical launch must be
+        // recomputed (one fault-plan draw, like the single-device path).
+        if (Plan.nextResultCorrupted()) {
+          ++Cost.FaultsInjected;
+          trace::counter("device.faults");
+          trace::TraceSession::global().instant("fault:result-corrupted",
+                                                "device");
+          if (Retries >= R.MaxRetries)
+            return CompilerError::transientFault(
+                "kernel results corrupted persistently (" +
+                std::to_string(R.MaxRetries) + " retries exhausted)");
+          ChargeBackoff();
+          continue;
+        }
+
+        // Stitch the per-device blocks back together along the outer
+        // dimension; device order is row order.
+        size_t NumRes = DevVals.front().size();
+        std::vector<Value> Out;
+        for (size_t J = 0; J < NumRes; ++J) {
+          std::vector<int64_t> Shape = DevVals.front()[J].shape();
+          ScalarKind EK = DevVals.front()[J].elemKind();
+          std::vector<PrimValue> Data;
+          for (const std::vector<Value> &DV : DevVals) {
+            const std::vector<PrimValue> &Flat = DV[J].flat();
+            Data.insert(Data.end(), Flat.begin(), Flat.end());
+          }
+          if (!Shape.empty())
+            Shape[0] = ShardW;
+          Out.push_back(Value::array(EK, std::move(Shape), std::move(Data)));
+        }
+
+        int64_t OutBytes = 0;
+        for (const Value &V : Out)
+          if (V.isArray())
+            OutBytes += V.numElems() * elemBytes(V.elemKind());
+        if (!Mgr.wouldFit(OutBytes))
+          return CompilerError::deviceOOM(
+              "device out of memory allocating kernel outputs: " +
+              std::to_string(OutBytes) + " bytes needed, " +
+              std::to_string(MemCap - Mgr.liveBytes()) + " of " +
+              std::to_string(MemCap) + " free (" +
+              std::to_string(P.ReservedBytes) +
+              " reserved by co-tenants)");
+        HavePendingOutDist = true;
+        return Out;
       }
 
       trace::ScopedSpan KSpan(SpanName, "device", trace::kComputeEngineTid);
@@ -1693,12 +2216,17 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
   double Serial = Cost.KernelCycles + Cost.HostCycles +
                   Cost.TransferCycles + Cost.RetryCycles;
   SyncMemStats();
+  Cost.NumDevices = NumDev;
+  if (NumDev > 1)
+    Cost.PerDevicePeakBytes = DG.peakBytes();
   if (Async) {
     // Makespan <= serial sum holds by construction; the min() only guards
-    // against float-summation noise between the two accumulations.
-    Cost.TotalCycles = std::min(TL.makespan(), Serial);
-    Cost.CopyEngineBusy = TL.copyBusy();
-    Cost.ComputeEngineBusy = TL.computeBusy();
+    // against float-summation noise between the two accumulations.  With
+    // several devices the group makespan is the max over the per-device
+    // makespans and the busy counters sum over the group.
+    Cost.TotalCycles = std::min(DG.makespan(), Serial);
+    Cost.CopyEngineBusy = DG.copyBusy();
+    Cost.ComputeEngineBusy = DG.computeBusy();
     Cost.OverlapSavedCycles = std::max(0.0, Serial - Cost.TotalCycles);
   } else {
     Cost.TotalCycles = Serial;
@@ -1731,7 +2259,15 @@ ErrorOr<RunResult> Device::run(const Program &Prog, const std::string &Fun,
       FP = LocalPlan.forFun(Fun);
     }
   }
-  auto Res = runDeviceAttempt(P, R, Plan, Cost, Prog, Fun, Args, FP);
+  // Resolve the shard plan: only consulted with more than one device, and
+  // only for functions the compiler actually planned.
+  const shard::FunShardPlan *SP = nullptr;
+  if (Shards && Devices > 1)
+    SP = Shards->forFun(Fun);
+  if (SP)
+    Span.arg("devices", Devices);
+  auto Res = runDeviceAttempt(P, R, Plan, Cost, Prog, Fun, Args, FP, SP,
+                              SP ? Devices : 1);
   if (FP) {
     trace::counter("device.planned_peak_bytes", Cost.PlannedPeakBytes);
     trace::counter("device.hoisted_allocs", Cost.HoistedAllocs);

@@ -35,6 +35,7 @@
 #include "interp/Interp.h"
 #include "ir/IR.h"
 #include "mem/MemPlan.h"
+#include "shard/ShardPlan.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -204,6 +205,17 @@ struct CostReport {
   int64_t FaultsInjected = 0;
   int64_t WatchdogKills = 0;
 
+  /// Multi-device accounting (all zero / size 1 with one device, and
+  /// str() only prints these fields when NumDevices > 1, so single-device
+  /// cost lines are byte-identical to the pre-sharding format).
+  int NumDevices = 1;
+  int64_t ShardedLaunches = 0;      ///< Logical launches split over devices.
+  int64_t InterDeviceBytes = 0;     ///< Bytes moved device-to-device.
+  double InterDeviceCycles = 0;     ///< Copy-engine cycles those bytes cost.
+  /// Per-device peak kernel working set (input blocks/broadcast copies
+  /// plus output block, maximised over sharded launches).
+  std::vector<int64_t> PerDevicePeakBytes;
+
   std::string str() const;
 };
 
@@ -225,6 +237,11 @@ class Device {
   /// device plans the program itself before running (so directly
   /// constructed Devices — tests, benches — still execute a plan).
   const mem::MemoryPlan *MemPlan = nullptr;
+  /// Compiler-provided shard plan plus the device count to execute it on;
+  /// with Devices <= 1 (or no plan) execution is single-device and
+  /// bit-identical to the pre-sharding model.
+  const shard::ShardPlan *Shards = nullptr;
+  int Devices = 1;
 
 public:
   explicit Device(DeviceParams P = DeviceParams::gtx780(),
@@ -237,6 +254,15 @@ public:
   /// Installs the compile-time memory plan (must outlive the Device's
   /// runs); only consulted when the parameters enable plan execution.
   void setMemoryPlan(const mem::MemoryPlan *MP) { MemPlan = MP; }
+
+  /// Installs the compile-time shard plan and the number of simulated
+  /// devices to execute it across (must outlive the Device's runs).
+  /// Sharded execution requires the asynchronous timeline; under --sync
+  /// the group degenerates to a single device.
+  void setShardPlan(const shard::ShardPlan *SP, int NumDevices) {
+    Shards = SP;
+    Devices = std::max(1, NumDevices);
+  }
 
   /// Runs the named function of a flattened program, simulating kernels on
   /// the device and everything else on the host.  Transient faults (per the

@@ -1,0 +1,107 @@
+//===- DeviceGroup.h - N-device timeline group ------------------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A group of N simulated devices, each with its own two-engine
+/// EngineTimeline, driven by one logical host.  Device 0 is the primary
+/// device: unsharded work, host ops and single-device transfers all run on
+/// its timeline, so a group of size 1 behaves bit-for-bit like the plain
+/// single-device model.  Sharded kernel launches and block/broadcast
+/// transfers fan out over all timelines; the group's makespan is the max
+/// over the per-device makespans, and busy counters are summed.
+///
+/// Host-clock discipline: the logical host is the max of the per-timeline
+/// host clocks.  syncHostClocks() propagates it to every device before a
+/// fan-out (so no device launches work the host has not issued yet) and
+/// after a blocking multi-device download (so the host is past every
+/// device's readback).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_GPUSIM_DEVICEGROUP_H
+#define FUTHARKCC_GPUSIM_DEVICEGROUP_H
+
+#include "gpusim/Timeline.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace fut {
+namespace gpusim {
+
+class DeviceGroup {
+  std::vector<EngineTimeline> TLs;
+  std::vector<int64_t> PeakBytes; ///< Per-device peak kernel working set.
+
+public:
+  explicit DeviceGroup(int N)
+      : TLs(std::max(1, N)), PeakBytes(std::max(1, N), 0) {}
+
+  int size() const { return static_cast<int>(TLs.size()); }
+  EngineTimeline &dev(int D) { return TLs[D]; }
+  const EngineTimeline &dev(int D) const { return TLs[D]; }
+
+  /// The logical host time: the furthest any timeline's host clock has
+  /// advanced.
+  double hostTime() const {
+    double H = 0;
+    for (const EngineTimeline &T : TLs)
+      H = std::max(H, T.hostClock());
+    return H;
+  }
+
+  /// Propagates the logical host time to every device.  Called before
+  /// fanning work out and after any device's blocking download.
+  void syncHostClocks() {
+    double H = hostTime();
+    for (EngineTimeline &T : TLs)
+      T.syncHost(H);
+  }
+
+  /// Serialises the whole group: every engine on every device drains to
+  /// the group makespan, then spins for \p Cycles (retry backoff).
+  void barrierAll(double Cycles) {
+    double M = makespan();
+    for (EngineTimeline &T : TLs) {
+      T.syncHost(M);
+      T.barrier(Cycles);
+    }
+  }
+
+  /// Records one sharded launch's working set on device \p D (input
+  /// blocks or broadcast copies plus the output block).
+  void noteWorkingSet(int D, int64_t Bytes) {
+    PeakBytes[D] = std::max(PeakBytes[D], Bytes);
+  }
+  const std::vector<int64_t> &peakBytes() const { return PeakBytes; }
+
+  double makespan() const {
+    double M = 0;
+    for (const EngineTimeline &T : TLs)
+      M = std::max(M, T.makespan());
+    return M;
+  }
+
+  double copyBusy() const {
+    double S = 0;
+    for (const EngineTimeline &T : TLs)
+      S += T.copyBusy();
+    return S;
+  }
+
+  double computeBusy() const {
+    double S = 0;
+    for (const EngineTimeline &T : TLs)
+      S += T.computeBusy();
+    return S;
+  }
+};
+
+} // namespace gpusim
+} // namespace fut
+
+#endif // FUTHARKCC_GPUSIM_DEVICEGROUP_H

@@ -88,6 +88,24 @@ public:
     return C;
   }
 
+  /// Non-blocking peer receive: an inter-device copy landing on this
+  /// device's copy engine, dependent on the source block being ready at
+  /// \p SrcReady on its producing device.  Like upload(), the host
+  /// continues immediately; unlike upload(), the transfer cannot start
+  /// before its cross-device dependency.
+  ScheduledCmd recv(double Cycles, double SrcReady) {
+    ScheduledCmd C;
+    C.Start = std::max({CopyFree, HostClock, SrcReady});
+    C.End = C.Start + Cycles;
+    CopyFree = C.End;
+    CopyBusyCycles += Cycles;
+    C.OverlappedOtherEngine =
+        overlaps(C.Start, C.End, LastComputeStart, LastComputeEnd);
+    LastCopyStart = C.Start;
+    LastCopyEnd = C.End;
+    return C;
+  }
+
   /// Blocking download: the host waits for the copy engine, the source
   /// buffer (ready at \p SrcReady) and the transfer itself.  While the
   /// host waits, the compute engine keeps draining its queue — that is
@@ -148,6 +166,15 @@ public:
 
   double copyBusy() const { return CopyBusyCycles; }
   double computeBusy() const { return ComputeBusyCycles; }
+
+  /// The simulated host's current time on this timeline.  In a
+  /// DeviceGroup the logical host is shared: before issuing to another
+  /// device its clock is synced forward so no device can launch work the
+  /// host has not reached yet.
+  double hostClock() const { return HostClock; }
+
+  /// Advances the host clock to at least \p T (never backwards).
+  void syncHost(double T) { HostClock = std::max(HostClock, T); }
 
   /// When the compute engine drains its queue — the conservative
   /// dependency for reading back a buffer the scheduler cannot attribute

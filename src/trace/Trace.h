@@ -54,6 +54,19 @@ constexpr int kComputeEngineTid = 3;
 /// admission/shedding/quarantine instants.
 constexpr int kServeTid = 4;
 
+/// Multi-device runs: devices 1..N-1 of a DeviceGroup get their own pair
+/// of engine tracks above the single-device tids (device 0 keeps
+/// kCopyEngineTid/kComputeEngineTid, so single-device traces are
+/// unchanged).
+constexpr int kDeviceTidBase = 5;
+inline int deviceCopyTid(int Device) {
+  return Device == 0 ? kCopyEngineTid : kDeviceTidBase + 2 * (Device - 1);
+}
+inline int deviceComputeTid(int Device) {
+  return Device == 0 ? kComputeEngineTid
+                     : kDeviceTidBase + 2 * (Device - 1) + 1;
+}
+
 /// One key/value argument attached to a span or instant event.  Numeric
 /// args stay numeric in the exported JSON.
 struct TraceArg {

@@ -1,0 +1,200 @@
+//===- shard_verify_test.cpp - Tests for the shard-plan verifier -----------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shard-plan verifier's contract, mirroring the memory-plan verifier
+/// tests: accept every plan the planner produces, and reject a plan
+/// corrupted at the pass boundary — overlapping row ownership, a dropped
+/// boundary transfer, an over-budget shard — with an ErrorKind::Verify
+/// diagnostic naming the pass and the defect.  Corruptions are injected
+/// through CompilerOptions::PostShardPlanHook, which runs between the
+/// planner and the verifier.
+///
+//===----------------------------------------------------------------------===//
+
+#include "check/Verify.h"
+
+#include "driver/Compiler.h"
+#include "ir/Builder.h"
+#include "shard/ShardPlan.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+using namespace fut::test;
+
+namespace {
+
+/// Constant sizes throughout, so the planner records concrete blocks, a
+/// concrete all-gather transfer (kernel 0's partitioned output feeds the
+/// unsharded segmented reduction whole) and static per-device peaks —
+/// giving every corruption below a guaranteed target.
+const char *kConstProgram =
+    "fun main (x: i32): ([16]i32, i32) =\n"
+    "  let a = map (\\(i: i32): i32 -> i * 2 + x) (iota 16)\n"
+    "  let b = map (\\(y: i32): i32 -> y * y + x) a\n"
+    "  let s = reduce (+) 0 b\n"
+    "  in (b, s)\n";
+
+/// The first function plan holding a sharded constant-width kernel.
+shard::FunShardPlan *shardedFun(shard::ShardPlan &SP) {
+  for (shard::FunShardPlan &FP : SP.Funs)
+    for (shard::KernelShard &KS : FP.Kernels)
+      if (KS.Sharded && KS.ConstWidth >= 0 && KS.Blocks.size() >= 2)
+        return &FP;
+  return nullptr;
+}
+
+/// Compiles kConstProgram at two devices with \p Corrupt applied to the
+/// shard plan, and expects the verifier to reject with a message
+/// containing every string in \p Expect.
+void expectRejected(const std::function<void(shard::ShardPlan &)> &Corrupt,
+                    const std::vector<std::string> &Expect) {
+  NameSource NS;
+  CompilerOptions Opts;
+  Opts.Devices = 2;
+  bool Fired = false;
+  Opts.PostShardPlanHook = [&](shard::ShardPlan &SP) {
+    Corrupt(SP);
+    Fired = true;
+  };
+  auto C = compileSource(kConstProgram, NS, Opts);
+  ASSERT_TRUE(Fired) << "corruption hook never fired";
+  ASSERT_FALSE(static_cast<bool>(C)) << "corrupted shard plan compiled";
+  const CompilerError &E = C.getError();
+  EXPECT_EQ(E.Kind, ErrorKind::Verify) << E.str();
+  EXPECT_NE(E.Message.find("after pass 'shardplan'"), std::string::npos)
+      << E.str();
+  for (const std::string &S : Expect)
+    EXPECT_NE(E.Message.find(S), std::string::npos)
+        << "missing '" << S << "' in: " << E.str();
+}
+
+} // namespace
+
+TEST(ShardVerifyTest, AcceptsPlannerOutput) {
+  // compileSource runs the verifier after the planner (VerifyIR defaults
+  // on); an untouched plan must pass at every device count.
+  for (int Devices : {1, 2, 4, 8}) {
+    NameSource NS;
+    CompilerOptions Opts;
+    Opts.Devices = Devices;
+    auto C = compileSource(kConstProgram, NS, Opts);
+    ASSERT_OK(C);
+    EXPECT_FALSE(static_cast<bool>(
+        verifyShardPlan(C->P, C->Shards, "shardplan")));
+  }
+}
+
+TEST(ShardVerifyTest, AcceptsGeneratedPrograms) {
+  // The planner/verifier pair must also agree on symbolic-width plans;
+  // the differential generator's programs have runtime-sized chains.
+  NameSource NS;
+  CompilerOptions Opts;
+  Opts.Devices = 4;
+  auto C = compileSource(
+      "fun main (n: i32) (a0: [n]i32): ([n]i32, i32) =\n"
+      "  let a1 = map (\\(x: i32): i32 -> x * 3 - 1) a0\n"
+      "  let a2 = scan (+) 0 a1\n"
+      "  let s0 = reduce (+) 0 a2\n"
+      "  in (a2, s0)\n",
+      NS, Opts);
+  ASSERT_OK(C);
+}
+
+TEST(ShardVerifyTest, OverlappingOwnershipRejected) {
+  // Slide device 1's block start one row left so rows [7,8) land on both
+  // devices: exclusive ownership is violated.
+  expectRejected(
+      [](shard::ShardPlan &SP) {
+        shard::FunShardPlan *FP = shardedFun(SP);
+        ASSERT_NE(FP, nullptr);
+        for (shard::KernelShard &KS : FP->Kernels)
+          if (KS.Sharded && KS.ConstWidth >= 0 && KS.Blocks.size() >= 2) {
+            KS.Blocks[1].first -= 1;
+            return;
+          }
+      },
+      {"owned by more than one device"});
+}
+
+TEST(ShardVerifyTest, OwnershipGapRejected) {
+  // The dual defect: slide device 1's block start one row right and some
+  // row is computed by no device at all.
+  expectRejected(
+      [](shard::ShardPlan &SP) {
+        shard::FunShardPlan *FP = shardedFun(SP);
+        ASSERT_NE(FP, nullptr);
+        for (shard::KernelShard &KS : FP->Kernels)
+          if (KS.Sharded && KS.ConstWidth >= 0 && KS.Blocks.size() >= 2) {
+            KS.Blocks[1].first += 1;
+            return;
+          }
+      },
+      {"owned by no device"});
+}
+
+TEST(ShardVerifyTest, DroppedBoundaryTransferRejected) {
+  // Remove the recorded all-gather: kernel 0's partitioned output is then
+  // consumed whole by the reduction with no transfer to reassemble it.
+  expectRejected(
+      [](shard::ShardPlan &SP) {
+        shard::FunShardPlan *FP = shardedFun(SP);
+        ASSERT_NE(FP, nullptr);
+        ASSERT_FALSE(FP->Transfers.empty());
+        FP->Transfers.clear();
+      },
+      {"missing inter-device transfer"});
+}
+
+TEST(ShardVerifyTest, OverBudgetShardRejected) {
+  // A one-byte budget no 64-byte shard can fit: the verifier re-derives
+  // the peaks rather than trusting PlannedPeakBytes.
+  expectRejected(
+      [](shard::ShardPlan &SP) {
+        shard::FunShardPlan *FP = shardedFun(SP);
+        ASSERT_NE(FP, nullptr);
+        FP->PerDeviceMemBytes = 1;
+        // Forge the planner's own accounting too: the verifier must not
+        // believe it.
+        for (int64_t &B : FP->PlannedPeakBytes)
+          B = 0;
+      },
+      {"over the per-device budget of 1"});
+}
+
+TEST(ShardVerifyTest, WidthMismatchRejected) {
+  // Claim the kernel shards a different outer width than its grid has.
+  expectRejected(
+      [](shard::ShardPlan &SP) {
+        shard::FunShardPlan *FP = shardedFun(SP);
+        ASSERT_NE(FP, nullptr);
+        for (shard::KernelShard &KS : FP->Kernels)
+          if (KS.Sharded) {
+            KS.Width = i32(999);
+            return;
+          }
+      },
+      {"but its outer grid dimension is"});
+}
+
+TEST(ShardVerifyTest, UnshardableKernelMarkedShardedRejected) {
+  // Promote the gridless segmented reduction to sharded: the verifier's
+  // independent analyseShardability re-derivation must refuse it.
+  expectRejected(
+      [](shard::ShardPlan &SP) {
+        shard::FunShardPlan *FP = shardedFun(SP);
+        ASSERT_NE(FP, nullptr);
+        for (shard::KernelShard &KS : FP->Kernels)
+          if (!KS.Sharded) {
+            KS.Sharded = true;
+            KS.ConstWidth = -1; // sidestep the block checks
+            return;
+          }
+      },
+      {"marked sharded but cannot be partitioned"});
+}

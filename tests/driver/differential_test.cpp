@@ -57,6 +57,50 @@ TEST_P(DifferentialTest, UnderHeavyFaultsWithFallback) {
   EXPECT_TRUE(O.Ok) << O.Message;
 }
 
+TEST_P(DifferentialTest, Sharded2Devices) {
+  GeneratedProgram GP = generateProgram(GetParam());
+  DifferentialOutcome O =
+      runDifferential(GP, gpusim::ResilienceParams(),
+                      gpusim::DeviceParams::gtx780(), /*Devices=*/2);
+  EXPECT_TRUE(O.Ok) << O.Message;
+}
+
+TEST_P(DifferentialTest, Sharded4Devices) {
+  GeneratedProgram GP = generateProgram(GetParam());
+  DifferentialOutcome O =
+      runDifferential(GP, gpusim::ResilienceParams(),
+                      gpusim::DeviceParams::gtx780(), /*Devices=*/4);
+  EXPECT_TRUE(O.Ok) << O.Message;
+}
+
+TEST_P(DifferentialTest, ShardedMatchesSingleDeviceBaseline) {
+  // The sharded path at N devices must agree bit-for-bit not only with
+  // the reference interpreter but with the explicit --devices=1 baseline,
+  // which exercises the pinned N=1 no-op invariant through the same knob.
+  GeneratedProgram GP = generateProgram(GetParam());
+  DifferentialOutcome Base =
+      runDifferential(GP, gpusim::ResilienceParams(),
+                      gpusim::DeviceParams::gtx780(), /*Devices=*/1);
+  EXPECT_TRUE(Base.Ok) << Base.Message;
+  DifferentialOutcome Sharded =
+      runDifferential(GP, gpusim::ResilienceParams(),
+                      gpusim::DeviceParams::gtx780(), /*Devices=*/4);
+  EXPECT_TRUE(Sharded.Ok) << Sharded.Message;
+}
+
+TEST_P(DifferentialTest, ShardedUnderFaultInjection) {
+  // Fault retries serialise the whole device group; the recomputed
+  // sharded launch must still be value-preserving.
+  GeneratedProgram GP = generateProgram(GetParam());
+  gpusim::ResilienceParams RP;
+  RP.Faults.LaunchFailRate = 0.01;
+  RP.Faults.CorruptRate = 0.01;
+  RP.Faults.Seed = GetParam() ^ 0xfa17edULL;
+  DifferentialOutcome O = runDifferential(
+      GP, RP, gpusim::DeviceParams::gtx780(), /*Devices=*/2);
+  EXPECT_TRUE(O.Ok) << O.Message;
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Range<uint64_t>(0, kNumSeeds));
 

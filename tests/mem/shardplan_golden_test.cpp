@@ -1,0 +1,170 @@
+//===- shardplan_golden_test.cpp - Pinned --print-shard-plan output --------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins the stable textual format of ShardPlan::str(), which is what the
+// --print-shard-plan driver flag emits, and the N=1 no-op invariant: at
+// one device the shard plan must change nothing observable — not the
+// artifact fingerprint, not the cache key, not a cycle or byte of the
+// simulated run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/ShardPlan.h"
+
+#include "driver/Compiler.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+using namespace fut::test;
+
+namespace {
+
+/// Constant sizes throughout: blocks, transfer bytes and peaks are all
+/// static, so the dump pins the planner's concrete decisions.
+const char *kConstProgram =
+    "fun main (x: i32): ([16]i32, i32) =\n"
+    "  let a = map (\\(i: i32): i32 -> i * 2 + x) (iota 16)\n"
+    "  let b = map (\\(y: i32): i32 -> y * y + x) a\n"
+    "  let s = reduce (+) 0 b\n"
+    "  in (b, s)\n";
+
+/// Runtime-sized pipeline: width, blocks and bytes are all symbolic, so
+/// the dump pins the symbolic rendering and the host-gather edge.
+const char *kSymbolicProgram =
+    "fun main (n: i32) (xs: [n]i32): [n]i32 =\n"
+    "  let ys = map (\\(x: i32): i32 -> x * 2 + 1) xs\n"
+    "  in map (\\(y: i32): i32 -> y * y) ys\n";
+
+} // namespace
+
+TEST(ShardPlanGolden, ConstantWidthPipelineAtTwoDevices) {
+  // The fused map kernel shards 16 rows as [0,8)[8,16); its partitioned
+  // output feeds the gridless reduction whole, so the plan must carry the
+  // 64-byte all-gather and a 64-byte static peak on both devices.
+  NameSource NS;
+  CompilerOptions Opts;
+  Opts.Devices = 2;
+  auto C = compileSource(kConstProgram, NS, Opts);
+  ASSERT_OK(C);
+  EXPECT_EQ(C->Shards.str(),
+            "shard plan (devices=2)\n"
+            "function 'main': 2 kernels (1 sharded), 1 transfers\n"
+            "  kernel 0: sharded width=16i32 blocks=[0,8)[8,16)\n"
+            "    output dist_26\n"
+            "  kernel 1: whole (gridless segmented reduction)\n"
+            "    input dist_26: broadcast\n"
+            "  transfer 'dist_26': kernel 0 -> kernel 1 (all-gather, "
+            "64 bytes)\n"
+            "  peak bytes/device: 64 64\n");
+}
+
+TEST(ShardPlanGolden, SymbolicWidthPipelineAtFourDevices) {
+  // Symbolic width n_0: no static blocks (cut at runtime), the aligned
+  // input classification, a symbolic host gather for the returned array,
+  // and unknown (-1) peaks on all four devices.
+  NameSource NS;
+  CompilerOptions Opts;
+  Opts.Devices = 4;
+  auto C = compileSource(kSymbolicProgram, NS, Opts);
+  ASSERT_OK(C);
+  EXPECT_EQ(C->Shards.str(),
+            "shard plan (devices=4)\n"
+            "function 'main': 1 kernels (1 sharded), 1 transfers\n"
+            "  kernel 0: sharded width=n_0\n"
+            "    input xs_1: aligned\n"
+            "    output dist_20\n"
+            "  transfer 'dist_20': kernel 0 -> host (gather, symbolic)\n"
+            "  peak bytes/device: -1 -1 -1 -1\n");
+}
+
+TEST(ShardPlanGolden, SingleDevicePlanIsDegenerate) {
+  // At one device the plan still exists (the analysis is device-count
+  // independent) but every kernel owns all of [0, W).
+  NameSource NS;
+  auto C = compileSource(kConstProgram, NS);
+  ASSERT_OK(C);
+  EXPECT_EQ(C->Shards.Devices, 1);
+  EXPECT_EQ(C->Shards.str(),
+            "shard plan (devices=1)\n"
+            "function 'main': 2 kernels (1 sharded), 1 transfers\n"
+            "  kernel 0: sharded width=16i32 blocks=[0,16)\n"
+            "    output dist_26\n"
+            "  kernel 1: whole (gridless segmented reduction)\n"
+            "    input dist_26: broadcast\n"
+            "  transfer 'dist_26': kernel 0 -> kernel 1 (all-gather, "
+            "64 bytes)\n"
+            "  peak bytes/device: 64\n");
+}
+
+TEST(ShardPlanGolden, PlanIsDeterministic) {
+  for (int Devices : {2, 4}) {
+    NameSource N1, N2;
+    CompilerOptions Opts;
+    Opts.Devices = Devices;
+    auto A = compileSource(kConstProgram, N1, Opts);
+    auto B = compileSource(kConstProgram, N2, Opts);
+    ASSERT_OK(A);
+    ASSERT_OK(B);
+    EXPECT_EQ(A->Shards.str(), B->Shards.str());
+    EXPECT_EQ(A->fingerprint(), B->fingerprint());
+  }
+}
+
+TEST(ShardPlanGolden, SingleDeviceIsNoOp) {
+  // The pinned no-op: an explicit --devices=1 compile must be
+  // artifact-identical to a default compile — same cache key, same
+  // fingerprint — and a run wired through the shard plan at one device
+  // must reproduce the default run cycle-for-cycle and byte-for-byte.
+  NameSource N1, N2;
+  auto Plain = compileSource(kConstProgram, N1);
+  CompilerOptions One;
+  One.Devices = 1;
+  auto Pinned = compileSource(kConstProgram, N2, One);
+  ASSERT_OK(Plain);
+  ASSERT_OK(Pinned);
+  EXPECT_EQ(artifactCacheKey(kConstProgram, CompilerOptions()),
+            artifactCacheKey(kConstProgram, One));
+  EXPECT_EQ(Plain->fingerprint(), Pinned->fingerprint());
+  EXPECT_EQ(Plain->Shards.str(), Pinned->Shards.str());
+
+  std::vector<Value> Args = {Value::scalar(PrimValue::makeI32(3))};
+  DeviceRunOptions RO;
+  RO.MemPlan = &Plain->MemPlan;
+  auto Base = runOnDevice(Plain->P, Args, RO);
+  ASSERT_OK(Base);
+
+  DeviceRunOptions RO1;
+  RO1.MemPlan = &Pinned->MemPlan;
+  RO1.Shards = &Pinned->Shards;
+  RO1.Devices = 1;
+  auto Sharded = runOnDevice(Pinned->P, Args, RO1);
+  ASSERT_OK(Sharded);
+
+  ASSERT_EQ(Base->Outputs.size(), Sharded->Outputs.size());
+  for (size_t I = 0; I < Base->Outputs.size(); ++I)
+    EXPECT_TRUE(Base->Outputs[I] == Sharded->Outputs[I]);
+  EXPECT_EQ(Base->Cost.TotalCycles, Sharded->Cost.TotalCycles);
+  EXPECT_EQ(Base->Cost.PeakDeviceBytes, Sharded->Cost.PeakDeviceBytes);
+  EXPECT_EQ(Base->Cost.str(), Sharded->Cost.str());
+}
+
+TEST(ShardPlanGolden, DeviceCountEntersArtifactOnlyAboveOne) {
+  // Two devices is a different artifact (different cache key and
+  // fingerprint); one device is not.
+  CompilerOptions Two;
+  Two.Devices = 2;
+  EXPECT_NE(artifactCacheKey(kConstProgram, CompilerOptions()),
+            artifactCacheKey(kConstProgram, Two));
+  NameSource N1, N2;
+  auto Plain = compileSource(kConstProgram, N1);
+  auto Sharded = compileSource(kConstProgram, N2, Two);
+  ASSERT_OK(Plain);
+  ASSERT_OK(Sharded);
+  EXPECT_NE(Plain->fingerprint(), Sharded->fingerprint());
+}

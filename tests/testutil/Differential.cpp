@@ -212,7 +212,7 @@ GeneratedProgram fut::test::generateProgram(uint64_t Seed) {
 DifferentialOutcome
 fut::test::runDifferential(const GeneratedProgram &GP,
                            const gpusim::ResilienceParams &RP,
-                           const gpusim::DeviceParams &DP) {
+                           const gpusim::DeviceParams &DP, int Devices) {
   auto Fail = [&](const std::string &What) {
     DifferentialOutcome O;
     O.Ok = false;
@@ -237,12 +237,18 @@ fut::test::runDifferential(const GeneratedProgram &GP,
 
   // Subject: the full pipeline on the simulated device.
   NameSource Names;
-  auto C = compileSource(GP.Source, Names, CompilerOptions());
+  CompilerOptions CO;
+  CO.Devices = Devices;
+  auto C = compileSource(GP.Source, Names, CO);
   if (!C)
     return Fail("compilation failed: " + C.getError().str());
   DeviceRunOptions RO;
   RO.Device = DP;
   RO.Resilience = RP;
+  if (Devices > 1) {
+    RO.Shards = &C->Shards;
+    RO.Devices = Devices;
+  }
   auto R = runOnDevice(C->P, GP.Args, RO);
   if (!R)
     return Fail("device run failed: " + R.getError().str());

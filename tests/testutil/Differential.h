@@ -56,11 +56,15 @@ struct DifferentialOutcome {
 /// Runs \p GP through both execution paths and compares bit-for-bit.
 /// \p RP configures the device's fault injection — the harness's results
 /// must be identical under fault-free and faulty (retried / degraded)
-/// execution alike.
+/// execution alike.  \p Devices > 1 routes the device leg through the
+/// sharded path (compiled with a shard plan and executed on a
+/// DeviceGroup); results must stay bit-identical to the reference at any
+/// device count.
 DifferentialOutcome
 runDifferential(const GeneratedProgram &GP,
                 const gpusim::ResilienceParams &RP = gpusim::ResilienceParams(),
-                const gpusim::DeviceParams &DP = gpusim::DeviceParams::gtx780());
+                const gpusim::DeviceParams &DP = gpusim::DeviceParams::gtx780(),
+                int Devices = 1);
 
 } // namespace test
 } // namespace fut
