@@ -20,7 +20,8 @@ using namespace fut::bench;
 namespace {
 
 struct KernelInventory {
-  int ThreadKernels = 0, SegReduces = 0, SegScans = 0, MaxGridRank = 0;
+  int ThreadKernels = 0, SegReduces = 0, SegScans = 0, SegHists = 0,
+      MaxGridRank = 0;
 };
 
 KernelInventory inventory(const Body &B) {
@@ -37,6 +38,9 @@ KernelInventory inventory(const Body &B) {
       case KernelExp::OpKind::SegScan:
         ++Inv.SegScans;
         break;
+      case KernelExp::OpKind::SegHist:
+        ++Inv.SegHists;
+        break;
       }
       Inv.MaxGridRank =
           std::max(Inv.MaxGridRank, static_cast<int>(K->GridDims.size()));
@@ -46,6 +50,7 @@ KernelInventory inventory(const Body &B) {
       Inv.ThreadKernels += I2.ThreadKernels;
       Inv.SegReduces += I2.SegReduces;
       Inv.SegScans += I2.SegScans;
+      Inv.SegHists += I2.SegHists;
       Inv.MaxGridRank = std::max(Inv.MaxGridRank, I2.MaxGridRank);
     });
   }

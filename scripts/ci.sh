@@ -224,4 +224,71 @@ assert wins >= 2, f"only {wins} members reached 1.5x at 4 devices"
 print(f"ok: {wins} members >= 1.5x at 4 devices; 2-device <= 1-device")
 EOF
 
+echo "== histogram leg: lowering switch, atomic accounting, contention =="
+# The reduce_by_index layer: the local-vs-global lowering switch at
+# HistLocalWidthMax (bit-identical results either side, distinct cost
+# profiles), exactly-once atomic accounting under fault-injected retries
+# (failed launches charge nothing, corrupted attempts charge in full),
+# and the pinned hist-merge shard plan.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'HistLoweringTest|HistFaultsTest|ShardPlanGolden'
+# The default fuzz sweeps above exercise reduce_by_index under the local
+# lowering; these two re-run the corpus with the global-atomic strategy
+# forced (threshold 0), alone and through the two-device sharded path
+# with partial-histogram merges.  Bit-identical to the interpreter on
+# every seed.
+"$BUILD_DIR"/src/fuzz/futharkcc-fuzz --seed-range 1..150 --hist-global \
+  --out "$BUILD_DIR"/fuzz-failures-hist
+"$BUILD_DIR"/src/fuzz/futharkcc-fuzz --seed-range 1..150 --hist-global \
+  --devices 2 --out "$BUILD_DIR"/fuzz-failures-hist-shard
+# bench_histogram exits 1 itself unless the CGO'20 shapes verify against
+# the interpreter and beat their reference baselines, conflicts fall
+# monotonically as the width grows, and the lowering switch trades
+# conflicts for local traffic; the python pass re-asserts the contention
+# curve from the machine-readable trace.  bench_histogram overwrites
+# BENCH_trace.json, so the shard leg's rows are set aside first.
+cp "$BUILD_DIR"/BENCH_trace.json "$BUILD_DIR"/BENCH_trace_shard.json
+(cd "$BUILD_DIR" && ./bench/bench_histogram >/dev/null)
+cp "$BUILD_DIR"/BENCH_trace.json "$BUILD_DIR"/BENCH_trace_hist.json
+python3 - "$BUILD_DIR"/BENCH_trace_hist.json <<'EOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))["benchmarks"]
+shapes = [r for r in rows if r["benchmark"].startswith("histogram-")]
+assert len(shapes) >= 3, f"expected 3 CGO'20 shapes, got {len(shapes)}"
+for r in shapes:
+    assert r["speedup"] >= 1.0, \
+        f"{r['benchmark']}: {r['speedup']:.2f}x below its reference baseline"
+curve = sorted((r for r in rows if r["benchmark"] == "hist-contention"),
+               key=lambda r: r["width"])
+assert len(curve) >= 4, "contention sweep missing widths"
+confl = [r["atomic_conflicts"] for r in curve]
+assert all(a >= b for a, b in zip(confl, confl[1:])), \
+    f"conflicts not monotone non-increasing in width: {confl}"
+assert confl[0] > confl[-1], "narrowest width is not the conflict worst case"
+switch = {r["device"]: r for r in rows if r["benchmark"] == "hist-switch"}
+assert switch["local"]["atomic_conflicts"] == 0, \
+    "local subhistograms charged global conflicts"
+assert switch["global"]["atomic_conflicts"] > 0, \
+    "global atomics saw no contention on the sweep input"
+print(f"ok: {len(shapes)} shapes >= 1.0x; conflicts {int(confl[0])} -> "
+      f"{int(confl[-1])} over the width sweep; switch local=0/global="
+      f"{int(switch['global']['atomic_conflicts'])} conflicts")
+EOF
+
+echo "== bench trajectory: merged BENCH_trace.json at repo root =="
+# Each bench binary overwrites BENCH_trace.json in its own run, so the
+# legs above set their rows aside (serve, shard, hist).  Merge them into
+# one trajectory file at the repo root — the single artifact CI uploads
+# and notebooks diff across commits.
+python3 - "$BUILD_DIR" <<'EOF'
+import json, sys
+bd = sys.argv[1]
+merged = []
+for leg in ("serve", "shard", "hist"):
+    merged += json.load(open(f"{bd}/BENCH_trace_{leg}.json"))["benchmarks"]
+assert merged, "no benchmark rows to merge"
+json.dump({"benchmarks": merged}, open("BENCH_trace.json", "w"), indent=1)
+print(f"ok: {len(merged)} rows merged into ./BENCH_trace.json")
+EOF
+
 echo "== ci.sh: all green =="

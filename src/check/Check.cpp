@@ -95,6 +95,8 @@ private:
           expCast<StreamExp>(&E)->FoldFn.RetTypes.size());
     case ExpKind::Kernel: {
       const auto *K = expCast<KernelExp>(&E);
+      if (K->Op == KernelExp::OpKind::SegHist)
+        return 1;
       return static_cast<int>(K->isSegmented() ? K->Neutral.size()
                                                : K->RetTypes.size());
     }
@@ -264,11 +266,29 @@ private:
       return MaybeError::success();
     }
 
+    case ExpKind::ReduceByIndex: {
+      const auto *X = expCast<ReduceByIndexExp>(&E);
+      if (auto Err = useArray(X->Dest, Where + " (hist dest)"))
+        return Err;
+      if (auto Err = useArray(X->IndexArr, Where + " (hist indices)"))
+        return Err;
+      for (const VName &A : X->ValueArrs)
+        if (auto Err = useArray(A, Where + " (hist values)"))
+          return Err;
+      if (auto Err = checkLambda(X->CombineFn, 2, Where + " (hist op)"))
+        return Err;
+      return checkLambda(X->ValueFn, X->ValueArrs.size(),
+                         Where + " (hist value fn)");
+    }
+
     case ExpKind::Kernel: {
       const auto *K = expCast<KernelExp>(&E);
       if (K->ThreadIndices.size() != K->GridDims.size())
         return CompilerError("kernel thread-index/grid mismatch in " +
                              Where);
+      if (K->Op == KernelExp::OpKind::SegHist)
+        if (auto Err = useArray(K->HistDest, Where + " (kernel hist dest)"))
+          return Err;
       for (const KernelExp::KInput &In : K->Inputs) {
         if (auto Err = useArray(In.Arr, Where + " (kernel input)"))
           return Err;
@@ -281,15 +301,20 @@ private:
         if (auto Err = bind(Param(T, Type::scalar(ScalarKind::I32)),
                             Where))
           return Err;
-      if (K->isSegmented()) {
+      if (K->isSegmented())
         if (auto Err = bind(Param(K->SegIndex,
                                   Type::scalar(ScalarKind::I32)),
                             Where))
           return Err;
+      if (K->usesReduceFn()) {
         if (auto Err = checkLambda(K->ReduceFn, 2 * K->Neutral.size(),
                                    Where + " (kernel op)"))
           return Err;
-        if (K->ThreadBody.Result.size() != K->Neutral.size())
+        // SegHist threads yield (bin index, value): one extra result in
+        // front of the Neutral-arity value tuple.
+        size_t ExpectedElems = K->Neutral.size() +
+                               (K->Op == KernelExp::OpKind::SegHist ? 1 : 0);
+        if (K->ThreadBody.Result.size() != ExpectedElems)
           return CompilerError("segmented kernel element arity "
                                "mismatch in " +
                                Where);

@@ -731,6 +731,69 @@ private:
       return Out;
     }
 
+    case ExpKind::ReduceByIndex: {
+      const auto *X = expCast<ReduceByIndexExp>(&E);
+      if (auto Err = wantIntScalar(X->Width, "reduce_by_index width", Where))
+        return Err;
+      auto TD = arrayType(X->Dest, Where + " (hist dest)");
+      if (!TD)
+        return TD.getError();
+      if (TD->rank() != 1)
+        return err(Where, "reduce_by_index destination " + X->Dest.str() +
+                              " has rank " + std::to_string(TD->rank()) +
+                              "; expected 1");
+      if (!dimsAgree(TD->outerDim(), X->Width))
+        return err(Where, "reduce_by_index of width " + X->Width.str() +
+                              " into destination of outer size " +
+                              TD->outerDim().str());
+      Type Elem = TD->rowType().asNonUnique();
+      auto TI = arrayType(X->IndexArr, Where + " (hist indices)");
+      if (!TI)
+        return TI.getError();
+      if (TI->rank() != 1 || !isIntKind(TI->elemKind()))
+        return err(Where, "reduce_by_index index array " + X->IndexArr.str() +
+                              " has type " + TI->str() +
+                              "; expected a one-dimensional integer array");
+      std::vector<Type> RowTys;
+      for (const VName &A : X->ValueArrs) {
+        auto TA = arrayType(A, Where + " (hist values)");
+        if (!TA)
+          return TA.getError();
+        if (!dimsAgree(TA->outerDim(), TI->outerDim()))
+          return err(Where, "reduce_by_index value array " + A.str() +
+                                " of outer size " + TA->outerDim().str() +
+                                " does not match the index array's outer "
+                                "size " +
+                                TI->outerDim().str());
+        RowTys.push_back(TA->rowType());
+      }
+      auto TN = typeOfSub(X->Neutral, Where);
+      if (!TN)
+        return TN.getError();
+      if (!typesAgree(TN->asNonUnique(), Elem))
+        return err(Where, "reduce_by_index neutral element has type " +
+                              TN->str() + " but the bins have type " +
+                              Elem.str());
+      if (auto Err = checkLambda(X->ValueFn, &RowTys,
+                                 Where + " (hist value fn)"))
+        return Err;
+      if (X->ValueFn.RetTypes.size() != 1 ||
+          !typesAgree(X->ValueFn.RetTypes[0].asNonUnique(), Elem))
+        return err(Where, "reduce_by_index value function produces " +
+                              typeListStr(X->ValueFn.RetTypes) +
+                              " but the bins have type " + Elem.str());
+      std::vector<Type> OpArgs{Elem, Elem};
+      if (auto Err = checkLambda(X->CombineFn, &OpArgs,
+                                 Where + " (hist op)"))
+        return Err;
+      if (X->CombineFn.RetTypes.size() != 1 ||
+          !typesAgree(X->CombineFn.RetTypes[0].asNonUnique(), Elem))
+        return err(Where, "reduce_by_index operator returns " +
+                              typeListStr(X->CombineFn.RetTypes) +
+                              " but the bins have type " + Elem.str());
+      return std::vector<Type>{TD->asNonUnique()};
+    }
+
     case ExpKind::Kernel:
       return checkKernel(*expCast<KernelExp>(&E), Where);
     }
@@ -793,6 +856,55 @@ private:
     if (!TR)
       return TR.getError();
     Scope = std::move(Saved);
+
+    if (K.Op == KernelExp::OpKind::SegHist) {
+      if (TR->size() != 2)
+        return err(Where, "seghist kernel thread body produces " +
+                              std::to_string(TR->size()) +
+                              " values; expected (bin index, value)");
+      Type BinTy = (*TR)[0];
+      if (!BinTy.isScalar() || !isIntKind(BinTy.elemKind()))
+        return err(Where, "seghist kernel bin index has type " +
+                              BinTy.str() + "; expected an integer scalar");
+      Type Elem = (*TR)[1].asNonUnique();
+      if (K.Neutral.size() != 1)
+        return err(Where, "seghist kernel must have exactly one neutral "
+                          "element");
+      auto TN = typeOfSub(K.Neutral[0], Where);
+      if (!TN)
+        return TN.getError();
+      if (!typesAgree(TN->asNonUnique(), Elem))
+        return err(Where, "seghist kernel neutral element has type " +
+                              TN->str() + " but the values have type " +
+                              Elem.str());
+      std::vector<Type> OpArgs{Elem, Elem};
+      if (auto Err = checkLambda(K.ReduceFn, &OpArgs, Where + " (kernel op)"))
+        return Err;
+      if (K.ReduceFn.RetTypes.size() != 1 ||
+          !typesAgree(K.ReduceFn.RetTypes[0].asNonUnique(), Elem))
+        return err(Where, "seghist kernel operator returns " +
+                              typeListStr(K.ReduceFn.RetTypes) +
+                              " but the values have type " + Elem.str());
+      if (auto Err = wantIntScalar(K.HistWidth, "histogram width", Where))
+        return Err;
+      auto TD = arrayType(K.HistDest, Where + " (kernel hist dest)");
+      if (!TD)
+        return TD.getError();
+      if (TD->rank() != 1 || TD->elemKind() != Elem.elemKind())
+        return err(Where, "seghist kernel destination " + K.HistDest.str() +
+                              " has type " + TD->str() +
+                              " but the values have type " + Elem.str());
+      if (!dimsAgree(TD->outerDim(), K.HistWidth))
+        return err(Where, "seghist kernel of width " + K.HistWidth.str() +
+                              " into destination of outer size " +
+                              TD->outerDim().str());
+      if (K.RetTypes.size() != 1 ||
+          !typesAgree(K.RetTypes[0].asNonUnique(), TD->asNonUnique()))
+        return err(Where, "seghist kernel declares result types " +
+                              typeListStr(K.RetTypes) +
+                              " but the destination has type " + TD->str());
+      return std::vector<Type>{TD->asNonUnique()};
+    }
 
     if (K.isSegmented()) {
       if (TR->size() != K.Neutral.size())
@@ -918,9 +1030,15 @@ private:
         if (auto Err = bind(S.Pat[I], Binding))
           return Err;
       }
-      if (Opts.CheckConsumption)
+      if (Opts.CheckConsumption) {
         if (const auto *U = expDynCast<UpdateExp>(S.E.get()))
           Consumed.insert(U->Arr);
+        if (const auto *R = expDynCast<ReduceByIndexExp>(S.E.get()))
+          Consumed.insert(R->Dest);
+        if (const auto *K = expDynCast<KernelExp>(S.E.get()))
+          if (K->Op == KernelExp::OpKind::SegHist)
+            Consumed.insert(K->HistDest);
+      }
     }
 
     std::vector<Type> Out;

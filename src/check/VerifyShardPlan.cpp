@@ -68,6 +68,17 @@ MaybeError verifyFunShards(const Program &P, const shard::FunShardPlan &FP,
                  A.Width.str() + "'");
       return;
     }
+    // Histogram partials must be merged, never concatenated: a plan that
+    // drops (or invents) the merge marking would mis-account residency
+    // and transfers for the replicated full-width partials.
+    if (KS->HistMerge != A.HistMerge) {
+      Err = Fail("kernel " + std::to_string(Id) +
+                 (A.HistMerge
+                      ? " is a histogram but not marked for partial-merge"
+                      : " is marked for partial-merge but is not a "
+                        "histogram"));
+      return;
+    }
     for (const shard::ShardInput &SI : KS->Inputs) {
       if (SI.Class != shard::InputClass::Aligned)
         continue;

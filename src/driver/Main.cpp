@@ -344,13 +344,14 @@ int main(int argc, char **argv) {
   }
 
   fprintf(stderr,
-          "%s: %d vertical + %d redomap + %d stream + %d horizontal "
-          "fusions; %d kernels (%d seg-reduce, %d seg-scan), %d "
-          "interchanges, %d sequentialised SOACs; %d coalesced, %d tiled "
-          "inputs\n",
+          "%s: %d vertical + %d redomap + %d stream + %d horizontal + %d "
+          "hist fusions; %d kernels (%d seg-reduce, %d seg-scan, %d "
+          "seg-hist), %d interchanges, %d sequentialised SOACs; %d "
+          "coalesced, %d tiled inputs\n",
           File.c_str(), C->Fusion.Vertical, C->Fusion.Redomap,
           C->Fusion.StreamFusions, C->Fusion.Horizontal,
-          C->Flatten.kernels(), C->Flatten.SegReduces, C->Flatten.SegScans,
+          C->Fusion.HistFusions, C->Flatten.kernels(),
+          C->Flatten.SegReduces, C->Flatten.SegScans, C->Flatten.SegHists,
           C->Flatten.Interchanges, C->Flatten.SequentialisedSOACs,
           C->Locality.CoalescedInputs, C->Locality.TiledInputs);
 

@@ -187,6 +187,9 @@ private:
         kernelizeScan({}, S, Avail, Host);
         continue;
       }
+      case ExpKind::ReduceByIndex:
+        kernelizeReduceByIndex(S, Host);
+        continue;
       case ExpKind::Stream:
         lowerHostStream(std::move(S), Work, Host);
         continue;
@@ -411,7 +414,7 @@ private:
       K.SegIndex = Fresh;
     }
     K.ThreadBody = renameBody(K.ThreadBody, NS, M);
-    if (K.isSegmented())
+    if (K.usesReduceFn())
       K.ReduceFn = renameLambda(K.ReduceFn, NS, M);
   }
 
@@ -655,6 +658,15 @@ private:
           kernelizeScan(St.Sigma, S, Avail, Host, &St);
           continue;
         }
+        ++Stats.SequentialisedSOACs;
+        sequentialiseIntoSegment(St, S);
+        continue;
+      }
+
+      if (expDynCast<ReduceByIndexExp>(&E)) {
+        // A histogram nested inside a map: sequentialised into the
+        // surrounding thread (its own parallelism is the inner dimension,
+        // which the thread-per-outer-element decomposition already uses).
         ++Stats.SequentialisedSOACs;
         sequentialiseIntoSegment(St, S);
         continue;
@@ -940,6 +952,78 @@ private:
     }
   }
 
+  /// Lowers a host-level reduce_by_index into a SegHist kernel: one thread
+  /// per input element, whose body reads the element's bin and value rows,
+  /// applies the (possibly fused) value function, and yields (bin, value).
+  /// The runtime folds the (bin, value) pairs into the consumed destination
+  /// with the combine operator, choosing between local-memory subhistograms
+  /// and global atomics by histogram width.
+  void kernelizeReduceByIndex(Stm &S, BodyBuilder &Host) {
+    auto *R = expCast<ReduceByIndexExp>(S.E.get());
+    assert(TopTypes.count(R->IndexArr) &&
+           "reduce_by_index index array must be host-available");
+    Type IdxTy = TopTypes[R->IndexArr];
+    SubExp N = IdxTy.outerDim();
+
+    VName Tid = NS.fresh("htid");
+    std::vector<Stm> TStms;
+
+    // bin = is[tid] (or just tid when the index array is a host iota).
+    VName Bin = NS.fresh("bin");
+    Type BinTy = Type::scalar(IdxTy.elemKind());
+    if (HostIotas.count(R->IndexArr)) {
+      TStms.emplace_back(std::vector<Param>{Param(Bin, BinTy)}, varE(Tid));
+    } else {
+      TStms.emplace_back(
+          std::vector<Param>{Param(Bin, BinTy)},
+          std::make_unique<IndexExp>(R->IndexArr,
+                                     std::vector<SubExp>{SubExp::var(Tid)}));
+    }
+
+    // Value rows, spliced through the value function.
+    Lambda VF = cloneLambda(R->ValueFn);
+    NameMap<SubExp> Map;
+    for (size_t I = 0; I < R->ValueArrs.size(); ++I) {
+      Type RowTy = VF.Params[I].Ty;
+      VName Elem = NS.fresh("velem");
+      if (HostIotas.count(R->ValueArrs[I])) {
+        TStms.emplace_back(std::vector<Param>{Param(Elem, RowTy)},
+                           varE(Tid));
+      } else {
+        TStms.emplace_back(
+            std::vector<Param>{Param(Elem, RowTy)},
+            std::make_unique<IndexExp>(
+                R->ValueArrs[I], std::vector<SubExp>{SubExp::var(Tid)}));
+      }
+      Map[VF.Params[I].Name] = SubExp::var(Elem);
+    }
+    Body VB = renameBody(VF.B, NS, Map);
+    for (Stm &VS : VB.Stms)
+      TStms.push_back(std::move(VS));
+
+    auto K = std::make_unique<KernelExp>();
+    K->Op = KernelExp::OpKind::SegHist;
+    K->GridDims = {N};
+    K->ThreadIndices = {Tid};
+    K->ReduceFn = cloneLambda(R->CombineFn);
+    K->Neutral = {R->Neutral};
+    K->HistDest = R->Dest;
+    K->HistWidth = R->Width;
+    K->ThreadBody =
+        Body(std::move(TStms), {SubExp::var(Bin), VB.Result[0]});
+    simplifyBody(K->ThreadBody, NS);
+
+    Type DestTy = sanitizeType(S.Pat[0].Ty);
+    K->RetTypes = {DestTy};
+    freshenKernel(*K);
+    fillKernelInputs(*K);
+    ++Stats.SegHists;
+
+    std::vector<VName> Outs =
+        emitMulti(Host, "hist", {DestTy}, std::move(K));
+    aliasResults(Host, S.Pat, Outs);
+  }
+
   /// Detects "reduce (map op) (replicate k n) z" and extracts the scalar
   /// operator, the row width k, and the scalar neutrals.
   bool extractVectorisedOp(const ReduceExp &R, Lambda &InnerOp,
@@ -1044,6 +1128,7 @@ FlattenStats fut::extractKernels(Program &P, NameSource &Names,
   trace::counter("flatten.thread_kernels", S.ThreadKernels);
   trace::counter("flatten.segreduces", S.SegReduces);
   trace::counter("flatten.segscans", S.SegScans);
+  trace::counter("flatten.seghists", S.SegHists);
   trace::counter("flatten.interchanges", S.Interchanges);
   trace::counter("flatten.sequentialised", S.SequentialisedSOACs);
   Span.arg("kernels", S.kernels());

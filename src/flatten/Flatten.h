@@ -59,11 +59,14 @@ struct FlattenStats {
   int ThreadKernels = 0;
   int SegReduces = 0;
   int SegScans = 0;
+  int SegHists = 0;
   int Interchanges = 0;
   int VectorisedReduceInterchanges = 0;
   int SequentialisedSOACs = 0;
 
-  int kernels() const { return ThreadKernels + SegReduces + SegScans; }
+  int kernels() const {
+    return ThreadKernels + SegReduces + SegScans + SegHists;
+  }
 };
 
 /// Extracts kernels from every function.  Expects a fused, simplified

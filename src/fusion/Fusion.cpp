@@ -127,6 +127,13 @@ private:
       }
       return A;
     }
+    case ExpKind::ReduceByIndex: {
+      const auto *R = expCast<ReduceByIndexExp>(&E);
+      NameSet A = freeVarsInLambda(R->CombineFn);
+      NameSet B = freeVarsInLambda(R->ValueFn);
+      A.insert(B.begin(), B.end());
+      return A;
+    }
     default:
       return Out;
     }
@@ -172,6 +179,37 @@ private:
           fuseMapMap(B, P, T);
           ++Stats.Vertical;
           return true;
+        }
+      }
+
+      if (auto *TH = expDynCast<ReduceByIndexExp>(&TE)) {
+        // map ∘ reduce_by_index: a map feeding only the histogram's value
+        // arrays composes into the value function.  The index array and
+        // the (consumed) destination must not come from the producer, nor
+        // may the producer read the destination — the fused histogram
+        // would otherwise read storage it consumes.  Widths need no
+        // explicit check: the type rules force the value arrays' outer
+        // dimension to equal the index array's, so a well-typed producer
+        // map already has the right width.
+        int P = producerOfAll(Defs, TH->ValueArrs, T);
+        if (P >= 0 && !consumptionBetween(B, P, T)) {
+          auto *PM = expDynCast<MapExp>(B.Stms[P].E.get());
+          bool ProducesMeta = false;
+          if (PM)
+            for (const Param &Out : B.Stms[P].Pat)
+              if (Out.Name == TH->IndexArr || Out.Name == TH->Dest)
+                ProducesMeta = true;
+          bool ReadsDest = false;
+          if (PM)
+            for (const VName &A : PM->Arrays)
+              if (A == TH->Dest)
+                ReadsDest = true;
+          if (PM && !ProducesMeta && !ReadsDest &&
+              outputsFeedOnly(B, P, T, TH->ValueArrs)) {
+            fuseMapHist(B, P, T);
+            ++Stats.HistFusions;
+            return true;
+          }
         }
       }
 
@@ -385,6 +423,38 @@ private:
     B.Stms[T].E = std::make_unique<StreamExp>(
         StreamExp::FormKind::Red, TR->Width, renameLambda(TR->Fn, NS),
         static_cast<int>(K), TR->Neutral, std::move(Fold), PM->Arrays);
+    B.Stms.erase(B.Stms.begin() + P);
+  }
+
+  /// reduce_by_index dest op ne is (map f x) ==
+  /// reduce_by_index dest op ne is x, with f composed into the value
+  /// function — the histogram analogue of map-map fusion.
+  void fuseMapHist(Body &B, int P, int T) {
+    auto *PM = expCast<MapExp>(B.Stms[P].E.get());
+    auto *TH = expCast<ReduceByIndexExp>(B.Stms[T].E.get());
+
+    Lambda Pl = renameLambda(PM->Fn, NS);
+    Lambda Vl = renameLambda(TH->ValueFn, NS);
+
+    NameMap<SubExp> Bind; // value-fn params -> producer results
+    for (size_t I = 0; I < TH->ValueArrs.size(); ++I) {
+      int OutPos = -1;
+      for (size_t J = 0; J < B.Stms[P].Pat.size(); ++J)
+        if (B.Stms[P].Pat[J].Name == TH->ValueArrs[I])
+          OutPos = static_cast<int>(J);
+      assert(OutPos >= 0 && "histogram value array is not a map output");
+      Bind[Vl.Params[I].Name] = Pl.B.Result[OutPos];
+    }
+    substituteInBody(Bind, Vl.B);
+
+    Body NewBody = std::move(Pl.B);
+    for (Stm &S : Vl.B.Stms)
+      NewBody.Stms.push_back(std::move(S));
+    NewBody.Result = std::move(Vl.B.Result);
+
+    TH->ValueFn = Lambda(std::move(Pl.Params), std::move(NewBody),
+                         std::move(Vl.RetTypes));
+    TH->ValueArrs = PM->Arrays;
     B.Stms.erase(B.Stms.begin() + P);
   }
 
@@ -604,14 +674,17 @@ FusionStats fut::fuseProgram(Program &P, NameSource &Names) {
     Total.Redomap += S.Redomap;
     Total.StreamFusions += S.StreamFusions;
     Total.Horizontal += S.Horizontal;
+    Total.HistFusions += S.HistFusions;
   }
   trace::counter("fusion.vertical", Total.Vertical);
   trace::counter("fusion.redomap", Total.Redomap);
   trace::counter("fusion.stream", Total.StreamFusions);
   trace::counter("fusion.horizontal", Total.Horizontal);
+  trace::counter("fusion.hist", Total.HistFusions);
   Span.arg("vertical", Total.Vertical);
   Span.arg("redomap", Total.Redomap);
   Span.arg("stream", Total.StreamFusions);
   Span.arg("horizontal", Total.Horizontal);
+  Span.arg("hist", Total.HistFusions);
   return Total;
 }

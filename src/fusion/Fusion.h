@@ -15,6 +15,8 @@
 ///   * map ∘ reduce fusion into stream_red (the paper's redomap / F1∘F3∘F6
 ///     composition),
 ///   * stream_map/stream_red ∘ reduce fusion (F6, as in Fig 10a → 10b),
+///   * map ∘ reduce_by_index fusion: a map feeding only the histogram's
+///     value arrays is composed into its value function,
 ///   * horizontal fusion of independent maps of equal width.
 ///
 /// A SOAC is never moved past a consumption point of one of its inputs
@@ -35,8 +37,11 @@ struct FusionStats {
   int Redomap = 0;
   int StreamFusions = 0;
   int Horizontal = 0;
+  int HistFusions = 0; ///< Maps composed into reduce_by_index value fns.
 
-  int total() const { return Vertical + Redomap + StreamFusions + Horizontal; }
+  int total() const {
+    return Vertical + Redomap + StreamFusions + Horizontal + HistFusions;
+  }
 };
 
 /// Fuses SOACs in every function of the program, at all nesting levels.

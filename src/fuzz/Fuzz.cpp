@@ -28,7 +28,7 @@ Plan fut::fuzz::samplePlan(uint64_t Seed) {
   int Steps = 3 + static_cast<int>(Rng.nextBelow(5));
   for (int I = 0; I < Steps; ++I) {
     Step S;
-    S.K = static_cast<Step::Kind>(Rng.nextBelow(15));
+    S.K = static_cast<Step::Kind>(Rng.nextBelow(16));
     S.Variant = static_cast<int>(Rng.nextBelow(5));
     S.Pos = static_cast<int64_t>(Rng.nextBelow(8)) + 2;
     S.Small = static_cast<int64_t>(Rng.nextBelow(19)) - 9;
@@ -212,6 +212,41 @@ struct Render {
       std::string In = arr(), Sc = newScalar();
       Body << "  let " << Sc << " = " << In << "[" << (S.Pos % N) << "] * "
            << std::to_string((S.Small & 3) + 1) << "\n";
+      return;
+    }
+    case Step::Kind::ReduceByIndex: {
+      // Indexed reduction with a commutative operator (+ / min / max), so
+      // the device's per-shard fold order cannot change the result.  The
+      // neutral must be the operator's true identity — shards beyond
+      // device 0 prime their partial from it, so anything else would be
+      // folded in once per extra device.  Bins are normalized into
+      // [0, Pos); the histogram is checksummed into the scalar pool so
+      // every bin reaches the comparison.
+      std::string In = arr(), Sc = newScalar();
+      int64_t W = S.Pos;
+      const char *Op;
+      std::string Ne;
+      switch (S.Variant % 3) {
+      case 0:
+        Op = "(+)";
+        Ne = "0";
+        break;
+      case 1:
+        Op = "min";
+        Ne = "2147483647";
+        break;
+      default:
+        Op = "max";
+        Ne = "(0 - 2147483647 - 1)";
+        break;
+      }
+      Body << "  let ri" << Sc << " = map (\\(x: i32): i32 -> "
+           << "let c = x % " << W << " in if c < 0 then c + " << W
+           << " else c) " << In << "\n"
+           << "  let rh" << Sc << " = reduce_by_index (replicate " << W
+           << " " << Ne << ") " << Op << " " << Ne << " ri" << Sc << " "
+           << In << "\n"
+           << "  let " << Sc << " = reduce (+) 0 rh" << Sc << "\n";
       return;
     }
     }

@@ -20,10 +20,11 @@
 /// The construct pool covers the surface the pipeline cares about: map
 /// nests (including 2D nests and transposition), reduce, scan, conditional
 /// masking, in-place updates, sequential loops in threads, histogram loops,
-/// concat, indexing, integer power, and division by a data-dependent
-/// divisor (so the typed-runtime-error path is exercised: a program where
-/// both sides fail with the identical runtime error is agreement, not a
-/// failure).
+/// reduce_by_index (commutative operators only, so compiled-vs-interpreter
+/// agreement is well-defined regardless of update order), concat, indexing,
+/// integer power, and division by a data-dependent divisor (so the
+/// typed-runtime-error path is exercised: a program where both sides fail
+/// with the identical runtime error is agreement, not a failure).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,6 +61,8 @@ struct Step {
     PowMap,    ///< x ** k with a small non-negative k
     DivVar,    ///< division by a data-dependent divisor (may fault)
     IndexScalar, ///< read one element into the scalar pool
+    ReduceByIndex, ///< reduce_by_index with a commutative operator,
+                   ///< normalized in-range bins, result checksummed
   };
 
   Kind K = Kind::Map;

@@ -40,6 +40,9 @@ void usage() {
           "                      memory planner disabled (ablation sweep)\n"
           "  --devices <n>       run the device side sharded across n\n"
           "                      simulated devices (default 1)\n"
+          "  --hist-global       force the global-atomic histogram\n"
+          "                      lowering (local-width threshold 0), so\n"
+          "                      the sweep covers both strategies\n"
           "  --dump <n>          print the program for seed n and exit\n"
           "  -v                  print every seed as it runs\n");
 }
@@ -109,6 +112,8 @@ int main(int argc, char **argv) {
       Shrink = false;
     } else if (A == "--no-mem-plan") {
       DP.UseMemPlan = false;
+    } else if (A == "--hist-global") {
+      DP.HistLocalWidthMax = 0;
     } else if (A == "--devices" || A.rfind("--devices=", 0) == 0) {
       const char *V =
           A == "--devices" ? Next() : A.c_str() + strlen("--devices=");

@@ -44,8 +44,13 @@ std::string CostReport::str() const {
      << ", transfer=" << static_cast<int64_t>(TransferCycles) << ")"
      << " launches=" << KernelLaunches << " gtx=" << GlobalTransactions
      << " (coalesced=" << CoalescedTransactions
-     << ", scattered=" << ScatteredTransactions << ")"
-     << " gaccess=" << GlobalAccesses << " local=" << LocalAccesses
+     << ", scattered=" << ScatteredTransactions << ")";
+  // Only SegHist kernels issue atomics; printed conditionally so cost
+  // lines of histogram-free programs stay byte-identical.
+  if (AtomicTransactions || AtomicConflicts)
+    OS << " atomictx=" << AtomicTransactions
+       << " atomicconflicts=" << AtomicConflicts;
+  OS << " gaccess=" << GlobalAccesses << " local=" << LocalAccesses
      << " private=" << PrivateAccesses << " ops=" << ComputeOps
      << " hostops=" << HostOps << " bytes=" << TransferredBytes
      << " retries=" << RetriedLaunches
@@ -431,6 +436,7 @@ private:
 
   ErrorOr<std::vector<Value>> runThreadBody();
   ErrorOr<std::vector<Value>> runSegmented();
+  ErrorOr<std::vector<Value>> runSegHist();
 
   /// Merges the per-thread traces of one warp into transactions.
   void mergeWarp(std::vector<std::vector<uint64_t>> &WarpTraces) {
@@ -949,15 +955,11 @@ ErrorOr<std::vector<TValue>> KernelSim::evalExp(const Exp &E, TEnv &Env) {
 
 ErrorOr<std::vector<Value>> KernelSim::run() {
   FUT_CHECK(resolveInputs());
-  {
-    int Ops = 0;
-    for (const Stm &S : K.ReduceFn.B.Stms)
-      ++Ops;
-    (void)Ops;
-    ReduceFnOps = static_cast<int>(K.ReduceFn.B.Stms.size()) + 1;
-  }
+  ReduceFnOps = static_cast<int>(K.ReduceFn.B.Stms.size()) + 1;
   if (K.Op == KernelExp::OpKind::ThreadBody)
     return runThreadBody();
+  if (K.Op == KernelExp::OpKind::SegHist)
+    return runSegHist();
   return runSegmented();
 }
 
@@ -1230,6 +1232,157 @@ ErrorOr<std::vector<Value>> KernelSim::runSegmented() {
     Out.push_back(Value::array(Flat.elemKind(), std::move(Shape),
                                std::move(Data)));
   }
+  return Out;
+}
+
+ErrorOr<std::vector<Value>> KernelSim::runSegHist() {
+  // One thread per input element; a sharded launch covers only the
+  // [OuterOffset, OuterOffset + OuterCount) element window.  Device 0 (or
+  // the only device) folds into the destination itself; other shards fold
+  // into a neutral-filled partial the caller merges with the operator.
+  std::vector<int64_t> Grid;
+  for (const SubExp &D : K.GridDims) {
+    FUT_TRY(G, resolveInt(D));
+    Grid.push_back(G);
+  }
+  if (OuterCount >= 0 && !Grid.empty())
+    Grid[0] = OuterCount;
+  int64_t Threads = 1;
+  for (int64_t G : Grid)
+    Threads *= G;
+
+  FUT_TRY(W, resolveInt(K.HistWidth));
+  auto DIt = HostEnv.find(K.HistDest);
+  if (DIt == HostEnv.end())
+    return CompilerError("histogram destination " + K.HistDest.str() +
+                         " is not bound on the host");
+  const Value &Dest = DIt->second;
+  if (!Dest.isArray() || Dest.outerSize() != W)
+    return CompilerError("histogram destination has wrong outer size");
+  ScalarKind EK = Dest.elemKind();
+  int64_t EB = elemBytes(EK);
+
+  PrimValue NeutralPV;
+  if (K.Neutral.size() != 1)
+    return CompilerError("seghist kernel needs exactly one neutral element");
+  if (K.Neutral[0].isConst()) {
+    NeutralPV = K.Neutral[0].getConst();
+  } else {
+    auto It = HostEnv.find(K.Neutral[0].getVar());
+    if (It == HostEnv.end())
+      return CompilerError("kernel neutral element is unbound");
+    NeutralPV = It->second.getScalar();
+  }
+
+  std::vector<PrimValue> Bins;
+  if (OuterOffset == 0) {
+    Bins = Dest.flat();
+    // Priming the bins reads the whole destination once, coalesced.
+    int64_t InitTx = (W * EB + P.SegmentBytes - 1) / P.SegmentBytes;
+    Cost.GlobalAccesses += W;
+    Cost.GlobalTransactions += InitTx;
+    Cost.CoalescedTransactions += InitTx;
+  } else {
+    Bins.assign(static_cast<size_t>(W), NeutralPV);
+  }
+
+  // Lowering strategy (bit-identical results either way, different cost
+  // profile): narrow histograms keep a subhistogram per workgroup in local
+  // memory and merge once at the end; wide ones use global atomics whose
+  // cost grows with same-segment conflicts inside a warp batch.
+  const bool UseLocal = W <= P.HistLocalWidthMax;
+  int64_t NumGroups =
+      (Threads + P.WorkgroupSize - 1) / std::max(1, P.WorkgroupSize);
+
+  static const Program Empty;
+  Interpreter RedInterp(Empty);
+
+  TEnv Base;
+  for (size_t I = 0; I < K.Inputs.size(); ++I) {
+    GlobalView G;
+    G.InputIdx = static_cast<int>(I);
+    Base[K.Inputs[I].Arr] = TValue::view(G);
+  }
+
+  // Global-atomic strategy: batch the destination segments one warp's
+  // updates hit; unique segments each cost a transaction, extra lanes on
+  // an already-hit segment serialise as conflicts.
+  std::vector<int64_t> WarpSegs;
+  auto FlushAtomics = [&] {
+    if (WarpSegs.empty())
+      return;
+    int64_t Lanes = static_cast<int64_t>(WarpSegs.size());
+    std::sort(WarpSegs.begin(), WarpSegs.end());
+    int64_t Unique = std::unique(WarpSegs.begin(), WarpSegs.end()) -
+                     WarpSegs.begin();
+    Cost.AtomicTransactions += Unique;
+    Cost.AtomicConflicts += Lanes - Unique;
+    WarpSegs.clear();
+  };
+
+  std::vector<std::vector<uint64_t>> WarpTraces;
+  std::vector<int64_t> Idx(Grid.size(), 0);
+  for (int64_t T = 0; T < Threads; ++T) {
+    WarpTraces.emplace_back();
+    Trace = &WarpTraces.back();
+
+    TEnv Env = Base;
+    for (size_t I = 0; I < Grid.size(); ++I)
+      Env[K.ThreadIndices[I]] = TValue(Value::scalar(PrimValue::makeI32(
+          static_cast<int32_t>(Idx[I] + (I == 0 ? OuterOffset : 0)))));
+
+    FUT_TRY(Res, evalBody(K.ThreadBody, std::move(Env)));
+    if (Res.size() != 2)
+      return CompilerError("seghist thread result arity mismatch");
+    FUT_TRY(BinV, force(Res[0]));
+    FUT_TRY(Val, force(Res[1]));
+    if (!BinV.isScalar() || !Val.isScalar())
+      return CompilerError("seghist thread body must produce (bin, value)");
+    int64_t Bin = BinV.getScalar().asInt64();
+    // The value is computed before the bounds check (matching the
+    // interpreter); out-of-range bins update nothing.
+    if (Bin >= 0 && Bin < W) {
+      std::vector<Value> Args{Value::scalar(Bins[Bin]), Val};
+      FUT_TRY(Comb, RedInterp.evalLambda(K.ReduceFn, Args, {}));
+      if (Comb.size() != 1 || !Comb[0].isScalar())
+        return CompilerError("seghist operator must produce one scalar");
+      Bins[static_cast<size_t>(Bin)] = Comb[0].getScalar();
+      Cost.ComputeOps += ReduceFnOps;
+      if (UseLocal)
+        Cost.LocalAccesses += 2; // scratchpad read-modify-write
+      else
+        WarpSegs.push_back(Bin * EB / P.SegmentBytes);
+    }
+
+    if (WarpTraces.size() == static_cast<size_t>(P.WarpSize) ||
+        T == Threads - 1) {
+      Trace = nullptr;
+      mergeWarp(WarpTraces);
+      WarpTraces.clear();
+      FlushAtomics();
+    }
+
+    for (int I = static_cast<int>(Grid.size()) - 1; I >= 0; --I) {
+      if (++Idx[I] < Grid[I])
+        break;
+      Idx[I] = 0;
+    }
+  }
+  Trace = nullptr;
+  FlushAtomics();
+
+  // Local strategy: each workgroup flushes its subhistogram into the
+  // global one with a coalesced atomic pass over all W bins (consecutive
+  // lanes hit consecutive bins, so there are no same-segment conflicts).
+  if (UseLocal && Threads > 0) {
+    int64_t MergeTx = (W * EB + P.SegmentBytes - 1) / P.SegmentBytes;
+    Cost.AtomicTransactions += NumGroups * MergeTx;
+  }
+
+  Value OutV = Value::array(EK, {W}, std::move(Bins));
+  FUT_CHECK(chargeOutput(OutV));
+  std::vector<Value> Out;
+  Out.push_back(std::move(OutV));
   return Out;
 }
 
@@ -1868,7 +2021,9 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
                                ? "kernel:threadbody"
                                : K.Op == KernelExp::OpKind::SegScan
                                      ? "kernel:segscan"
-                                     : "kernel:segreduce";
+                                     : K.Op == KernelExp::OpKind::SegHist
+                                           ? "kernel:seghist"
+                                           : "kernel:segreduce";
 
     for (;;) {
       if (Plan.nextLaunchFails()) {
@@ -1926,8 +2081,9 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
           double TiledTx = static_cast<double>(KCost.TiledElementBytes) /
                            std::max(1, P.WorkgroupSize) / P.SegmentBytes;
           double ComputeT = KCost.ComputeOps / P.ComputeOpsPerCycle;
-          double MemT =
-              (KCost.GlobalTransactions + TiledTx) / P.GlobalTxPerCycle;
+          double MemT = (KCost.GlobalTransactions + TiledTx +
+                         KCost.AtomicTransactions + KCost.AtomicConflicts) /
+                        P.GlobalTxPerCycle;
           double LocalT = KCost.LocalAccesses / P.LocalAccessesPerCycle;
           double PrivT = KCost.PrivateAccesses / P.PrivateAccessesPerCycle;
           double KTime = P.LaunchCycles + std::max(std::max(ComputeT, MemT),
@@ -1990,6 +2146,8 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
           Cost.ComputeOps += KCost.ComputeOps;
           Cost.TiledElementTouches += KCost.TiledElementTouches;
           Cost.TiledElementBytes += KCost.TiledElementBytes;
+          Cost.AtomicTransactions += KCost.AtomicTransactions;
+          Cost.AtomicConflicts += KCost.AtomicConflicts;
           {
             trace::ScopedSpan KSpan(SpanName, "device",
                                     trace::deviceComputeTid(D));
@@ -2004,11 +2162,20 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
             KSpan.arg("local_accesses", KCost.LocalAccesses);
             KSpan.arg("private_accesses", KCost.PrivateAccesses);
             KSpan.arg("compute_ops", KCost.ComputeOps);
+            if (KCost.AtomicTransactions || KCost.AtomicConflicts) {
+              KSpan.arg("atomic_tx", KCost.AtomicTransactions);
+              KSpan.arg("atomic_conflicts", KCost.AtomicConflicts);
+            }
           }
           trace::counter("device.kernel_launches");
           trace::counter("device.global_tx", LaunchGlobalTx);
           trace::counter("device.coalesced_tx", LaunchCoalescedTx);
           trace::counter("device.scattered_tx", KCost.ScatteredTransactions);
+          if (KCost.AtomicTransactions || KCost.AtomicConflicts) {
+            trace::counter("device.atomic_tx", KCost.AtomicTransactions);
+            trace::counter("device.atomic_conflicts",
+                           KCost.AtomicConflicts);
+          }
         }
         LastKernelReady = GroupEnd;
 
@@ -2025,6 +2192,60 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
                 std::to_string(R.MaxRetries) + " retries exhausted)");
           ChargeBackoff();
           continue;
+        }
+
+        // A sharded histogram yields one full-width partial per device
+        // (device 0 primed from the destination, the rest from the
+        // neutral element).  Merging folds them with the operator in
+        // device order — bit-identical to the unsharded result for the
+        // commutative-and-associative operators the verifier admits —
+        // and the merged array lives whole on device 0, so there is no
+        // pending output distribution to re-gather later.
+        if (K.Op == KernelExp::OpKind::SegHist) {
+          static const Program Empty;
+          Interpreter MergeInterp(Empty);
+          std::vector<PrimValue> Merged = DevVals.front()[0].flat();
+          ScalarKind EK = DevVals.front()[0].elemKind();
+          int64_t EB = elemBytes(EK);
+          double MergeReady = GroupEnd;
+          for (size_t SId = 1; SId < ActiveDevs.size(); ++SId) {
+            const std::vector<PrimValue> &Part = DevVals[SId][0].flat();
+            for (size_t B = 0; B < Merged.size(); ++B) {
+              std::vector<Value> MArgs{Value::scalar(Merged[B]),
+                                       Value::scalar(Part[B])};
+              auto Comb = MergeInterp.evalLambda(K.ReduceFn, MArgs, {});
+              if (!Comb)
+                return Comb.getError();
+              if (Comb->size() != 1 || !(*Comb)[0].isScalar())
+                return CompilerError(
+                    "seghist merge operator must produce one scalar");
+              Merged[B] = (*Comb)[0].getScalar();
+            }
+            // Device 0 pulls each partial over the interconnect before
+            // folding it in.
+            double End = InterDev(
+                0, static_cast<int64_t>(Merged.size()) * EB,
+                PendingOutDist.Ready[ActiveDevs[SId]], "xfer:hist-merge",
+                K.HistDest);
+            MergeReady = std::max(MergeReady, End);
+          }
+          PendingOutDist.Ready.clear();
+          PendingOutDist.Cuts.clear();
+          LastKernelReady = std::max(LastKernelReady, MergeReady);
+          std::vector<int64_t> Shape = DevVals.front()[0].shape();
+          std::vector<Value> Out;
+          Out.push_back(
+              Value::array(EK, std::move(Shape), std::move(Merged)));
+          int64_t OutBytes = Out[0].numElems() * elemBytes(Out[0].elemKind());
+          if (!Mgr.wouldFit(OutBytes))
+            return CompilerError::deviceOOM(
+                "device out of memory allocating kernel outputs: " +
+                std::to_string(OutBytes) + " bytes needed, " +
+                std::to_string(MemCap - Mgr.liveBytes()) + " of " +
+                std::to_string(MemCap) + " free (" +
+                std::to_string(P.ReservedBytes) +
+                " reserved by co-tenants)");
+          return Out;
         }
 
         // Stitch the per-device blocks back together along the outer
@@ -2085,7 +2306,9 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
           std::max(1, P.WorkgroupSize) / P.SegmentBytes;
 
       double ComputeT = KCost.ComputeOps / P.ComputeOpsPerCycle;
-      double MemT = (KCost.GlobalTransactions + TiledTx) / P.GlobalTxPerCycle;
+      double MemT = (KCost.GlobalTransactions + TiledTx +
+                     KCost.AtomicTransactions + KCost.AtomicConflicts) /
+                    P.GlobalTxPerCycle;
       double LocalT = KCost.LocalAccesses / P.LocalAccessesPerCycle;
       double PrivT = KCost.PrivateAccesses / P.PrivateAccessesPerCycle;
       double KTime = P.LaunchCycles +
@@ -2135,6 +2358,8 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
       Cost.ComputeOps += KCost.ComputeOps;
       Cost.TiledElementTouches += KCost.TiledElementTouches;
       Cost.TiledElementBytes += KCost.TiledElementBytes;
+      Cost.AtomicTransactions += KCost.AtomicTransactions;
+      Cost.AtomicConflicts += KCost.AtomicConflicts;
 
       KSpan.arg("cycles", KTime);
       KSpan.arg("sim_start", KC.Start);
@@ -2145,10 +2370,18 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
       KSpan.arg("local_accesses", KCost.LocalAccesses);
       KSpan.arg("private_accesses", KCost.PrivateAccesses);
       KSpan.arg("compute_ops", KCost.ComputeOps);
+      if (KCost.AtomicTransactions || KCost.AtomicConflicts) {
+        KSpan.arg("atomic_tx", KCost.AtomicTransactions);
+        KSpan.arg("atomic_conflicts", KCost.AtomicConflicts);
+      }
       trace::counter("device.kernel_launches");
       trace::counter("device.global_tx", LaunchGlobalTx);
       trace::counter("device.coalesced_tx", LaunchCoalescedTx);
       trace::counter("device.scattered_tx", KCost.ScatteredTransactions);
+      if (KCost.AtomicTransactions || KCost.AtomicConflicts) {
+        trace::counter("device.atomic_tx", KCost.AtomicTransactions);
+        trace::counter("device.atomic_conflicts", KCost.AtomicConflicts);
+      }
       if (Async && KC.OverlappedOtherEngine)
         TS.instant("engine-overlap", "device", trace::kComputeEngineTid);
 

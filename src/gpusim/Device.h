@@ -67,6 +67,13 @@ struct DeviceParams {
   /// interchange (G7) is essential for LocVolCalib.
   int64_t PrivateSpillElems = 64;
 
+  /// SegHist lowering switch: histograms at most this wide keep one
+  /// subhistogram per workgroup in local memory (atomic updates are
+  /// scratchpad accesses; one coalesced global merge per workgroup at the
+  /// end); wider histograms fall back to global-memory atomics, whose
+  /// cost grows with same-segment conflicts inside a warp.
+  int64_t HistLocalWidthMax = 4096;
+
   /// Host model: serial, HostCyclesPerOp per IR step.
   double HostCyclesPerOp = 8;
   /// Host <-> device transfer rate (PCIe-like).
@@ -160,6 +167,17 @@ struct CostReport {
   /// (Section 6: "total runtime minus the time taken for loading program
   /// input onto the GPU [and] reading final results back").
   double ExcludedTransferCycles = 0;
+
+  /// Atomic read-modify-write traffic from SegHist kernels.
+  /// AtomicTransactions counts 128-byte-segment transactions issued by
+  /// atomic updates (global strategy: unique destination segments per warp
+  /// batch; local strategy: the coalesced per-workgroup merge).
+  /// AtomicConflicts counts the extra serialised retries when several
+  /// lanes of one warp batch hit the same segment (global strategy only;
+  /// local subhistogram contention is scratchpad traffic, not global).
+  /// Both are charged per attempt, exactly once per retried launch.
+  int64_t AtomicTransactions = 0;
+  int64_t AtomicConflicts = 0;
 
   /// Elements staged through local memory by tiling, and their total
   /// width in bytes (global tiled traffic is charged by byte width, so

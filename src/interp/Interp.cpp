@@ -582,6 +582,57 @@ ErrorOr<std::vector<Value>> Interpreter::evalExp(const Exp &E,
     return Out;
   }
 
+  case ExpKind::ReduceByIndex: {
+    const auto *X = expCast<ReduceByIndexExp>(&E);
+    FUT_TRY(WV, evalSubExp(X->Width, Env));
+    FUT_TRY(W, scalarInt(WV, "reduce_by_index width"));
+    FUT_TRY(D, evalSubExp(SubExp::var(X->Dest), Env));
+    if (!D.isArray() || D.outerSize() != W)
+      return CompilerError(E.Loc,
+                           "reduce_by_index destination has wrong outer size");
+    if (Opts.ConsumeOnUpdate)
+      Env.erase(X->Dest);
+    FUT_TRY(IA, evalSubExp(SubExp::var(X->IndexArr), Env));
+    if (!IA.isArray())
+      return CompilerError(E.Loc, "reduce_by_index indices are not an array");
+    int64_t N = IA.outerSize();
+    std::vector<Value> Arrays;
+    for (const VName &A : X->ValueArrs) {
+      FUT_TRY(V, evalSubExp(SubExp::var(A), Env));
+      if (!V.isArray() || V.outerSize() != N)
+        return CompilerError(E.Loc, "reduce_by_index value array " + A.str() +
+                                        " has wrong outer size");
+      Arrays.push_back(std::move(V));
+    }
+    std::vector<PrimValue> Data = D.flat();
+    for (int64_t J = 0; J < N; ++J) {
+      FUT_TRY(Bin, scalarInt(IA.row(J), "reduce_by_index bin"));
+      // The value is computed before the bounds check (every device thread
+      // runs its body), so runtime errors inside the value function agree
+      // between the interpreter and the compiled path.
+      std::vector<Value> VArgs;
+      VArgs.reserve(Arrays.size());
+      for (const Value &A : Arrays)
+        VArgs.push_back(A.row(J));
+      FUT_TRY(Val, evalLambda(X->ValueFn, VArgs, Env));
+      if (Val.size() != 1 || !Val[0].isScalar())
+        return CompilerError(E.Loc, "reduce_by_index value function must "
+                                    "produce one scalar");
+      if (Bin < 0 || Bin >= W)
+        continue; // Out-of-range bins are skipped, never an error.
+      std::vector<Value> CArgs{Value::scalar(Data[Bin]), std::move(Val[0])};
+      FUT_TRY(Comb, evalLambda(X->CombineFn, CArgs, Env));
+      if (Comb.size() != 1 || !Comb[0].isScalar())
+        return CompilerError(E.Loc,
+                             "reduce_by_index operator must produce one "
+                             "scalar");
+      Data[Bin] = Comb[0].getScalar();
+    }
+    std::vector<int64_t> Shape = D.shape();
+    return std::vector<Value>{
+        Value::array(D.elemKind(), std::move(Shape), std::move(Data))};
+  }
+
   case ExpKind::Stream:
     return evalStream(*expCast<StreamExp>(&E), Env);
 
@@ -717,6 +768,49 @@ ErrorOr<std::vector<Value>> Interpreter::evalKernel(const KernelExp &K,
   int64_t NumGroups = 1;
   for (int64_t G : Grid)
     NumGroups *= G;
+
+  if (K.Op == KernelExp::OpKind::SegHist) {
+    // One thread per grid position computes (bin, value); values fold into
+    // the destination bins with ReduceFn.  Ascending thread order keeps the
+    // result bit-identical to the device, which serialises conflicting
+    // atomics deterministically.
+    FUT_TRY(WV, evalSubExp(K.HistWidth, Env));
+    FUT_TRY(W, scalarInt(WV, "histogram width"));
+    FUT_TRY(D, evalSubExp(SubExp::var(K.HistDest), Env));
+    if (!D.isArray() || D.outerSize() != W)
+      return CompilerError(K.Loc, "seghist destination has wrong outer size");
+    if (Opts.ConsumeOnUpdate)
+      Env.erase(K.HistDest);
+    std::vector<PrimValue> Data = D.flat();
+    std::vector<int64_t> HIdx(Grid.size(), 0);
+    for (int64_t G = 0; G < NumGroups; ++G) {
+      NameMap<Value> TEnv = Env;
+      for (size_t I = 0; I < Grid.size(); ++I)
+        TEnv[K.ThreadIndices[I]] = Value::scalar(
+            PrimValue::makeI32(static_cast<int32_t>(HIdx[I])));
+      FUT_TRY(Res, evalBody(K.ThreadBody, TEnv));
+      if (Res.size() != 2 || !Res[0].isScalar() || !Res[1].isScalar())
+        return CompilerError(K.Loc,
+                             "seghist thread body must produce (bin, value)");
+      FUT_TRY(Bin, scalarInt(Res[0], "seghist bin"));
+      if (Bin >= 0 && Bin < W) {
+        std::vector<Value> Args{Value::scalar(Data[Bin]), Res[1]};
+        FUT_TRY(Comb, evalLambda(K.ReduceFn, Args, Env));
+        if (Comb.size() != 1 || !Comb[0].isScalar())
+          return CompilerError(K.Loc,
+                               "seghist operator must produce one scalar");
+        Data[Bin] = Comb[0].getScalar();
+      }
+      for (int I = static_cast<int>(Grid.size()) - 1; I >= 0; --I) {
+        if (++HIdx[I] < Grid[I])
+          break;
+        HIdx[I] = 0;
+      }
+    }
+    std::vector<int64_t> Shape = D.shape();
+    return std::vector<Value>{
+        Value::array(D.elemKind(), std::move(Shape), std::move(Data))};
+  }
 
   int64_t SegSize = 1;
   if (K.isSegmented()) {

@@ -52,6 +52,8 @@ const char *fut::expKindName(ExpKind K) {
     return "scan";
   case ExpKind::Stream:
     return "stream";
+  case ExpKind::ReduceByIndex:
+    return "reduce_by_index";
   case ExpKind::Kernel:
     return "kernel";
   }
@@ -188,6 +190,12 @@ ExpPtr StreamExp::clone() const {
                             AccInit, cloneLambda(FoldFn), Arrays));
 }
 
+ExpPtr ReduceByIndexExp::clone() const {
+  return withLoc(*this, std::make_unique<ReduceByIndexExp>(
+                            Width, Dest, cloneLambda(CombineFn), Neutral,
+                            cloneLambda(ValueFn), IndexArr, ValueArrs));
+}
+
 ExpPtr KernelExp::clone() const {
   auto K = std::make_unique<KernelExp>();
   K->Op = Op;
@@ -201,5 +209,7 @@ ExpPtr KernelExp::clone() const {
   K->ThreadBody = cloneBody(ThreadBody);
   K->RetTypes = RetTypes;
   K->TransposedOutputs = TransposedOutputs;
+  K->HistDest = HistDest;
+  K->HistWidth = HistWidth;
   return withLoc(*this, std::move(K));
 }

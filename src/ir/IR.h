@@ -88,6 +88,7 @@ enum class ExpKind : uint8_t {
   Reduce,
   Scan,
   Stream,
+  ReduceByIndex,
   Kernel,
 };
 
@@ -113,6 +114,7 @@ public:
     case ExpKind::Reduce:
     case ExpKind::Scan:
     case ExpKind::Stream:
+    case ExpKind::ReduceByIndex:
       return true;
     default:
       return false;
@@ -391,6 +393,37 @@ public:
   ExpPtr clone() const override;
 };
 
+/// reduce_by_index dest f ne is vs1 ... vsq — the generalized histogram
+/// SOAC (diku-dk/futhark-cgo20).  Dest is a one-dimensional accumulator of
+/// Width elements, consumed in place; IndexArr and the value arrays share
+/// an outer size n.  For every j in ascending order with
+/// 0 <= is[j] < Width:
+///   dest[is[j]] = CombineFn(dest[is[j]], ValueFn(vs1[j], ..., vsq[j]))
+/// Out-of-bounds indices are skipped (not an error) on every execution
+/// path, so the compiled and interpreted results agree bit for bit.
+/// CombineFn must be associative and commutative with neutral element
+/// Neutral (a programmer obligation, as for reduce); ValueFn starts as the
+/// identity and grows by fusing producer maps into it.
+class ReduceByIndexExp : public Exp {
+public:
+  static constexpr ExpKind ClassKind = ExpKind::ReduceByIndex;
+  SubExp Width;   ///< Number of bins (outer size of Dest).
+  VName Dest;     ///< The consumed destination array, type [Width]t.
+  Lambda CombineFn; ///< (t, t) -> t, associative + commutative.
+  SubExp Neutral; ///< Neutral element of CombineFn, type t.
+  Lambda ValueFn; ///< (row(vs1), ..., row(vsq)) -> t.
+  VName IndexArr; ///< [n] of an integer kind: the bin per element.
+  std::vector<VName> ValueArrs; ///< q arrays of outer size n.
+
+  ReduceByIndexExp(SubExp Width, VName Dest, Lambda CombineFn, SubExp Neutral,
+                   Lambda ValueFn, VName IndexArr, std::vector<VName> ValueArrs)
+      : Exp(ClassKind), Width(std::move(Width)), Dest(std::move(Dest)),
+        CombineFn(std::move(CombineFn)), Neutral(std::move(Neutral)),
+        ValueFn(std::move(ValueFn)), IndexArr(std::move(IndexArr)),
+        ValueArrs(std::move(ValueArrs)) {}
+  ExpPtr clone() const override;
+};
+
 /// The streaming SOACs of Section 4 (Fig 8), unified in one node.
 ///
 /// The fold function's parameter convention is:
@@ -451,7 +484,7 @@ public:
 class KernelExp : public Exp {
 public:
   static constexpr ExpKind ClassKind = ExpKind::Kernel;
-  enum class OpKind : uint8_t { ThreadBody, SegReduce, SegScan };
+  enum class OpKind : uint8_t { ThreadBody, SegReduce, SegScan, SegHist };
 
   /// An input array visible to threads, with its global-memory layout.
   /// LayoutPerm maps logical indices to storage order: the stored shape is
@@ -475,6 +508,13 @@ public:
   Body ThreadBody;
   std::vector<Type> RetTypes; ///< Full result-array types.
 
+  /// For Op == SegHist only: the consumed destination accumulator (a host
+  /// array of HistWidth elements) and the bin count.  ThreadBody computes
+  /// (bin index, value) per element; the device folds each value into the
+  /// destination bin with ReduceFn, atomically.
+  VName HistDest;
+  SubExp HistWidth;
+
   /// Store per-thread array results transposed (thread index innermost),
   /// so output writes coalesce — Section 5.2's treatment of results and
   /// temporaries.  Set by the locality pass.
@@ -483,7 +523,15 @@ public:
   KernelExp() : Exp(ClassKind), Op(OpKind::ThreadBody) {}
   ExpPtr clone() const override;
 
-  bool isSegmented() const { return Op != OpKind::ThreadBody; }
+  /// SegReduce/SegScan: grid × SegSize threads with a per-segment combine.
+  /// SegHist is NOT segmented — it is grid-shaped like ThreadBody (one
+  /// thread per input element) but folds (bin, value) pairs into HistDest
+  /// with ReduceFn instead of gathering results.
+  bool isSegmented() const {
+    return Op == OpKind::SegReduce || Op == OpKind::SegScan;
+  }
+  /// True when ReduceFn/Neutral are meaningful (everything but ThreadBody).
+  bool usesReduceFn() const { return Op != OpKind::ThreadBody; }
   KInput *findInput(const VName &N) {
     for (KInput &In : Inputs)
       if (In.Arr == N)

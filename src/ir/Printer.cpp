@@ -167,6 +167,14 @@ std::string fut::printExp(const Exp &E, int Indent) {
     OS << " " << names(X->Arrays);
     break;
   }
+  case ExpKind::ReduceByIndex: {
+    const auto *X = expCast<ReduceByIndexExp>(&E);
+    OS << "reduce_by_index<" << X->Width.str() << "> " << X->Dest.str() << " "
+       << printLambda(X->CombineFn, Indent) << " (" << X->Neutral.str() << ") "
+       << printLambda(X->ValueFn, Indent) << " " << X->IndexArr.str() << " "
+       << names(X->ValueArrs);
+    break;
+  }
   case ExpKind::Kernel: {
     const auto *X = expCast<KernelExp>(&E);
     OS << "kernel";
@@ -179,9 +187,14 @@ std::string fut::printExp(const Exp &E, int Indent) {
     case KernelExp::OpKind::SegScan:
       OS << "_segscan";
       break;
+    case KernelExp::OpKind::SegHist:
+      OS << "_seghist";
+      break;
     }
     OS << " grid=[" << subExps(X->GridDims) << "]";
     OS << " tids=(" << names(X->ThreadIndices) << ")";
+    if (X->Op == KernelExp::OpKind::SegHist)
+      OS << " dest=" << X->HistDest.str() << " bins=" << X->HistWidth.str();
     if (X->isSegmented())
       OS << " seg=" << X->SegIndex.str() << "<" << X->SegSize.str();
     OS << "\n" << ind(Indent + 2) << "inputs: ";
@@ -200,7 +213,7 @@ std::string fut::printExp(const Exp &E, int Indent) {
       OS << " ";
     }
     OS << "\n";
-    if (X->isSegmented()) {
+    if (X->usesReduceFn()) {
       OS << ind(Indent + 2) << "op: " << printLambda(X->ReduceFn, Indent + 2)
          << " (" << subExps(X->Neutral) << ")\n";
     }

@@ -141,12 +141,26 @@ void visitOperands(const Exp &E, const std::function<void(const SubExp &)> &Use)
       UseV(N);
     break;
   }
+  case ExpKind::ReduceByIndex: {
+    const auto *R = expCast<ReduceByIndexExp>(&E);
+    Use(R->Width);
+    UseV(R->Dest);
+    Use(R->Neutral);
+    UseV(R->IndexArr);
+    for (const VName &N : R->ValueArrs)
+      UseV(N);
+    break;
+  }
   case ExpKind::Kernel: {
     const auto *K = expCast<KernelExp>(&E);
     for (const SubExp &D : K->GridDims)
       Use(D);
     if (K->isSegmented())
       Use(K->SegSize);
+    if (K->Op == KernelExp::OpKind::SegHist) {
+      UseV(K->HistDest);
+      Use(K->HistWidth);
+    }
     for (const SubExp &N : K->Neutral)
       Use(N);
     for (const KernelExp::KInput &In : K->Inputs) {
@@ -191,6 +205,12 @@ void fut::forEachChildBody(Exp &E, const std::function<void(Body &)> &Fn) {
     auto *S = expCast<StreamExp>(&E);
     Fn(S->ReduceFn.B);
     Fn(S->FoldFn.B);
+    break;
+  }
+  case ExpKind::ReduceByIndex: {
+    auto *R = expCast<ReduceByIndexExp>(&E);
+    Fn(R->CombineFn.B);
+    Fn(R->ValueFn.B);
     break;
   }
   case ExpKind::Kernel: {
@@ -271,14 +291,20 @@ struct FreeVarScan {
       scanLambda(S->FoldFn);
       break;
     }
+    case ExpKind::ReduceByIndex: {
+      const auto *R = expCast<ReduceByIndexExp>(&E);
+      scanLambda(R->CombineFn);
+      scanLambda(R->ValueFn);
+      break;
+    }
     case ExpKind::Kernel: {
       const auto *K = expCast<KernelExp>(&E);
       for (const VName &N : K->ThreadIndices)
         Bound.insert(N);
-      if (K->isSegmented()) {
+      if (K->isSegmented())
         Bound.insert(K->SegIndex);
+      if (K->usesReduceFn())
         scanLambda(K->ReduceFn);
-      }
       scanBody(K->ThreadBody);
       break;
     }
@@ -508,11 +534,25 @@ struct Subst {
         N = subV(N);
       break;
     }
+    case ExpKind::ReduceByIndex: {
+      auto *X = expCast<ReduceByIndexExp>(&E);
+      X->Width = sub(X->Width);
+      X->Dest = subV(X->Dest);
+      X->Neutral = sub(X->Neutral);
+      X->IndexArr = subV(X->IndexArr);
+      for (VName &N : X->ValueArrs)
+        N = subV(N);
+      break;
+    }
     case ExpKind::Kernel: {
       auto *X = expCast<KernelExp>(&E);
       for (SubExp &D : X->GridDims)
         D = sub(D);
       X->SegSize = sub(X->SegSize);
+      if (X->Op == KernelExp::OpKind::SegHist) {
+        X->HistDest = subV(X->HistDest);
+        X->HistWidth = sub(X->HistWidth);
+      }
       for (SubExp &S : X->Neutral)
         S = sub(S);
       for (KernelExp::KInput &In : X->Inputs) {
@@ -550,6 +590,12 @@ struct Subst {
       auto *X = expCast<StreamExp>(&E);
       lambda(X->ReduceFn);
       lambda(X->FoldFn);
+      break;
+    }
+    case ExpKind::ReduceByIndex: {
+      auto *X = expCast<ReduceByIndexExp>(&E);
+      lambda(X->CombineFn);
+      lambda(X->ValueFn);
       break;
     }
     case ExpKind::Kernel: {
@@ -653,6 +699,12 @@ struct Renamer {
       auto *X = expCast<StreamExp>(&E);
       renameLambdaIn(X->ReduceFn, Map);
       renameLambdaIn(X->FoldFn, Map);
+      break;
+    }
+    case ExpKind::ReduceByIndex: {
+      auto *X = expCast<ReduceByIndexExp>(&E);
+      renameLambdaIn(X->CombineFn, Map);
+      renameLambdaIn(X->ValueFn, Map);
       break;
     }
     case ExpKind::Kernel: {

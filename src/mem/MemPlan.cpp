@@ -218,6 +218,18 @@ struct Walker {
   /// after this kernel and is not a function parameter, the output may
   /// own the input's block.
   void findKernelConsumption(const KernelExp &K, const Stm &S, int T) {
+    // A histogram kernel consumes its destination outright (Section 3's
+    // uniqueness semantics, enforced by the verifier): the result is the
+    // same width and element kind, so it owns the destination's slab —
+    // the subhistogram accumulator is a planned allocation, not a fresh
+    // runtime buffer next to a dead destination.
+    if (K.Op == KernelExp::OpKind::SegHist) {
+      if (S.Pat.size() == 1 && S.Pat[0].Ty.isArray())
+        for (const KernelExp::KInput &KI : K.Inputs)
+          if (KI.Arr == K.HistDest && KI.Ty == S.Pat[0].Ty)
+            ConsumeCands.push_back({S.Pat[0].Name, K.HistDest, T});
+      return;
+    }
     if (K.Op != KernelExp::OpKind::ThreadBody)
       return;
     const Body &TB = K.ThreadBody;

@@ -30,11 +30,37 @@ class BodySimplifier {
   /// included); maps a name to the expression that bound it.
   NameMap<const Exp *> Defs;
 
+  /// Names whose array may be consumed somewhere in the body under
+  /// simplification (in-place update sources, reduce_by_index / SegHist
+  /// destinations, loop merge initialisers, function-call arguments, SOAC
+  /// inputs whose lambda consumes the matching parameter), closed over
+  /// aliases.  CSE must not merge a binding whose name lands here: sharing
+  /// one array between two consumers is exactly the aliasing the
+  /// uniqueness rules forbid, and the verifier would reject the output.
+  NameSet ConsumedMaybe;
+
 public:
   BodySimplifier(NameSource &NS, const SimplifyOptions &Opts)
       : NS(NS), Opts(Opts) {}
 
   int run(Body &B) {
+    std::vector<std::pair<VName, VName>> AliasEdges;
+    collectConsumed(B, ConsumedMaybe, AliasEdges);
+    // Close over aliasing both ways: consuming an alias consumes its
+    // source, and a consumed source poisons every alias of it.
+    for (bool Changed = true; Changed;) {
+      Changed = false;
+      for (const auto &E : AliasEdges) {
+        if (ConsumedMaybe.count(E.first) && !ConsumedMaybe.count(E.second)) {
+          ConsumedMaybe.insert(E.second);
+          Changed = true;
+        }
+        if (ConsumedMaybe.count(E.second) && !ConsumedMaybe.count(E.first)) {
+          ConsumedMaybe.insert(E.first);
+          Changed = true;
+        }
+      }
+    }
     simplify(B);
     return Rewrites;
   }
@@ -189,6 +215,79 @@ private:
     }
   }
 
+  /// Gathers every name a body may consume, plus alias edges between
+  /// bindings (reshape/rearrange/slice/indexing and plain copies), for
+  /// the CSE consumption guard above.  Conservative on purpose: apply
+  /// arguments count as consumers without looking at the callee's
+  /// uniqueness signature, and a lambda consuming its parameter marks the
+  /// whole corresponding input array.
+  static void collectConsumed(const Body &B, NameSet &Out,
+                              std::vector<std::pair<VName, VName>> &Edges) {
+    for (const Stm &S : B.Stms) {
+      const Exp &E = *S.E;
+      switch (E.kind()) {
+      case ExpKind::Update:
+        Out.insert(expCast<UpdateExp>(&E)->Arr);
+        break;
+      case ExpKind::ReduceByIndex:
+        Out.insert(expCast<ReduceByIndexExp>(&E)->Dest);
+        break;
+      case ExpKind::Kernel: {
+        const auto *K = expCast<KernelExp>(&E);
+        if (K->Op == KernelExp::OpKind::SegHist)
+          Out.insert(K->HistDest);
+        break;
+      }
+      case ExpKind::Loop:
+        for (const SubExp &I : expCast<LoopExp>(&E)->MergeInit)
+          if (I.isVar())
+            Out.insert(I.getVar());
+        break;
+      case ExpKind::Apply:
+        for (const SubExp &A : expCast<ApplyExp>(&E)->Args)
+          if (A.isVar())
+            Out.insert(A.getVar());
+        break;
+      case ExpKind::Map: {
+        // map is the one SOAC whose lambda may consume its parameters
+        // (uniqueness: one row per thread); that consumes the input array.
+        const auto *M = expCast<MapExp>(&E);
+        NameSet Inner;
+        collectConsumed(M->Fn.B, Inner, Edges);
+        for (size_t I = 0; I < M->Fn.Params.size() && I < M->Arrays.size();
+             ++I)
+          if (Inner.count(M->Fn.Params[I].Name))
+            Out.insert(M->Arrays[I]);
+        Out.insert(Inner.begin(), Inner.end());
+        continue; // lambda body already walked
+      }
+      case ExpKind::SubExpE: {
+        const auto *SE = expCast<SubExpExp>(&E);
+        if (SE->Val.isVar() && S.Pat.size() == 1)
+          Edges.push_back({S.Pat[0].Name, SE->Val.getVar()});
+        break;
+      }
+      case ExpKind::Reshape:
+      case ExpKind::Rearrange:
+      case ExpKind::Slice:
+      case ExpKind::Index:
+        // Alias-producing forms: link the result to the source array so
+        // the closure reaches consumption through views.
+        if (S.Pat.size() == 1) {
+          NameSet Free = freeVarsInExp(E);
+          for (const VName &V : Free)
+            Edges.push_back({S.Pat[0].Name, V});
+        }
+        break;
+      default:
+        break;
+      }
+      forEachChildBody(E, [&](const Body &Inner) {
+        collectConsumed(Inner, Out, Edges);
+      });
+    }
+  }
+
   struct CSEKey {
     const Exp *E;
     size_t Hash;
@@ -244,8 +343,13 @@ private:
         continue;
       }
 
-      // CSE.
-      if (Opts.EnableCSE && expIsCSEable(*S.E)) {
+      // CSE.  Bindings whose array may be consumed are excluded entirely
+      // — neither dropped in favour of an earlier twin nor offered as a
+      // merge target — because two consumers must keep distinct arrays.
+      bool MayBeConsumed = false;
+      for (const Param &P : S.Pat)
+        MayBeConsumed = MayBeConsumed || ConsumedMaybe.count(P.Name);
+      if (Opts.EnableCSE && !MayBeConsumed && expIsCSEable(*S.E)) {
         CSEKey Key{S.E.get(), hashExpShallow(*S.E)};
         auto It = CSE.find(Key);
         if (It != CSE.end() && It->second.size() == S.Pat.size()) {
@@ -365,6 +469,14 @@ private:
       for (const Param &P : St->ReduceFn.Params)
         S.insert(P.Name);
       for (const Param &P : St->FoldFn.Params)
+        S.insert(P.Name);
+      break;
+    }
+    case ExpKind::ReduceByIndex: {
+      const auto *R = expCast<ReduceByIndexExp>(&E);
+      for (const Param &P : R->CombineFn.Params)
+        S.insert(P.Name);
+      for (const Param &P : R->ValueFn.Params)
         S.insert(P.Name);
       break;
     }

@@ -50,17 +50,29 @@ bool isIdentityPerm(const std::vector<int> &Perm) {
 }
 
 /// True when every use of \p Arr inside \p B is an IndexExp whose first
-/// index is exactly the outer thread index — the condition under which a
-/// device only ever touches its own row block.  Anything else (slices,
-/// sequentialised SOACs over the array, uses inside nested control flow,
-/// returning the array) is conservatively non-aligned.
+/// index is the outer thread index — the condition under which a device
+/// only ever touches its own row block.  The thread index is tracked
+/// through scalar let-rebinds (`let i = tid`), in statement order, so an
+/// index through such an alias still classifies as aligned.  Anything
+/// else (slices, sequentialised SOACs over the array, uses inside nested
+/// control flow, returning the array) is conservatively non-aligned.
 bool allUsesAligned(const Body &B, const VName &Arr, const VName &Tid0) {
-  const SubExp TidVar = SubExp::var(Tid0);
+  NameSet TidAliases;
+  TidAliases.insert(Tid0);
+  auto IsTid = [&](const SubExp &SE) {
+    return SE.isVar() && TidAliases.count(SE.getVar());
+  };
   for (const Stm &S : B.Stms) {
     const Exp &E = *S.E;
+    if (const auto *SEE = expDynCast<SubExpExp>(&E)) {
+      if (SEE->Val.isVar() && SEE->Val.getVar() == Arr)
+        return false; // Rebinding the array itself escapes the block view.
+      if (S.Pat.size() == 1 && IsTid(SEE->Val))
+        TidAliases.insert(S.Pat[0].Name);
+      continue;
+    }
     if (const auto *IX = expDynCast<IndexExp>(&E)) {
-      if (IX->Arr == Arr &&
-          (IX->Indices.empty() || !(IX->Indices[0] == TidVar)))
+      if (IX->Arr == Arr && (IX->Indices.empty() || !IsTid(IX->Indices[0])))
         return false;
       continue; // Index positions are scalars and cannot use the array.
     }
@@ -136,9 +148,19 @@ KernelShardability fut::shard::analyseShardability(const KernelExp &K,
   if (R.Width.isConst())
     R.ConstWidth = R.Width.getConst().asInt64();
 
+  // Histograms shard along the input-element dimension; every device
+  // scatters into its own full-width partial, later folded with the
+  // operator.  The destination is read-modify-written at data-dependent
+  // bins, never by the thread index, so it must be resident whole on
+  // every device — forced Broadcast even though it has no thread-body
+  // uses that would disqualify it below.
+  R.HistMerge = K.Op == KernelExp::OpKind::SegHist;
+
   const VName &Tid0 = K.ThreadIndices[0];
   for (size_t I = 0; I < K.Inputs.size(); ++I) {
     const KernelExp::KInput &In = K.Inputs[I];
+    if (R.HistMerge && In.Arr == K.HistDest)
+      continue;
     bool Aligned = In.Ty.isArray() && In.Ty.outerDim() == R.Width &&
                    !In.Tiled && isIdentityPerm(In.LayoutPerm) &&
                    allUsesAligned(K.ThreadBody, In.Arr, Tid0);
@@ -188,7 +210,23 @@ fut::shard::deriveTransfers(const FunDef &F,
           if (!AlignedOk)
             Gather(In.Arr, Id); // All-gather before this kernel.
         }
-        if (KS.Sharded) {
+        if (KS.Sharded && KS.HistMerge) {
+          // Histogram outputs are full-width partials replicated per
+          // device, not block partitions: the plan records an explicit
+          // merge edge (producer == consumer) instead of registering the
+          // value as partitioned, and the folded result lives whole on
+          // device 0 afterwards.
+          for (const Param &Prm : S.Pat) {
+            if (!Prm.Ty.isArray())
+              continue;
+            TransferEdge E;
+            E.Arr = Prm.Name;
+            E.ProducerKernel = Id;
+            E.ConsumerKernel = Id;
+            E.Bytes = staticBytes(Prm.Ty);
+            Out.push_back(std::move(E));
+          }
+        } else if (KS.Sharded) {
           for (const Param &Prm : S.Pat) {
             if (!Prm.Ty.isArray())
               continue;
@@ -238,8 +276,11 @@ fut::shard::derivePeakBytes(const FunDef &F,
   for (const KernelShard &KS : Kernels) {
     if (!KS.Sharded)
       continue;
-    for (const VName &O : KS.Outputs)
-      BlockWidth[O] = KS.ConstWidth;
+    // Histogram partials are replicated full-width per device (their
+    // merge edge lands them in Gathered), never block-resident.
+    if (!KS.HistMerge)
+      for (const VName &O : KS.Outputs)
+        BlockWidth[O] = KS.ConstWidth;
     for (const ShardInput &SI : KS.Inputs)
       if (SI.Class == InputClass::Aligned)
         BlockWidth.emplace(SI.Arr, KS.ConstWidth);
@@ -296,6 +337,7 @@ ShardPlan fut::shard::planShards(const Program &P,
       KS.KernelId = Id;
       KS.Sharded = A.Sharded;
       KS.WhyNot = std::move(A.WhyNot);
+      KS.HistMerge = A.HistMerge;
       KS.Width = A.Width;
       KS.ConstWidth = A.ConstWidth;
       KS.Inputs = std::move(A.Inputs);
@@ -333,6 +375,8 @@ std::string ShardPlan::str() const {
           for (const auto &Blk : KS.Blocks)
             OS << "[" << Blk.first << "," << Blk.second << ")";
         }
+        if (KS.HistMerge)
+          OS << " hist-merge";
         OS << "\n";
       }
       for (const ShardInput &SI : KS.Inputs)
@@ -346,6 +390,8 @@ std::string ShardPlan::str() const {
          << E.ProducerKernel << " -> ";
       if (E.ConsumerKernel < 0)
         OS << "host (gather";
+      else if (E.ConsumerKernel == E.ProducerKernel)
+        OS << "kernel " << E.ConsumerKernel << " (merge";
       else
         OS << "kernel " << E.ConsumerKernel << " (all-gather";
       if (E.Bytes >= 0)

@@ -75,6 +75,12 @@ struct KernelShard {
   int KernelId = 0;
   bool Sharded = false;
   std::string WhyNot; ///< Reason when not sharded.
+  /// Histogram kernels shard along the input-element dimension, but every
+  /// device accumulates into a full-width partial that must be folded with
+  /// the operator (device order) rather than concatenated: the outputs are
+  /// replicated, not block-partitioned, and the plan carries explicit
+  /// merge edges instead of registering them as partitioned values.
+  bool HistMerge = false;
   SubExp Width;       ///< Outer grid dimension (valid when Sharded).
   int64_t ConstWidth = -1; ///< Constant outer width; -1 when symbolic.
   /// Per-device row ownership [Start, End), recorded only for constant
@@ -158,6 +164,7 @@ void forEachKernel(
 struct KernelShardability {
   bool Sharded = false;
   std::string WhyNot;
+  bool HistMerge = false;
   SubExp Width;
   int64_t ConstWidth = -1;
   std::vector<ShardInput> Inputs;

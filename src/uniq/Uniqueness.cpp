@@ -352,6 +352,32 @@ private:
       return MaybeError::success();
     }
 
+    case ExpKind::ReduceByIndex: {
+      const auto *X = expCast<ReduceByIndexExp>(&E);
+      // Neither lambda may consume anything (both run many times per
+      // destination bin).
+      std::vector<VName> CTargets;
+      std::vector<bool> CMay(X->CombineFn.Params.size(), false);
+      if (auto Err = checkLambda(X->CombineFn, CTargets, CMay, St,
+                                 "a reduce_by_index operator", E.Loc))
+        return Err;
+      std::vector<VName> VTargets;
+      std::vector<bool> VMay(X->ValueFn.Params.size(), false);
+      if (auto Err = checkLambda(X->ValueFn, VTargets, VMay, St,
+                                 "a reduce_by_index value function", E.Loc))
+        return Err;
+      // SAFE-UPDATE shape: the destination is consumed and the result
+      // lives in its memory.
+      NameSet ResultAliases;
+      auto It = St.Aliases.find(X->Dest);
+      if (It != St.Aliases.end())
+        ResultAliases = It->second;
+      if (auto Err = consume(X->Dest, St, E.Loc))
+        return Err;
+      Res.push_back(std::move(ResultAliases));
+      return MaybeError::success();
+    }
+
     case ExpKind::Stream: {
       const auto *X = expCast<StreamExp>(&E);
       if (X->Form == StreamExp::FormKind::Red) {
@@ -398,6 +424,17 @@ private:
       std::vector<NameSet> BodyRes;
       if (auto Err = checkBody(X->ThreadBody, Inner, BodyRes))
         return Err;
+      if (X->Op == KernelExp::OpKind::SegHist) {
+        // The histogram destination is updated in place on the device.
+        NameSet ResultAliases;
+        auto It = St.Aliases.find(X->HistDest);
+        if (It != St.Aliases.end())
+          ResultAliases = It->second;
+        if (auto Err = consume(X->HistDest, St, E.Loc))
+          return Err;
+        Res.push_back(std::move(ResultAliases));
+        return MaybeError::success();
+      }
       for (size_t I = 0; I < X->RetTypes.size(); ++I)
         Res.push_back({});
       return MaybeError::success();

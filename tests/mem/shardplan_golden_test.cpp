@@ -41,6 +41,15 @@ const char *kSymbolicProgram =
     "  let ys = map (\\(x: i32): i32 -> x * 2 + 1) xs\n"
     "  in map (\\(y: i32): i32 -> y * y) ys\n";
 
+/// A histogram tail: the value map fuses into the SegHist kernel, the
+/// index producer stays a separate aligned kernel, and the plan must mark
+/// the histogram for partial-merge with an explicit merge edge.
+const char *kHistProgram =
+    "fun main (x: i32): [8]i32 =\n"
+    "  let a = map (\\(i: i32): i32 -> i % 8) (iota 16)\n"
+    "  let v = map (\\(i: i32): i32 -> i + x) (iota 16)\n"
+    "  in reduce_by_index (replicate 8 0) (+) 0 a v\n";
+
 } // namespace
 
 TEST(ShardPlanGolden, ConstantWidthPipelineAtTwoDevices) {
@@ -100,6 +109,71 @@ TEST(ShardPlanGolden, SingleDevicePlanIsDegenerate) {
             "  transfer 'dist_26': kernel 0 -> kernel 1 (all-gather, "
             "64 bytes)\n"
             "  peak bytes/device: 64\n");
+}
+
+TEST(ShardPlanGolden, HistogramMergePlanAtTwoDevices) {
+  // The SegHist kernel shards along its 16 input elements but its
+  // destination is broadcast and its output replicated: the plan says
+  // "hist-merge", skips the dest in the aligned classification, and
+  // carries a producer==consumer merge edge (32 bytes of partials folded
+  // with the operator) instead of an all-gather.
+  NameSource NS;
+  CompilerOptions Opts;
+  Opts.Devices = 2;
+  auto C = compileSource(kHistProgram, NS, Opts);
+  ASSERT_OK(C);
+  EXPECT_EQ(C->Shards.str(),
+            "shard plan (devices=2)\n"
+            "function 'main': 2 kernels (2 sharded), 1 transfers\n"
+            "  kernel 0: sharded width=16i32 blocks=[0,8)[8,16)\n"
+            "    output dist_21\n"
+            "  kernel 1: sharded width=16i32 blocks=[0,8)[8,16) "
+            "hist-merge\n"
+            "    input dist_21: aligned\n"
+            "    input repl_9: broadcast\n"
+            "    output hist_32\n"
+            "  transfer 'hist_32': kernel 1 -> kernel 1 (merge, 32 bytes)\n"
+            "  peak bytes/device: 96 64\n");
+}
+
+TEST(ShardPlanGolden, TidRebindStaysAligned) {
+  // Regression: a thread body that rebinds the thread index through a
+  // let (a copy the simplifier does not always collapse inside kernels)
+  // must still classify xs[j] as an aligned access — the planner used to
+  // see the rebound name, miss the tid identity, and fall back to
+  // broadcasting the input to every device.
+  NameSource NS;
+  VName Tid = NS.fresh("tid");
+  VName Xs = NS.fresh("xs");
+  VName J = NS.fresh("j");
+  VName V = NS.fresh("v");
+  Type ArrTy =
+      Type::array(ScalarKind::I32, {SubExp::constant(PrimValue::makeI32(16))});
+
+  auto K = std::make_unique<KernelExp>();
+  K->Op = KernelExp::OpKind::ThreadBody;
+  K->GridDims = {SubExp::constant(PrimValue::makeI32(16))};
+  K->ThreadIndices = {Tid};
+  K->Inputs.push_back({Xs, ArrTy, {}, false});
+  Body TB;
+  TB.Stms.emplace_back(
+      std::vector<Param>{Param(J, Type::scalar(ScalarKind::I32))},
+      std::make_unique<SubExpExp>(SubExp::var(Tid)));
+  TB.Stms.emplace_back(
+      std::vector<Param>{Param(V, Type::scalar(ScalarKind::I32))},
+      std::make_unique<IndexExp>(Xs, std::vector<SubExp>{SubExp::var(J)}));
+  TB.Result = {SubExp::var(V)};
+  K->ThreadBody = std::move(TB);
+  K->RetTypes = {ArrTy};
+
+  Stm S({Param(NS.fresh("out"), ArrTy)}, std::move(K));
+  shard::KernelShardability A = shard::analyseShardability(
+      *expCast<KernelExp>(S.E.get()), S, /*TopLevel=*/true);
+  ASSERT_TRUE(A.Sharded) << A.WhyNot;
+  ASSERT_EQ(A.Inputs.size(), 1u);
+  EXPECT_EQ(A.Inputs[0].Arr, Xs);
+  EXPECT_EQ(A.Inputs[0].Class, shard::InputClass::Aligned)
+      << "tid rebound through a let must stay an aligned access";
 }
 
 TEST(ShardPlanGolden, PlanIsDeterministic) {

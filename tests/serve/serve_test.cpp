@@ -60,9 +60,11 @@ TEST(ServeCache, RepeatedProgramHitsAfterFirstMiss) {
   S.submit(request(kSumSq, 64, 2000));
   auto R = drainById(S);
   ASSERT_EQ(R.size(), 3u);
-  EXPECT_FALSE(R[1].CacheHit);
-  EXPECT_TRUE(R[2].CacheHit);
-  EXPECT_TRUE(R[3].CacheHit);
+  for (uint64_t Id : {1u, 2u, 3u})
+    ASSERT_EQ(R.count(Id), 1u) << "missing response id " << Id;
+  EXPECT_FALSE(R.at(1).CacheHit);
+  EXPECT_TRUE(R.at(2).CacheHit);
+  EXPECT_TRUE(R.at(3).CacheHit);
   for (auto &KV : R) {
     EXPECT_TRUE(KV.second.Ok) << KV.second.Message;
     EXPECT_FALSE(KV.second.InterpFallback);
@@ -73,7 +75,7 @@ TEST(ServeCache, RepeatedProgramHitsAfterFirstMiss) {
   EXPECT_EQ(S.stats().CacheMisses, 1);
   // Hits must be visibly cheaper on the simulated timeline: they skip
   // the CompileCycles charge.
-  EXPECT_LT(R[2].serviceCycles(), R[1].serviceCycles());
+  EXPECT_LT(R.at(2).serviceCycles(), R.at(1).serviceCycles());
 }
 
 TEST(ServeCache, CompilerOptionsKeyTheArtifact) {
@@ -84,9 +86,11 @@ TEST(ServeCache, CompilerOptionsKeyTheArtifact) {
   S.submit(std::move(A));
   S.submit(std::move(B));
   auto R = drainById(S);
-  EXPECT_FALSE(R[1].CacheHit);
-  EXPECT_FALSE(R[2].CacheHit) << "different options must not share an "
-                                 "artifact";
+  ASSERT_EQ(R.count(1), 1u);
+  ASSERT_EQ(R.count(2), 1u);
+  EXPECT_FALSE(R.at(1).CacheHit);
+  EXPECT_FALSE(R.at(2).CacheHit) << "different options must not share an "
+                                    "artifact";
   EXPECT_EQ(S.cacheSize(), 2u);
   EXPECT_EQ(S.stats().Compiles, 2);
 }
@@ -103,7 +107,8 @@ TEST(ServeCache, LruEvictionBoundsTheCache) {
     EXPECT_TRUE(KV.second.Ok) << KV.second.Message;
   EXPECT_EQ(S.cacheSize(), 1u);
   // The third request re-compiles: its entry was the one evicted.
-  EXPECT_FALSE(R[3].CacheHit);
+  ASSERT_EQ(R.count(3), 1u);
+  EXPECT_FALSE(R.at(3).CacheHit);
   EXPECT_EQ(S.stats().Compiles, 3);
 }
 
@@ -142,10 +147,12 @@ TEST(ServeDeadline, QueuedExpiryIsShedTyped) {
   Late.Limits.DeadlineCycles = 10; // far less than CompileCycles
   S.submit(std::move(Late));
   auto R = drainById(S);
-  EXPECT_TRUE(R[1].Ok);
-  EXPECT_FALSE(R[2].Ok);
-  EXPECT_EQ(R[2].Error, ErrorKind::Deadline);
-  EXPECT_EQ(R[2].Attempts, 0) << "expired requests must not run";
+  ASSERT_EQ(R.count(1), 1u);
+  ASSERT_EQ(R.count(2), 1u);
+  EXPECT_TRUE(R.at(1).Ok);
+  EXPECT_FALSE(R.at(2).Ok);
+  EXPECT_EQ(R.at(2).Error, ErrorKind::Deadline);
+  EXPECT_EQ(R.at(2).Attempts, 0) << "expired requests must not run";
   EXPECT_EQ(S.stats().ShedDeadline, 1);
 }
 
@@ -155,10 +162,12 @@ TEST(ServeDeadline, CompletionOverrunIsReported) {
   Rq.Limits.DeadlineCycles = 1; // admitted instantly, but any run overruns
   S.submit(std::move(Rq));
   auto R = drainById(S);
-  EXPECT_FALSE(R[1].Ok);
-  EXPECT_EQ(R[1].Error, ErrorKind::Deadline);
-  EXPECT_GE(R[1].Attempts, 1) << "the run happened; only the contract broke";
-  EXPECT_TRUE(R[1].Outputs.empty());
+  ASSERT_EQ(R.count(1), 1u);
+  EXPECT_FALSE(R.at(1).Ok);
+  EXPECT_EQ(R.at(1).Error, ErrorKind::Deadline);
+  EXPECT_GE(R.at(1).Attempts, 1)
+      << "the run happened; only the contract broke";
+  EXPECT_TRUE(R.at(1).Outputs.empty());
   EXPECT_EQ(S.stats().DeadlineMissed, 1);
 }
 
@@ -174,16 +183,18 @@ TEST(ServeIsolation, OneTenantsFaultsNeverPoisonAnother) {
   S.submit(std::move(A));
   S.submit(std::move(B));
   auto R = drainById(S);
-  EXPECT_FALSE(R[1].Ok);
-  EXPECT_TRUE(R[1].Error == ErrorKind::TransientFault ||
-              R[1].Error == ErrorKind::Watchdog ||
-              R[1].Error == ErrorKind::DeviceOOM)
-      << R[1].Message;
+  ASSERT_EQ(R.count(1), 1u);
+  ASSERT_EQ(R.count(2), 1u);
+  EXPECT_FALSE(R.at(1).Ok);
+  EXPECT_TRUE(R.at(1).Error == ErrorKind::TransientFault ||
+              R.at(1).Error == ErrorKind::Watchdog ||
+              R.at(1).Error == ErrorKind::DeviceOOM)
+      << R.at(1).Message;
   // B is served from the same cache entry, cleanly, on the device.
-  EXPECT_TRUE(R[2].Ok) << R[2].Message;
-  EXPECT_TRUE(R[2].CacheHit);
-  EXPECT_FALSE(R[2].InterpFallback);
-  ASSERT_EQ(R[2].Outputs.size(), 1u);
+  EXPECT_TRUE(R.at(2).Ok) << R.at(2).Message;
+  EXPECT_TRUE(R.at(2).CacheHit);
+  EXPECT_FALSE(R.at(2).InterpFallback);
+  ASSERT_EQ(R.at(2).Outputs.size(), 1u);
 }
 
 TEST(ServeIsolation, PerRequestLimitsAreIndependent) {
@@ -197,10 +208,12 @@ TEST(ServeIsolation, PerRequestLimitsAreIndependent) {
   S.submit(std::move(A));
   S.submit(std::move(B));
   auto R = drainById(S);
-  EXPECT_FALSE(R[1].Ok);
-  EXPECT_EQ(R[1].Error, ErrorKind::Watchdog) << R[1].Message;
-  EXPECT_TRUE(R[2].Ok) << R[2].Message;
-  EXPECT_FALSE(R[2].InterpFallback);
+  ASSERT_EQ(R.count(1), 1u);
+  ASSERT_EQ(R.count(2), 1u);
+  EXPECT_FALSE(R.at(1).Ok);
+  EXPECT_EQ(R.at(1).Error, ErrorKind::Watchdog) << R.at(1).Message;
+  EXPECT_TRUE(R.at(2).Ok) << R.at(2).Message;
+  EXPECT_FALSE(R.at(2).InterpFallback);
 }
 
 TEST(ServeDegradation, PersistentFaultsFallBackToInterpreter) {
@@ -213,13 +226,16 @@ TEST(ServeDegradation, PersistentFaultsFallBackToInterpreter) {
   // quarantine) still serves from the device.
   S.submit(request(kSumSq, 64, 1));
   auto R = drainById(S);
-  EXPECT_TRUE(R[1].Ok) << R[1].Message;
-  EXPECT_TRUE(R[1].InterpFallback) << "100% launch failures must degrade";
-  EXPECT_TRUE(R[1].Recompiled) << "quarantine must have recompiled first";
-  EXPECT_TRUE(R[2].Ok) << R[2].Message;
-  EXPECT_FALSE(R[2].InterpFallback);
-  ASSERT_EQ(R[1].Outputs.size(), R[2].Outputs.size());
-  EXPECT_TRUE(R[1].Outputs[0] == R[2].Outputs[0])
+  ASSERT_EQ(R.count(1), 1u);
+  ASSERT_EQ(R.count(2), 1u);
+  EXPECT_TRUE(R.at(1).Ok) << R.at(1).Message;
+  EXPECT_TRUE(R.at(1).InterpFallback) << "100% launch failures must degrade";
+  EXPECT_TRUE(R.at(1).Recompiled) << "quarantine must have recompiled first";
+  EXPECT_TRUE(R.at(2).Ok) << R.at(2).Message;
+  EXPECT_FALSE(R.at(2).InterpFallback);
+  ASSERT_EQ(R.at(1).Outputs.size(), R.at(2).Outputs.size());
+  ASSERT_FALSE(R.at(1).Outputs.empty());
+  EXPECT_TRUE(R.at(1).Outputs[0] == R.at(2).Outputs[0])
       << "degraded and device results must agree";
   EXPECT_EQ(S.stats().Quarantined, 1);
   EXPECT_EQ(S.stats().Recompiles, 1);
@@ -237,8 +253,10 @@ TEST(ServeDegradation, QuarantineRecompilesAtMostOnce) {
     S.submit(std::move(A));
   }
   auto R = drainById(S);
-  EXPECT_TRUE(R[1].Ok && R[1].InterpFallback);
-  EXPECT_TRUE(R[2].Ok && R[2].InterpFallback);
+  ASSERT_EQ(R.count(1), 1u);
+  ASSERT_EQ(R.count(2), 1u);
+  EXPECT_TRUE(R.at(1).Ok && R.at(1).InterpFallback);
+  EXPECT_TRUE(R.at(2).Ok && R.at(2).InterpFallback);
   EXPECT_EQ(S.stats().Quarantined, 1);
   EXPECT_EQ(S.stats().Recompiles, 1);
 }
@@ -273,13 +291,15 @@ TEST(ServeAdmission, PackedTenantsCarryTheirReservation) {
   S.submit(request(kSumSq, 64, 1000000.0));
   S.submit(request(kSumSq, 64, 1000001.0));
   auto R = drainById(S);
-  EXPECT_TRUE(R[1].Solo) << "first run of a signature profiles solo";
-  EXPECT_EQ(R[1].ReservedBytes, 0);
+  for (uint64_t Id : {1u, 2u, 3u})
+    ASSERT_EQ(R.count(Id), 1u) << "missing response id " << Id;
+  EXPECT_TRUE(R.at(1).Solo) << "first run of a signature profiles solo";
+  EXPECT_EQ(R.at(1).ReservedBytes, 0);
   for (uint64_t Id : {2u, 3u}) {
-    EXPECT_FALSE(R[Id].Solo);
-    EXPECT_GT(R[Id].ReservedBytes, 0)
+    EXPECT_FALSE(R.at(Id).Solo);
+    EXPECT_GT(R.at(Id).ReservedBytes, 0)
         << "packed tenants run against an explicit reservation";
-    EXPECT_TRUE(R[Id].Ok) << R[Id].Message;
+    EXPECT_TRUE(R.at(Id).Ok) << R.at(Id).Message;
   }
 }
 
