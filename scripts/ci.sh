@@ -275,20 +275,89 @@ print(f"ok: {len(shapes)} shapes >= 1.0x; conflicts {int(confl[0])} -> "
       f"{int(switch['global']['atomic_conflicts'])} conflicts")
 EOF
 
+echo "== cost-model leg: roofline vs pipeline, cross-model fuzz, tuner =="
+# The pluggable CostModel seam: unit suites for the seam itself (exact
+# roofline formula, typed Config errors, profile observables) and the
+# autotuner's contracts.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'CostModelTest|TuneTest'
+# Differential fuzz with the pipeline model charged: whatever prices the
+# cycles, outputs stay bit-identical to the reference interpreter.
+"$BUILD_DIR"/src/fuzz/futharkcc-fuzz --seed-range 1..300 \
+  --cost-model pipeline --out "$BUILD_DIR"/fuzz-failures-pipeline
+# Cross-model agreement oracle over 150 seeds: both models on the same
+# compiled artifact must produce bit-identical outputs and exactly equal
+# model-independent counters (traffic, atomics, coalescing split).
+"$BUILD_DIR"/src/fuzz/futharkcc-fuzz --seed-range 1..150 --cross-model \
+  --out "$BUILD_DIR"/fuzz-failures-crossmodel
+# bench_costmodel runs the sixteen-benchmark suite under both models,
+# asserts output/counter agreement per benchmark, and records the E16
+# calibration table (roofline vs pipeline cycles, divergence profile).
+# The hist leg's rows are already set aside in BENCH_trace_hist.json.
+(cd "$BUILD_DIR" && ./bench/bench_costmodel >/dev/null)
+cp "$BUILD_DIR"/BENCH_trace.json "$BUILD_DIR"/BENCH_trace_costmodel.json
+python3 - "$BUILD_DIR"/BENCH_trace_costmodel.json <<'EOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))["benchmarks"]
+assert len(rows) == 16, f"expected 16 calibration rows, got {len(rows)}"
+for r in rows:
+    assert r["outputs_identical"] == 1, f"{r['benchmark']}: outputs diverged"
+    assert r["pipeline_kernel_cycles"] >= r["roofline_kernel_cycles"], \
+        f"{r['benchmark']}: pipeline undercuts roofline"
+div = sum(1 for r in rows if r["divergent_warps"] > 0)
+print(f"ok: 16 benchmarks agree across models; {div} show warp divergence")
+EOF
+# Tuner smoke: the cycle-oracle autotuner must find >= 2 benchmarks that
+# improve by >= 10% simulated cycles with bit-identical outputs (the
+# binary exits 1 on any output mismatch or if the bar is missed).
+"$BUILD_DIR"/src/tune/futharkcc-tune --rounds 2 --min-wins 2 \
+  --min-improvement 10 --json "$BUILD_DIR"/ci_tune.json \
+  > "$BUILD_DIR"/ci_tune.log
+grep -q "benchmark(s) improved" "$BUILD_DIR"/ci_tune.log
+
 echo "== bench trajectory: merged BENCH_trace.json at repo root =="
 # Each bench binary overwrites BENCH_trace.json in its own run, so the
-# legs above set their rows aside (serve, shard, hist).  Merge them into
-# one trajectory file at the repo root — the single artifact CI uploads
-# and notebooks diff across commits.
+# legs above set their rows aside (serve, shard, hist, costmodel).  Merge
+# them into one trajectory file at the repo root — the single artifact CI
+# uploads and notebooks diff across commits — and assert its schema: a
+# non-empty benchmarks array whose rows all carry benchmark/device names
+# and a counters object.
 python3 - "$BUILD_DIR" <<'EOF'
 import json, sys
 bd = sys.argv[1]
 merged = []
-for leg in ("serve", "shard", "hist"):
+for leg in ("serve", "shard", "hist", "costmodel"):
     merged += json.load(open(f"{bd}/BENCH_trace_{leg}.json"))["benchmarks"]
 assert merged, "no benchmark rows to merge"
 json.dump({"benchmarks": merged}, open("BENCH_trace.json", "w"), indent=1)
-print(f"ok: {len(merged)} rows merged into ./BENCH_trace.json")
+check = json.load(open("BENCH_trace.json"))
+assert isinstance(check["benchmarks"], list) and check["benchmarks"], \
+    "merged trajectory is empty"
+for r in check["benchmarks"]:
+    assert isinstance(r.get("benchmark"), str) and r["benchmark"], \
+        f"row without benchmark name: {r}"
+    assert isinstance(r.get("device"), str), f"row without device: {r}"
+    assert isinstance(r.get("counters"), dict), \
+        f"row without counters object: {r['benchmark']}"
+print(f"ok: {len(merged)} schema-checked rows merged into ./BENCH_trace.json")
 EOF
+
+echo "== hygiene: build artifacts never land in the source tree =="
+# Regression guard for the stray libfut_*.a incident: a build must leave
+# the tracked tree untouched and must not scatter archives or objects
+# under src/ or tests/ (the out-of-tree build owns all artifacts).
+STRAYS=$(find src tests bench examples -name '*.a' -o -name '*.o' | head)
+if [ -n "$STRAYS" ]; then
+  echo "stray build artifacts in the source tree:" >&2
+  echo "$STRAYS" >&2
+  exit 1
+fi
+DIRTY=$(git status --porcelain)
+if [ -n "$DIRTY" ]; then
+  echo "working tree dirty after build + test run:" >&2
+  echo "$DIRTY" >&2
+  exit 1
+fi
+echo "ok: source tree clean"
 
 echo "== ci.sh: all green =="

@@ -70,10 +70,12 @@ private:
   MaybeError useArray(const VName &V, const std::string &Where) {
     if (auto Err = use(V, Where))
       return Err;
-    if (!Scope[V].isArray())
+    // use() above guarantees presence; .at() keeps this a checked lookup
+    // instead of an operator[] that would default-construct a bogus type.
+    if (!Scope.at(V).isArray())
       return CompilerError("variable " + V.str() + " used as an array in " +
                            Where + " but has scalar type " +
-                           Scope[V].str());
+                           Scope.at(V).str());
     return MaybeError::success();
   }
 
@@ -145,9 +147,9 @@ private:
       const auto *X = expCast<IndexExp>(&E);
       if (auto Err = useArray(X->Arr, Where))
         return Err;
-      if (static_cast<int>(X->Indices.size()) > Scope[X->Arr].rank())
+      if (static_cast<int>(X->Indices.size()) > Scope.at(X->Arr).rank())
         return CompilerError("indexing " + X->Arr.str() + " of rank " +
-                             std::to_string(Scope[X->Arr].rank()) +
+                             std::to_string(Scope.at(X->Arr).rank()) +
                              " with " + std::to_string(X->Indices.size()) +
                              " indices in " + Where);
       return MaybeError::success();
@@ -162,7 +164,7 @@ private:
       const auto *X = expCast<RearrangeExp>(&E);
       if (auto Err = useArray(X->Arr, Where))
         return Err;
-      if (static_cast<int>(X->Perm.size()) != Scope[X->Arr].rank())
+      if (static_cast<int>(X->Perm.size()) != Scope.at(X->Arr).rank())
         return CompilerError("rearrange permutation rank mismatch on " +
                              X->Arr.str() + " in " + Where);
       std::vector<bool> Seen(X->Perm.size(), false);

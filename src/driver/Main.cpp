@@ -24,6 +24,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Compiler.h"
+#include "gpusim/CostModel.h"
 #include "gpusim/Device.h"
 #include "interp/Interp.h"
 #include "ir/Printer.h"
@@ -45,6 +46,12 @@ void usage() {
           "  --dump-ir          print the compiled IR\n"
           "  --interp           run on the reference interpreter\n"
           "  --device <name>    gtx780 (default) or w8100\n"
+          "  --cost-model <m>   kernel cycle model: roofline (closed-form\n"
+          "                     default) or pipeline (warp-scheduler\n"
+          "                     occupancy, divergence serialisation,\n"
+          "                     coalescer queue, bank conflicts); outputs\n"
+          "                     and transaction counters are identical\n"
+          "                     under either model\n"
           "  --no-fusion        disable the fusion engine\n"
           "  --no-coalescing    disable the coalescing transformation\n"
           "  --no-tiling        disable block tiling\n"
@@ -227,6 +234,22 @@ int main(int argc, char **argv) {
         fprintf(stderr, "unknown device '%s'\n", Name.c_str());
         return 2;
       }
+    } else if (A == "--cost-model" || A.rfind("--cost-model=", 0) == 0) {
+      std::string Name;
+      if (A == "--cost-model") {
+        if (++I >= argc) {
+          usage();
+          return 2;
+        }
+        Name = argv[I];
+      } else {
+        Name = A.substr(strlen("--cost-model="));
+      }
+      if (!gpusim::CostModel::byName(Name)) {
+        fprintf(stderr, "unknown cost model '%s'\n", Name.c_str());
+        return 2;
+      }
+      DP.CostModelName = Name;
     } else if (A == "--device-mem") {
       if (!NumArg(I, N)) {
         usage();

@@ -372,6 +372,109 @@ Outcome fut::fuzz::runDifferential(const FuzzCase &C,
   return O;
 }
 
+Outcome fut::fuzz::runCrossModel(const FuzzCase &C,
+                                 const gpusim::DeviceParams &DP,
+                                 int Devices) {
+  auto Fail = [&](const std::string &What) {
+    Outcome O;
+    O.Ok = false;
+    O.Message = "seed: " + std::to_string(C.Seed) + "\ncross-model " + What +
+                "\nprogram:\n" + C.Source;
+    return O;
+  };
+
+  NameSource Names;
+  CompilerOptions CO;
+  CO.Devices = Devices;
+  auto Compiled = compileSource(C.Source, Names, CO);
+  if (!Compiled)
+    return Fail("compilation failed: " + Compiled.getError().str());
+
+  auto RunUnder = [&](const char *Model) {
+    DeviceRunOptions RO;
+    RO.Device = DP;
+    RO.Device.CostModelName = Model;
+    if (DP.UseMemPlan)
+      RO.MemPlan = &Compiled->MemPlan;
+    if (Devices > 1) {
+      RO.Shards = &Compiled->Shards;
+      RO.Devices = Devices;
+    }
+    return runOnDevice(Compiled->P, C.Args, RO);
+  };
+
+  auto Roof = RunUnder("roofline");
+  auto Pipe = RunUnder("pipeline");
+
+  if (!Roof && !Pipe) {
+    if (Roof.getError().Kind == Pipe.getError().Kind &&
+        Roof.getError().Message == Pipe.getError().Message) {
+      Outcome O;
+      O.Ok = true;
+      O.BothFailed = true;
+      return O;
+    }
+    return Fail("error mismatch\n  roofline: " + Roof.getError().str() +
+                "\n  pipeline: " + Pipe.getError().str());
+  }
+  if (!Roof)
+    return Fail("only roofline failed: " + Roof.getError().str());
+  if (!Pipe)
+    return Fail("only pipeline failed: " + Pipe.getError().str());
+
+  if (Roof->Outputs.size() != Pipe->Outputs.size())
+    return Fail("result arity mismatch: roofline returned " +
+                std::to_string(Roof->Outputs.size()) + ", pipeline " +
+                std::to_string(Pipe->Outputs.size()));
+  for (size_t J = 0; J < Roof->Outputs.size(); ++J)
+    if (!(Roof->Outputs[J] == Pipe->Outputs[J]))
+      return Fail("result " + std::to_string(J) +
+                  " differs\n  roofline: " + Roof->Outputs[J].str() +
+                  "\n  pipeline: " + Pipe->Outputs[J].str());
+
+  // Model-independent counters: the model prices cycles, it does not
+  // change the traffic.  Each pair must be exactly equal, and the
+  // coalescing decomposition must account for every global transaction
+  // under both models.
+  const gpusim::CostReport &RC = Roof->Cost;
+  const gpusim::CostReport &PC = Pipe->Cost;
+  auto CounterMismatch = [&](const char *Name, int64_t A, int64_t B) {
+    return Fail(std::string("counter ") + Name +
+                " differs\n  roofline: " + std::to_string(A) +
+                "\n  pipeline: " + std::to_string(B));
+  };
+  if (RC.KernelLaunches != PC.KernelLaunches)
+    return CounterMismatch("KernelLaunches", RC.KernelLaunches,
+                           PC.KernelLaunches);
+  if (RC.GlobalTransactions != PC.GlobalTransactions)
+    return CounterMismatch("GlobalTransactions", RC.GlobalTransactions,
+                           PC.GlobalTransactions);
+  if (RC.TransferredBytes != PC.TransferredBytes)
+    return CounterMismatch("TransferredBytes", RC.TransferredBytes,
+                           PC.TransferredBytes);
+  if (RC.AtomicTransactions != PC.AtomicTransactions)
+    return CounterMismatch("AtomicTransactions", RC.AtomicTransactions,
+                           PC.AtomicTransactions);
+  if (RC.AtomicConflicts != PC.AtomicConflicts)
+    return CounterMismatch("AtomicConflicts", RC.AtomicConflicts,
+                           PC.AtomicConflicts);
+  if (RC.LocalAccesses != PC.LocalAccesses)
+    return CounterMismatch("LocalAccesses", RC.LocalAccesses,
+                           PC.LocalAccesses);
+  for (const gpusim::CostReport *CR : {&RC, &PC})
+    if (CR->CoalescedTransactions + CR->ScatteredTransactions !=
+        CR->GlobalTransactions)
+      return Fail(std::string("coalescing decomposition broken under ") +
+                  CR->CostModelUsed + ": " +
+                  std::to_string(CR->CoalescedTransactions) + " + " +
+                  std::to_string(CR->ScatteredTransactions) +
+                  " != " + std::to_string(CR->GlobalTransactions));
+
+  Outcome O;
+  O.Ok = true;
+  return O;
+}
+
 //===----------------------------------------------------------------------===//
 // Shrinking
 //===----------------------------------------------------------------------===//

@@ -135,6 +135,19 @@ Outcome runSourceDifferential(const std::string &Source,
                                   gpusim::DeviceParams::gtx780(),
                               int Devices = 1);
 
+/// Cross-model agreement oracle: compiles once and runs the device leg
+/// twice — once under the roofline cost model, once under the pipeline
+/// model — demanding bit-identical outputs (or the identical typed
+/// runtime error) and exactly equal model-independent counters
+/// (GlobalTransactions, TransferredBytes, atomic traffic, and the
+/// Coalesced + Scattered == GlobalTransactions decomposition).  The cost
+/// model prices cycles; it must never influence what the program computes
+/// or how much memory traffic it performs.
+Outcome runCrossModel(const FuzzCase &C,
+                      const gpusim::DeviceParams &DP =
+                          gpusim::DeviceParams::gtx780(),
+                      int Devices = 1);
+
 /// Greedy shrink: repeatedly re-render with one step removed (then with a
 /// shorter array / zeroed inputs) while the differential failure persists.
 /// \p DP and \p Devices must be the device configuration the failure was

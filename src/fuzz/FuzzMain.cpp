@@ -15,6 +15,8 @@
 
 #include "fuzz/Fuzz.h"
 
+#include "gpusim/CostModel.h"
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -43,6 +45,13 @@ void usage() {
           "  --hist-global       force the global-atomic histogram\n"
           "                      lowering (local-width threshold 0), so\n"
           "                      the sweep covers both strategies\n"
+          "  --cost-model <m>    run the device leg under cost model m\n"
+          "                      (roofline | pipeline); outputs must stay\n"
+          "                      bit-identical to the reference either way\n"
+          "  --cross-model       additionally run each seed's device leg\n"
+          "                      under BOTH cost models and demand\n"
+          "                      bit-identical outputs and exactly equal\n"
+          "                      model-independent counters\n"
           "  --dump <n>          print the program for seed n and exit\n"
           "  -v                  print every seed as it runs\n");
 }
@@ -65,7 +74,7 @@ bool parseRange(const std::string &S, uint64_t &Lo, uint64_t &Hi) {
 int main(int argc, char **argv) {
   uint64_t Lo = 1, Hi = 100;
   std::string OutDir = "fuzz-failures";
-  bool Shrink = true, Verbose = false;
+  bool Shrink = true, Verbose = false, CrossModel = false;
   int64_t DumpSeed = -1;
   int Devices = 1;
   gpusim::DeviceParams DP = gpusim::DeviceParams::gtx780();
@@ -114,6 +123,16 @@ int main(int argc, char **argv) {
       DP.UseMemPlan = false;
     } else if (A == "--hist-global") {
       DP.HistLocalWidthMax = 0;
+    } else if (A == "--cost-model" || A.rfind("--cost-model=", 0) == 0) {
+      const char *V =
+          A == "--cost-model" ? Next() : A.c_str() + strlen("--cost-model=");
+      if (!V || !gpusim::CostModel::byName(V)) {
+        usage();
+        return 2;
+      }
+      DP.CostModelName = V;
+    } else if (A == "--cross-model") {
+      CrossModel = true;
     } else if (A == "--devices" || A.rfind("--devices=", 0) == 0) {
       const char *V =
           A == "--devices" ? Next() : A.c_str() + strlen("--devices=");
@@ -154,6 +173,19 @@ int main(int argc, char **argv) {
     Plan P = samplePlan(Seed);
     FuzzCase C = renderPlan(P, Seed);
     Outcome O = runDifferential(C, DP, Devices);
+    if (O.Ok && CrossModel) {
+      // The cross-model oracle is independent of the interpreter: both
+      // cost models must produce bit-identical outputs and exactly equal
+      // model-independent counters.  A disagreement is reported as-is —
+      // the differential shrinker would not reproduce it.
+      Outcome XM = runCrossModel(C, DP, Devices);
+      if (!XM.Ok) {
+        ++Failures;
+        fprintf(stderr, "seed %llu: CROSS-MODEL FAIL\n%s\n",
+                static_cast<unsigned long long>(Seed), XM.Message.c_str());
+        continue;
+      }
+    }
     if (O.Ok) {
       if (O.BothFailed)
         ++BothFailed;

@@ -1,0 +1,111 @@
+//===- CostModel.h - Pluggable kernel cycle-cost models ---------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Kernel costing behind an interface.  Every kernel launch is simulated
+/// functionally by KernelSim regardless of the model — the transaction and
+/// operation counters (CostReport) and the warp-level execution profile
+/// (KernelProfile) are model-independent facts about the launch.  A
+/// CostModel only converts those facts into a cycle estimate:
+///
+///  * RooflineCostModel — the paper's closed-form model, and the default:
+///      launch + max(compute, global, local, private),
+///    each term being total work over the corresponding throughput.  Its
+///    arithmetic reproduces the historical inline formula expression by
+///    expression, so default cost lines are byte-identical to the
+///    pre-refactor simulator.
+///
+///  * PipelineCostModel — a scoped pipeline-level second opinion that
+///    replays the same counters through per-SM warp-scheduler occupancy,
+///    divergence serialisation on branchy warps, a bounded memory
+///    coalescer queue, and local-memory bank conflicts.  It exists to
+///    bound the closed-form model's error (EXPERIMENTS E16) and to serve
+///    as an alternative autotuning oracle; outputs and the
+///    model-independent counters are identical under either model by
+///    construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_GPUSIM_COSTMODEL_H
+#define FUTHARKCC_GPUSIM_COSTMODEL_H
+
+#include <cstdint>
+#include <string>
+
+namespace fut {
+namespace gpusim {
+
+struct DeviceParams;
+struct CostReport;
+
+/// Warp-level execution profile of one kernel launch, collected by
+/// KernelSim as warps retire.  Everything here is a fact about the
+/// simulated execution (not a costing decision), so it is gathered
+/// unconditionally and both models see the same profile.
+struct KernelProfile {
+  /// Warps the launch retired (every partial trailing warp counts).
+  int64_t Warps = 0;
+  /// Total scalar operations across all lanes (the per-warp sum of
+  /// per-lane op counts; matches CostReport::ComputeOps up to charges
+  /// made outside any lane window).
+  int64_t LaneOps = 0;
+  /// Warp-instruction slots after divergence serialisation: a warp whose
+  /// lanes executed op counts o_1..o_L issues
+  ///   min_i(o_i) + sum_i(o_i - min_i(o_i))
+  /// slots — the converged prefix issues once for the whole warp, the
+  /// divergent remainder serialises per lane.  Uniform warps issue
+  /// exactly max_i(o_i).
+  int64_t WarpIssueOps = 0;
+  /// Warps whose lanes executed differing op counts (control divergence).
+  int64_t DivergentWarps = 0;
+  /// Warp memory time-steps merged (one per simultaneous access round).
+  int64_t MemSteps = 0;
+  /// Transactions beyond the coalescer queue depth in a single warp
+  /// time-step; the coalescer stalls the pipeline to drain them.
+  int64_t CoalescerExcessTx = 0;
+  /// Extra serialised scratchpad cycles from local-memory bank conflicts
+  /// (lanes of one warp hitting the same bank in one step).
+  int64_t BankConflictExtra = 0;
+
+  void add(const KernelProfile &O) {
+    Warps += O.Warps;
+    LaneOps += O.LaneOps;
+    WarpIssueOps += O.WarpIssueOps;
+    DivergentWarps += O.DivergentWarps;
+    MemSteps += O.MemSteps;
+    CoalescerExcessTx += O.CoalescerExcessTx;
+    BankConflictExtra += O.BankConflictExtra;
+  }
+};
+
+/// Converts one launch's model-independent counters into simulated cycles.
+/// Implementations must be pure functions of their arguments: the same
+/// launch always costs the same, which is what makes simulated cycles a
+/// deterministic autotuning oracle.
+class CostModel {
+public:
+  virtual ~CostModel() = default;
+
+  virtual const char *name() const = 0;
+
+  /// Cycles for one kernel launch, including the launch overhead.
+  /// \p KCost carries this launch's counters only (not the run total).
+  virtual double kernelCycles(const DeviceParams &P, const CostReport &KCost,
+                              const KernelProfile &Prof) const = 0;
+
+  /// The closed-form default (byte-identical cost lines to the
+  /// pre-interface simulator).
+  static const CostModel &roofline();
+  /// The pipeline-level second opinion.
+  static const CostModel &pipeline();
+  /// Looks a model up by its --cost-model name; nullptr when unknown.
+  static const CostModel *byName(const std::string &Name);
+};
+
+} // namespace gpusim
+} // namespace fut
+
+#endif // FUTHARKCC_GPUSIM_COSTMODEL_H

@@ -7,6 +7,7 @@
 #include "gpusim/Device.h"
 
 #include "gpusim/BufferManager.h"
+#include "gpusim/CostModel.h"
 #include "gpusim/DeviceGroup.h"
 #include "gpusim/Timeline.h"
 #include "ir/Printer.h"
@@ -33,7 +34,12 @@ DeviceParams DeviceParams::w8100() {
   P.GlobalTxPerCycle = 2.3;
   P.TransferBytesPerCycle = 6;
   P.DeviceMemBytes = 8LL << 30; // 8 GiB, like the FirePro W8100
+  P.NumSMs = 44; // 44 GCN compute units
   return P;
+}
+
+bool DeviceParams::costModelNameKnown() const {
+  return CostModel::byName(CostModelName) != nullptr;
 }
 
 std::string CostReport::str() const {
@@ -64,6 +70,15 @@ std::string CostReport::str() const {
      << " freelisthits=" << FreeListHits
      << " plannedpeak=" << PlannedPeakBytes << " hoisted=" << HoistedAllocs
      << " reused=" << ReusedBlocks;
+  // Printed only under a non-default model, so default cost lines stay
+  // byte-identical to the pre-CostModel format.
+  if (CostModelUsed != "roofline")
+    OS << " costmodel=" << CostModelUsed
+       << " rooflinecycles=" << static_cast<int64_t>(RooflineKernelCycles)
+       << " pipelinecycles=" << static_cast<int64_t>(PipelineKernelCycles)
+       << " warps=" << WarpsSimulated << " divergentwarps=" << DivergentWarps
+       << " coalescerexcess=" << CoalescerExcessTx
+       << " bankconflictextra=" << BankConflictExtra;
   if (NumDevices > 1) {
     OS << " devices=" << NumDevices << " shardedlaunches=" << ShardedLaunches
        << " interdevbytes=" << InterDeviceBytes
@@ -149,6 +164,14 @@ class KernelSim {
   /// The current thread's global access trace (addresses, in order).
   std::vector<uint64_t> *Trace = nullptr;
 
+  /// Warp-level execution profile (CostModel.h), collected as warps
+  /// retire; model-independent, so it is gathered unconditionally.
+  KernelProfile Prof;
+  /// ComputeOps snapshot at each open lane's start; lane op counts are
+  /// the snapshot deltas (threads run sequentially, so the ops charged
+  /// between two lane starts belong to the earlier lane).
+  std::vector<int64_t> LaneOpsStart;
+
   int ReduceFnOps = 0;
 
   /// Remaining device-memory budget for this kernel's results, in bytes;
@@ -184,6 +207,9 @@ public:
 
   /// Bytes of results this launch materialised (valid after run()).
   int64_t outBytes() const { return OutBytesSoFar; }
+
+  /// Warp-level execution profile of this launch (valid after run()).
+  const KernelProfile &profile() const { return Prof; }
 
 private:
   //===-- Setup -----------------------------------------------------------===//
@@ -438,7 +464,14 @@ private:
   ErrorOr<std::vector<Value>> runSegmented();
   ErrorOr<std::vector<Value>> runSegHist();
 
-  /// Merges the per-thread traces of one warp into transactions.
+  /// Opens a new lane of the current warp: snapshots the op counter so
+  /// the lane's compute work can be attributed at warp close.  Call
+  /// exactly once per WarpTraces lane.
+  void beginLane() { LaneOpsStart.push_back(Cost.ComputeOps); }
+
+  /// Merges the per-thread traces of one warp into transactions and
+  /// closes the warp's profile entry (issue slots after divergence
+  /// serialisation, coalescer-queue overflow).
   void mergeWarp(std::vector<std::vector<uint64_t>> &WarpTraces) {
     size_t MaxLen = 0;
     for (const auto &T : WarpTraces)
@@ -462,9 +495,33 @@ private:
         Cost.CoalescedTransactions += Tx;
       else
         Cost.ScatteredTransactions += Tx;
+      ++Prof.MemSteps;
+      Prof.CoalescerExcessTx +=
+          std::max<int64_t>(0, Tx - P.CoalescerQueueDepth);
     }
     for (auto &T : WarpTraces)
       T.clear();
+
+    if (LaneOpsStart.empty())
+      return;
+    ++Prof.Warps;
+    int64_t MinOps = INT64_MAX, MaxOps = 0, SumOps = 0;
+    for (size_t I = 0; I < LaneOpsStart.size(); ++I) {
+      int64_t End = I + 1 < LaneOpsStart.size() ? LaneOpsStart[I + 1]
+                                                : Cost.ComputeOps;
+      int64_t Ops = End - LaneOpsStart[I];
+      MinOps = std::min(MinOps, Ops);
+      MaxOps = std::max(MaxOps, Ops);
+      SumOps += Ops;
+    }
+    Prof.LaneOps += SumOps;
+    // The converged prefix issues once warp-wide; the divergent remainder
+    // serialises per lane.  Uniform warps issue exactly MaxOps slots.
+    int64_t LaneCount = static_cast<int64_t>(LaneOpsStart.size());
+    Prof.WarpIssueOps += SumOps - (LaneCount - 1) * MinOps;
+    if (MaxOps != MinOps)
+      ++Prof.DivergentWarps;
+    LaneOpsStart.clear();
   }
 };
 
@@ -999,6 +1056,7 @@ ErrorOr<std::vector<Value>> KernelSim::runThreadBody() {
   for (int64_t T = 0; T < Threads; ++T) {
     WarpTraces.emplace_back();
     Trace = &WarpTraces.back();
+    beginLane();
 
     TEnv Env = Base;
     for (size_t I = 0; I < Grid.size(); ++I)
@@ -1122,12 +1180,14 @@ ErrorOr<std::vector<Value>> KernelSim::runSegmented() {
     if (ThreadPerSegment) {
       WarpTraces.emplace_back();
       Trace = &WarpTraces.back();
+      beginLane();
     }
 
     for (int64_t S = 0; S < SegSize; ++S) {
       if (!ThreadPerSegment) {
         WarpTraces.emplace_back();
         Trace = &WarpTraces.back();
+        beginLane();
       }
 
       TEnv Env = Base;
@@ -1320,11 +1380,29 @@ ErrorOr<std::vector<Value>> KernelSim::runSegHist() {
     WarpSegs.clear();
   };
 
+  // Local-subhistogram strategy: the simulator knows which scratchpad bin
+  // every lane updates, so bank conflicts are observable on this path —
+  // lanes of one warp batch whose bins share a bank serialise.  Profile
+  // only (the pipeline cost model charges it); the roofline charge stays
+  // the plain scratchpad access count.
+  std::vector<int64_t> WarpBanks;
+  auto FlushBanks = [&] {
+    if (WarpBanks.empty())
+      return;
+    int64_t Lanes = static_cast<int64_t>(WarpBanks.size());
+    std::sort(WarpBanks.begin(), WarpBanks.end());
+    int64_t Unique = std::unique(WarpBanks.begin(), WarpBanks.end()) -
+                     WarpBanks.begin();
+    Prof.BankConflictExtra += Lanes - Unique;
+    WarpBanks.clear();
+  };
+
   std::vector<std::vector<uint64_t>> WarpTraces;
   std::vector<int64_t> Idx(Grid.size(), 0);
   for (int64_t T = 0; T < Threads; ++T) {
     WarpTraces.emplace_back();
     Trace = &WarpTraces.back();
+    beginLane();
 
     TEnv Env = Base;
     for (size_t I = 0; I < Grid.size(); ++I)
@@ -1348,10 +1426,12 @@ ErrorOr<std::vector<Value>> KernelSim::runSegHist() {
         return CompilerError("seghist operator must produce one scalar");
       Bins[static_cast<size_t>(Bin)] = Comb[0].getScalar();
       Cost.ComputeOps += ReduceFnOps;
-      if (UseLocal)
+      if (UseLocal) {
         Cost.LocalAccesses += 2; // scratchpad read-modify-write
-      else
+        WarpBanks.push_back(Bin % std::max(1, P.LocalMemBanks));
+      } else {
         WarpSegs.push_back(Bin * EB / P.SegmentBytes);
+      }
     }
 
     if (WarpTraces.size() == static_cast<size_t>(P.WarpSize) ||
@@ -1360,6 +1440,7 @@ ErrorOr<std::vector<Value>> KernelSim::runSegHist() {
       mergeWarp(WarpTraces);
       WarpTraces.clear();
       FlushAtomics();
+      FlushBanks();
     }
 
     for (int I = static_cast<int>(Grid.size()) - 1; I >= 0; --I) {
@@ -1370,6 +1451,7 @@ ErrorOr<std::vector<Value>> KernelSim::runSegHist() {
   }
   Trace = nullptr;
   FlushAtomics();
+  FlushBanks();
 
   // Local strategy: each workgroup flushes its subhistogram into the
   // global one with a coalesced atomic pass over all W bins (consecutive
@@ -1412,6 +1494,42 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
   const FunDef *F = Prog.findFun(Fun);
   if (!F)
     return CompilerError("unknown function " + Fun);
+
+  // Costing is pluggable (CostModel.h): the selected model's estimate is
+  // what gets charged, but both models price every launch from the same
+  // counters — the comparison is nearly free and gives every run its own
+  // calibration pair.  Device::run validated the name; the roofline
+  // fallback only covers direct callers that skipped validation.
+  const CostModel *NamedCM = CostModel::byName(P.CostModelName);
+  const CostModel &CM = NamedCM ? *NamedCM : CostModel::roofline();
+  Cost.CostModelUsed = CM.name();
+
+  struct LaunchPrice {
+    double Roofline = 0, Pipeline = 0, Selected = 0;
+  };
+  auto PriceLaunch = [&](const CostReport &KCost,
+                         const KernelProfile &KProf) {
+    LaunchPrice LP;
+    LP.Roofline = CostModel::roofline().kernelCycles(P, KCost, KProf);
+    LP.Pipeline = CostModel::pipeline().kernelCycles(P, KCost, KProf);
+    LP.Selected = &CM == &CostModel::pipeline() ? LP.Pipeline : LP.Roofline;
+    return LP;
+  };
+  // Charged only for launches that complete (watchdog-killed launches
+  // charge their budget to KernelCycles, exactly as before).
+  auto ChargeModelTotals = [&](const LaunchPrice &LP,
+                               const KernelProfile &KProf) {
+    Cost.RooflineKernelCycles += LP.Roofline;
+    Cost.PipelineKernelCycles += LP.Pipeline;
+    Cost.WarpsSimulated += KProf.Warps;
+    Cost.DivergentWarps += KProf.DivergentWarps;
+    Cost.CoalescerExcessTx += KProf.CoalescerExcessTx;
+    Cost.BankConflictExtra += KProf.BankConflictExtra;
+    trace::counter("device.cycles_roofline",
+                   static_cast<int64_t>(LP.Roofline));
+    trace::counter("device.cycles_pipeline",
+                   static_cast<int64_t>(LP.Pipeline));
+  };
 
   // Names whose host copy is current.  In asynchronous mode residency is
   // dual: uploading keeps the host copy valid and a readback keeps the
@@ -1815,11 +1933,25 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
       Cost.CoalescedTransactions += Tx; // tiled transposes stay coalesced
       Cost.GlobalAccesses += 2 * Elems;
       ++Cost.KernelLaunches;
-      double TCycles = P.LaunchCycles + Tx / P.GlobalTxPerCycle;
+      // A manifestation is a synthetic all-memory launch: cost it through
+      // the model with transaction counters only (no warps simulated).
+      CostReport TCost;
+      TCost.GlobalTransactions = Tx;
+      KernelProfile TProf;
+      LaunchPrice TP = PriceLaunch(TCost, TProf);
+      ChargeModelTotals(TP, TProf);
+      double TCycles = TP.Selected;
       Cost.KernelCycles += TCycles;
+      // Under the default model the engine occupancy is written as the
+      // raw transaction term, not (launch + term) - launch: the two are
+      // not bit-equal in floating point, and default timelines are pinned
+      // byte-identical to the pre-CostModel simulator.
+      double TExec = &CM == &CostModel::roofline()
+                         ? Tx / P.GlobalTxPerCycle
+                         : TCycles - P.LaunchCycles;
       ScheduledCmd TC =
           TL.kernel(Mgr.readyAt(In.Arr), P.LaunchCycles,
-                    P.PipelinedLaunchFraction, Tx / P.GlobalTxPerCycle);
+                    P.PipelinedLaunchFraction, TExec);
       Mgr.setReady(In.Arr, TC.End);
       LastKernelReady = TC.End;
       {
@@ -2050,6 +2182,8 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
         std::vector<int> ActiveDevs;
         std::vector<std::vector<Value>> DevVals;
         std::vector<double> KTimes;
+        std::vector<LaunchPrice> KPrices;
+        std::vector<KernelProfile> KProfs;
         std::vector<CostReport> KCosts;
         double MaxKTime = 0;
         int64_t SumOutBytes = 0;
@@ -2078,19 +2212,13 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
               WS += B;
           }
           DG.noteWorkingSet(D, WS);
-          double TiledTx = static_cast<double>(KCost.TiledElementBytes) /
-                           std::max(1, P.WorkgroupSize) / P.SegmentBytes;
-          double ComputeT = KCost.ComputeOps / P.ComputeOpsPerCycle;
-          double MemT = (KCost.GlobalTransactions + TiledTx +
-                         KCost.AtomicTransactions + KCost.AtomicConflicts) /
-                        P.GlobalTxPerCycle;
-          double LocalT = KCost.LocalAccesses / P.LocalAccessesPerCycle;
-          double PrivT = KCost.PrivateAccesses / P.PrivateAccessesPerCycle;
-          double KTime = P.LaunchCycles + std::max(std::max(ComputeT, MemT),
-                                                   std::max(LocalT, PrivT));
+          LaunchPrice LP = PriceLaunch(KCost, Sim.profile());
+          double KTime = LP.Selected;
           ActiveDevs.push_back(D);
           DevVals.push_back(Res.take());
           KTimes.push_back(KTime);
+          KPrices.push_back(LP);
+          KProfs.push_back(Sim.profile());
           KCosts.push_back(KCost);
           MaxKTime = std::max(MaxKTime, KTime);
         }
@@ -2131,8 +2259,9 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
                                KTime - P.LaunchCycles);
           PendingOutDist.Ready[D] = KC.End;
           GroupEnd = std::max(GroupEnd, KC.End);
+          ChargeModelTotals(KPrices[SId], KProfs[SId]);
           double TiledTx = static_cast<double>(KCost.TiledElementBytes) /
-                           std::max(1, P.WorkgroupSize) / P.SegmentBytes;
+                           std::max(1, P.tileWidth()) / P.SegmentBytes;
           int64_t LaunchGlobalTx =
               KCost.GlobalTransactions + static_cast<int64_t>(TiledTx);
           int64_t LaunchCoalescedTx =
@@ -2152,6 +2281,8 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
             trace::ScopedSpan KSpan(SpanName, "device",
                                     trace::deviceComputeTid(D));
             KSpan.arg("cycles", KTime);
+            KSpan.arg("cycles_roofline", KPrices[SId].Roofline);
+            KSpan.arg("cycles_pipeline", KPrices[SId].Pipeline);
             KSpan.arg("sim_start", KC.Start);
             KSpan.arg("sim_end", KC.End);
             KSpan.arg("shard_device", D);
@@ -2297,23 +2428,18 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
       Cost.PeakDemandBytes =
           std::max(Cost.PeakDemandBytes, Mgr.liveBytes() + Sim.outBytes());
 
-      // Tiled traffic: each staged element is read once per workgroup from
+      // Tiled traffic: each staged element is read once per tile from
       // global memory (coalesced), instead of once per thread.  The byte
       // count carries each element's real width — the old formula
       // hard-coded 4-byte elements and undercharged f64 tiles by 2x.
+      // The cost models amortise by the same width internally; this copy
+      // only feeds the transaction-counter merge below.
       double TiledTx =
           static_cast<double>(KCost.TiledElementBytes) /
-          std::max(1, P.WorkgroupSize) / P.SegmentBytes;
+          std::max(1, P.tileWidth()) / P.SegmentBytes;
 
-      double ComputeT = KCost.ComputeOps / P.ComputeOpsPerCycle;
-      double MemT = (KCost.GlobalTransactions + TiledTx +
-                     KCost.AtomicTransactions + KCost.AtomicConflicts) /
-                    P.GlobalTxPerCycle;
-      double LocalT = KCost.LocalAccesses / P.LocalAccessesPerCycle;
-      double PrivT = KCost.PrivateAccesses / P.PrivateAccessesPerCycle;
-      double KTime = P.LaunchCycles +
-                     std::max(std::max(ComputeT, MemT),
-                              std::max(LocalT, PrivT));
+      LaunchPrice LP = PriceLaunch(KCost, Sim.profile());
+      double KTime = LP.Selected;
 
       // A kernel over its cycle budget is killed deterministically; the
       // cycles burned up to the kill point stay charged.
@@ -2341,6 +2467,7 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
 
       Cost.KernelCycles += KTime;
       ++Cost.KernelLaunches;
+      ChargeModelTotals(LP, Sim.profile());
       ScheduledCmd KC = TL.kernel(DepsReady, P.LaunchCycles,
                                   P.PipelinedLaunchFraction,
                                   KTime - P.LaunchCycles);
@@ -2362,6 +2489,8 @@ ErrorOr<RunResult> runDeviceAttempt(const DeviceParams &P,
       Cost.AtomicConflicts += KCost.AtomicConflicts;
 
       KSpan.arg("cycles", KTime);
+      KSpan.arg("cycles_roofline", LP.Roofline);
+      KSpan.arg("cycles_pipeline", LP.Pipeline);
       KSpan.arg("sim_start", KC.Start);
       KSpan.arg("sim_end", KC.End);
       KSpan.arg("global_tx", LaunchGlobalTx);
@@ -2478,6 +2607,11 @@ ErrorOr<RunResult> Device::run(const Program &Prog, const std::string &Fun,
   trace::ScopedSpan Span("device-run", "device");
   Span.arg("device", P.Name);
   Span.arg("function", Fun);
+  // Reject inconsistent configurations before anything launches.  A
+  // Config error is not a device failure: the interpreter fallback never
+  // masks it (the configuration would be just as wrong on retry).
+  if (auto Err = P.validate())
+    return Err.getError();
   CostReport Cost;
   FaultPlan Plan(R.Faults);
   // Resolve the memory plan: the compiler's artifact when provided, a

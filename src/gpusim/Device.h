@@ -74,6 +74,41 @@ struct DeviceParams {
   /// cost grows with same-segment conflicts inside a warp.
   int64_t HistLocalWidthMax = 4096;
 
+  /// Which cost model converts a launch's counters into cycles
+  /// (CostModel.h): "roofline" (the closed-form default, cost lines
+  /// byte-identical to the pre-interface simulator) or "pipeline" (the
+  /// warp-scheduler/divergence/coalescer/bank-conflict second opinion).
+  /// Functional results and the model-independent counters are identical
+  /// under every model; only cycle estimates differ.  An unknown name is
+  /// a Config error at run entry.
+  std::string CostModelName = "roofline";
+
+  /// Pipeline-model scope (ignored by the roofline model): streaming
+  /// multiprocessors and concurrently schedulable warp slots per SM —
+  /// their product bounds how many warps can hide each other's latency.
+  int NumSMs = 15;          // GTX 780 Ti: 15 SMX
+  int WarpSchedulerSlots = 4;
+  /// Transactions one warp time-step can hold in the memory coalescer
+  /// before the pipeline stalls to drain the queue.
+  int64_t CoalescerQueueDepth = 8;
+  /// Scratchpad banks; lanes of a warp hitting the same bank in one step
+  /// serialise (local-subhistogram updates are the tracked case).
+  int LocalMemBanks = 32;
+  /// Fraction of non-bottleneck pipeline work that leaks past the
+  /// bottleneck term (imperfect stage overlap).
+  double PipelineStageSlack = 0.05;
+
+  /// Elements a workgroup stages per tile: tiled global traffic is
+  /// charged once per tile of this width instead of once per thread.
+  /// 0 (the default) means the tile spans the workgroup, reproducing the
+  /// historical formula exactly; the autotuner searches it separately so
+  /// tile amortisation can be tuned without touching the launch shape.
+  int TileWidth = 0;
+
+  /// The effective tile width used by the cost models' tiled-traffic
+  /// amortisation.
+  int tileWidth() const { return TileWidth > 0 ? TileWidth : WorkgroupSize; }
+
   /// Host model: serial, HostCyclesPerOp per IR step.
   double HostCyclesPerOp = 8;
   /// Host <-> device transfer rate (PCIe-like).
@@ -92,12 +127,46 @@ struct DeviceParams {
   /// others.  Ignored when DeviceMemBytes is 0 (unlimited).
   int64_t ReservedBytes = 0;
 
-  /// Effective capacity visible to this run; 0 means unlimited.
+  /// Effective capacity visible to this run; 0 means unlimited.  The
+  /// 1-byte floor is a backstop only: an over-reservation (ReservedBytes
+  /// >= DeviceMemBytes) is rejected by validate() before any launch, so
+  /// runs never silently execute against a pathological 1-byte device.
   int64_t effectiveMemBytes() const {
     if (DeviceMemBytes <= 0)
       return 0;
     return std::max<int64_t>(1, DeviceMemBytes - ReservedBytes);
   }
+
+  /// Rejects inconsistent configurations with a typed Config error before
+  /// anything launches: a reservation that leaves no capacity (or a
+  /// negative one that would mint capacity), an unknown cost model, or a
+  /// negative tile width.  Device::run and the serving layer's admission
+  /// path both call this, so a tenant packed against a misconfigured
+  /// reservation fails loudly instead of OOMing against one byte.
+  MaybeError validate() const {
+    if (DeviceMemBytes > 0 && ReservedBytes >= DeviceMemBytes)
+      return CompilerError::config(
+          "device over-reserved: " + std::to_string(ReservedBytes) +
+          " bytes reserved of " + std::to_string(DeviceMemBytes) +
+          " capacity leaves no memory for this run");
+    if (ReservedBytes < 0)
+      return CompilerError::config(
+          "negative device reservation: " + std::to_string(ReservedBytes) +
+          " bytes");
+    if (!costModelNameKnown())
+      return CompilerError::config("unknown cost model \"" + CostModelName +
+                                   "\" (expected roofline or pipeline)");
+    if (TileWidth < 0)
+      return CompilerError::config("negative tile width: " +
+                                   std::to_string(TileWidth));
+    return MaybeError::success();
+  }
+
+private:
+  /// Out-of-line so Device.h does not depend on CostModel.h.
+  bool costModelNameKnown() const;
+
+public:
 
   /// Watchdog budgets in simulated cycles; 0 disables the check.  A single
   /// kernel exceeding WatchdogKernelCycles, or a whole run exceeding
@@ -222,6 +291,23 @@ struct CostReport {
   int64_t RetriedLaunches = 0;
   int64_t FaultsInjected = 0;
   int64_t WatchdogKills = 0;
+
+  /// Cost-model accounting.  Both models price every launch from the same
+  /// counters (the comparison is nearly free), so each run carries its own
+  /// calibration pair: KernelCycles equals the selected model's total, and
+  /// the per-model totals let harnesses measure divergence without a
+  /// second run.  str() prints the pipeline clause only when a
+  /// non-default model was selected, keeping default cost lines
+  /// byte-identical to the pre-interface format.
+  std::string CostModelUsed = "roofline";
+  double RooflineKernelCycles = 0;
+  double PipelineKernelCycles = 0;
+  /// Aggregated warp-level profile (model-independent facts; see
+  /// KernelProfile in CostModel.h).
+  int64_t WarpsSimulated = 0;
+  int64_t DivergentWarps = 0;
+  int64_t CoalescerExcessTx = 0;
+  int64_t BankConflictExtra = 0;
 
   /// Multi-device accounting (all zero / size 1 with one device, and
   /// str() only prints these fields when NumDevices > 1, so single-device

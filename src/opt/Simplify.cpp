@@ -11,6 +11,7 @@
 #include "trace/Trace.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace fut;
 
@@ -653,15 +654,15 @@ void fut::inlineFunctions(Program &P, NameSource &Names) {
 
 void fut::removeDeadFunctions(Program &P) {
   std::vector<FunDef> Kept;
-  // Reachability from main.
-  std::unordered_map<std::string, bool> Reachable;
+  // Reachability from main.  A set, not a defaulting bool map: membership
+  // queries must never insert the queried name.
+  std::unordered_set<std::string> Reachable;
   std::vector<std::string> Work{"main"};
   while (!Work.empty()) {
     std::string Name = Work.back();
     Work.pop_back();
-    if (Reachable[Name])
+    if (!Reachable.insert(Name).second)
       continue;
-    Reachable[Name] = true;
     const FunDef *F = P.findFun(Name);
     if (!F)
       continue;
@@ -675,7 +676,7 @@ void fut::removeDeadFunctions(Program &P) {
     Scan(F->FBody);
   }
   for (FunDef &F : P.Funs)
-    if (Reachable[F.Name])
+    if (Reachable.count(F.Name))
       Kept.push_back(std::move(F));
   P.Funs = std::move(Kept);
 }

@@ -130,6 +130,24 @@ ServeResponse Server::execute(const ServeRequest &Req, uint64_t Id,
   trace::ScopedSpan Span("serve:request", "serve", trace::kServeTid);
   Span.arg("id", static_cast<int64_t>(Id));
 
+  // Admission sanity: an inconsistent device configuration — most notably
+  // a reservation at or above the card's capacity, which the old
+  // effectiveMemBytes() clamp used to shrink to a pathological 1-byte
+  // device — is a typed Config error surfaced before any compile or
+  // launch.  It is the server's fault, not the program's, and never
+  // degrades to the interpreter.
+  if (auto CfgErr = makeRunOptions(Req, Solo ? 0 : Reservation, Solo)
+                        .Device.validate()) {
+    ++Stats.ConfigRejected;
+    trace::counter("serve.config_rejected");
+    Resp.Ok = false;
+    Resp.Error = CfgErr.getError().Kind;
+    Resp.Message = CfgErr.getError().str();
+    Span.arg("outcome", "config-error");
+    DurationOut = 0;
+    return Resp;
+  }
+
   bool Hit = false;
   CompilerError CErr;
   CacheEntry *E = lookupOrCompile(Req, Hit, CErr);

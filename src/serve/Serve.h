@@ -177,6 +177,10 @@ struct ServerStats {
   int64_t Quarantined = 0;
   int64_t Fallbacks = 0;
   int64_t DeviceFailures = 0; ///< Device-kind attempt failures observed.
+  /// Requests rejected before launch because the materialised device
+  /// configuration was inconsistent (e.g. over-reservation at or above
+  /// capacity) — a typed ErrorKind::Config response, never a 1-byte card.
+  int64_t ConfigRejected = 0;
   int64_t SoloRuns = 0;
   int64_t PackedRuns = 0;
   /// Admission-controller audit trail: the high-water marks of

@@ -62,6 +62,13 @@ enum class ErrorKind {
   /// completed); distinguished from Watchdog, which is the *device's* own
   /// runaway-kernel budget rather than a client-facing latency contract.
   Deadline,
+  /// The run was rejected before launch because its configuration is
+  /// inconsistent: an admission reservation at or above the device's
+  /// capacity, an unknown cost model, a negative tuning knob.  Distinct
+  /// from Runtime (the program never ran) and from Overload (the
+  /// configuration is wrong, not merely saturated; retrying is useless
+  /// until it changes).
+  Config,
 };
 
 inline const char *errorKindName(ErrorKind K) {
@@ -84,6 +91,8 @@ inline const char *errorKindName(ErrorKind K) {
     return "overload";
   case ErrorKind::Deadline:
     return "deadline";
+  case ErrorKind::Config:
+    return "config";
   }
   return "unknown";
 }
@@ -127,6 +136,9 @@ struct CompilerError {
   }
   static CompilerError deadline(std::string Msg) {
     return CompilerError(ErrorKind::Deadline, std::move(Msg));
+  }
+  static CompilerError config(std::string Msg) {
+    return CompilerError(ErrorKind::Config, std::move(Msg));
   }
 
   /// True for any failure that happens while running a program (as opposed

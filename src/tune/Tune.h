@@ -1,0 +1,114 @@
+//===- Tune.h - Cycle-oracle autotuner over DeviceParams knobs --*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// futharkcc-tune: a seeded autotuner that searches the device-parameter
+/// knobs the compiler exposes — workgroup size, the histogram local-width
+/// threshold, the tiling width, and the pipelined-launch fraction — using
+/// simulated cycles as the oracle.  Outputs must stay bit-identical to the
+/// baseline configuration's outputs: a configuration that changes any
+/// result value is rejected outright, whatever its cycle count, so the
+/// tuner can only ever trade time, never meaning.
+///
+/// The search is coordinate descent: sweep one knob at a time over a small
+/// pinned candidate set, keep the best, repeat for a fixed number of
+/// rounds.  The axis order is shuffled deterministically from the seed, so
+/// runs are reproducible and different seeds explore different descent
+/// paths through the same lattice.  Every evaluation is cached by knob
+/// tuple — the search space is a few hundred points, the cache keeps the
+/// wall-clock linear in the distinct points visited.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_TUNE_TUNE_H
+#define FUTHARKCC_TUNE_TUNE_H
+
+#include "bench_suite/Benchmarks.h"
+#include "gpusim/Device.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fut {
+namespace tune {
+
+/// The tuned subset of DeviceParams.  Everything else (memory sizes,
+/// throughputs, the cost model) is the fixed machine; these four are the
+/// mapping decisions a programmer (or this tuner) is free to change.
+struct TuneKnobs {
+  int WorkgroupSize = 256;
+  int64_t HistLocalWidthMax = 4096;
+  int TileWidth = 0; ///< 0 = follow WorkgroupSize (the historical tiling)
+  double PipelinedLaunchFraction = 0.5;
+
+  void applyTo(gpusim::DeviceParams &P) const {
+    P.WorkgroupSize = WorkgroupSize;
+    P.HistLocalWidthMax = HistLocalWidthMax;
+    P.TileWidth = TileWidth;
+    P.PipelinedLaunchFraction = PipelinedLaunchFraction;
+  }
+  static TuneKnobs from(const gpusim::DeviceParams &P) {
+    TuneKnobs K;
+    K.WorkgroupSize = P.WorkgroupSize;
+    K.HistLocalWidthMax = P.HistLocalWidthMax;
+    K.TileWidth = P.TileWidth;
+    K.PipelinedLaunchFraction = P.PipelinedLaunchFraction;
+    return K;
+  }
+  bool operator==(const TuneKnobs &O) const {
+    return WorkgroupSize == O.WorkgroupSize &&
+           HistLocalWidthMax == O.HistLocalWidthMax &&
+           TileWidth == O.TileWidth &&
+           PipelinedLaunchFraction == O.PipelinedLaunchFraction;
+  }
+  std::string str() const;
+};
+
+struct TuneOptions {
+  /// The machine (and the oracle: Device.CostModelName picks which cycle
+  /// model scores candidates).  Its knob fields are the baseline.
+  gpusim::DeviceParams Device = gpusim::DeviceParams::gtx780();
+  /// Seed of the deterministic axis-order shuffle.
+  uint64_t Seed = 1;
+  /// Coordinate-descent sweeps over all axes.
+  int Rounds = 2;
+};
+
+struct TuneResult {
+  std::string Bench;
+  TuneKnobs Baseline;
+  TuneKnobs Best;
+  double BaselineCycles = 0;
+  double BestCycles = 0;
+  /// Distinct configurations actually simulated (cache misses).
+  int Evals = 0;
+  /// Candidates rejected for output divergence (must be 0: the knobs are
+  /// semantics-preserving by construction; nonzero means a compiler bug
+  /// and the tuner reports it loudly rather than exploiting it).
+  int OutputMismatches = 0;
+
+  double improvementPct() const {
+    return BaselineCycles > 0
+               ? 100.0 * (BaselineCycles - BestCycles) / BaselineCycles
+               : 0;
+  }
+};
+
+/// Tunes one benchmark; the hard constraint is bit-identical outputs
+/// against the baseline configuration's run.
+ErrorOr<TuneResult> tuneBenchmark(const bench::BenchmarkDef &B,
+                                  const TuneOptions &O);
+
+/// Serialises results as a JSON array (stable key order, no trailing
+/// floats beyond %.1f for percentages).
+std::string toJson(const std::vector<TuneResult> &Results);
+
+} // namespace tune
+} // namespace fut
+
+#endif // FUTHARKCC_TUNE_TUNE_H

@@ -42,6 +42,16 @@ TEST(FuzzTest, FixedSeedsAgreeAcrossPaths) {
   }
 }
 
+TEST(FuzzTest, CrossModelSeedsAgree) {
+  // The cost model prices cycles and must not change what runs: both
+  // models must produce bit-identical outputs and exactly equal
+  // model-independent counters.  CI runs a 150-seed leg of this oracle.
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    Outcome O = runCrossModel(generate(Seed));
+    EXPECT_TRUE(O.Ok) << "seed " << Seed << ":\n" << O.Message;
+  }
+}
+
 TEST(FuzzTest, PlanSubsetsStayWellTyped) {
   // The shrinker removes arbitrary steps; any subset must still compile
   // and agree.  Exercise every leave-one-out subset of one plan.

@@ -1,0 +1,301 @@
+//===- costmodel_test.cpp - Pluggable cost-model tests ---------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+// The CostModel seam: the roofline model must reproduce the historical
+// inline formula exactly (byte-identity of default cost lines rests on
+// it), the pipeline model must be a refinement that never undercuts the
+// roofline on the same counters, model selection must be a typed Config
+// error for unknown names, device over-reservation must be a typed Config
+// error instead of a silently clamped 1-byte card, and the two models must
+// agree bit-for-bit on outputs and on every model-independent counter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/CostModel.h"
+#include "gpusim/Device.h"
+
+#include "driver/Compiler.h"
+#include "parser/Desugar.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+using namespace fut::test;
+using namespace fut::gpusim;
+
+namespace {
+
+Value iv(int32_t V) { return Value::scalar(PrimValue::makeI32(V)); }
+Value ivec(const std::vector<int64_t> &Xs) {
+  return makeIntVectorValue(ScalarKind::I32, Xs);
+}
+
+/// Compiles once; runs on the device under \p DP.
+ErrorOr<RunResult> run(const std::string &Src,
+                       const std::vector<Value> &Args,
+                       const DeviceParams &DP) {
+  NameSource NS;
+  auto C = compileSource(Src, NS, CompilerOptions());
+  EXPECT_TRUE(static_cast<bool>(C)) << C.getError().str();
+  if (!C)
+    return C.getError();
+  DeviceRunOptions RO;
+  RO.Device = DP;
+  RO.MemPlan = &C->MemPlan;
+  return runOnDevice(C->P, Args, RO);
+}
+
+const char *kMapSrc =
+    "fun main (n: i32) (xs: [n]i32): [n]i32 = map (+1) xs";
+
+const char *kDivergentSrc =
+    "fun main (n: i32) (xs: [n]i32): [n]i32 =\n"
+    "  map (\\(x: i32): i32 ->\n"
+    "         if x % 2 == 0 then x else x * 3 + x * x - 1) xs\n";
+
+const char *kHistSrc =
+    "fun main (n: i32) (xs: [n]i32): [32]i32 =\n"
+    "  let bins = map (\\(x: i32): i32 -> x % 32) xs\n"
+    "  let ones = map (\\(x: i32): i32 -> 1) xs\n"
+    "  in reduce_by_index (replicate 32 0) (+) 0 bins ones\n";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The model seam itself
+//===----------------------------------------------------------------------===//
+
+TEST(CostModelTest, ByNameRegistry) {
+  EXPECT_EQ(CostModel::byName("roofline"), &CostModel::roofline());
+  EXPECT_EQ(CostModel::byName("pipeline"), &CostModel::pipeline());
+  EXPECT_EQ(CostModel::byName("warp-speed"), nullptr);
+  EXPECT_EQ(CostModel::byName(""), nullptr);
+  EXPECT_STREQ(CostModel::roofline().name(), "roofline");
+  EXPECT_STREQ(CostModel::pipeline().name(), "pipeline");
+}
+
+TEST(CostModelTest, RooflineMatchesInlineFormula) {
+  DeviceParams P = DeviceParams::gtx780();
+  CostReport K;
+  K.ComputeOps = 123456;
+  K.GlobalTransactions = 2048;
+  K.AtomicTransactions = 17;
+  K.AtomicConflicts = 5;
+  K.LocalAccesses = 333;
+  K.PrivateAccesses = 98765;
+  K.TiledElementBytes = 1 << 16;
+  KernelProfile Prof;
+
+  // The exact historical expression, term for term — EXPECT_EQ, not
+  // EXPECT_NEAR: byte-identity of default cost lines rests on this.
+  double TiledTx = static_cast<double>(K.TiledElementBytes) /
+                   std::max(1, P.tileWidth()) / P.SegmentBytes;
+  double ComputeT = K.ComputeOps / P.ComputeOpsPerCycle;
+  double MemT = (K.GlobalTransactions + TiledTx + K.AtomicTransactions +
+                 K.AtomicConflicts) /
+                P.GlobalTxPerCycle;
+  double LocalT = K.LocalAccesses / P.LocalAccessesPerCycle;
+  double PrivT = K.PrivateAccesses / P.PrivateAccessesPerCycle;
+  double Expect = P.LaunchCycles +
+                  std::max(std::max(ComputeT, MemT), std::max(LocalT, PrivT));
+
+  EXPECT_EQ(CostModel::roofline().kernelCycles(P, K, Prof), Expect);
+}
+
+TEST(CostModelTest, TileWidthZeroFollowsWorkgroupSize) {
+  DeviceParams P = DeviceParams::gtx780();
+  P.TileWidth = 0;
+  EXPECT_EQ(P.tileWidth(), P.WorkgroupSize);
+  P.TileWidth = 128;
+  EXPECT_EQ(P.tileWidth(), 128);
+}
+
+TEST(CostModelTest, PipelineNeverUndercutsRoofline) {
+  // Occupancy <= 1 and the added stall terms only ever inflate a term, so
+  // on identical counters the pipeline estimate dominates the roofline.
+  DeviceParams P = DeviceParams::gtx780();
+  CostReport K;
+  K.ComputeOps = 50000;
+  K.GlobalTransactions = 1000;
+  K.LocalAccesses = 200;
+  K.PrivateAccesses = 400;
+  for (int64_t Warps : {int64_t(1), int64_t(4), int64_t(1000)}) {
+    KernelProfile Prof;
+    Prof.Warps = Warps;
+    Prof.WarpIssueOps = K.ComputeOps / 32;
+    Prof.CoalescerExcessTx = 64;
+    Prof.BankConflictExtra = 16;
+    EXPECT_GE(CostModel::pipeline().kernelCycles(P, K, Prof),
+              CostModel::roofline().kernelCycles(P, K, Prof))
+        << "warps=" << Warps;
+  }
+}
+
+TEST(CostModelTest, PipelineReducesToRooflineAtSaturation) {
+  // Uniform warps saturating every scheduler slot, no stalls, no slack:
+  // the pipeline model degenerates to the roofline exactly.
+  DeviceParams P = DeviceParams::gtx780();
+  P.PipelineStageSlack = 0;
+  CostReport K;
+  K.ComputeOps = 32000; // 1000 uniform full warps, 1 op per lane step
+  K.GlobalTransactions = 10;
+  KernelProfile Prof;
+  Prof.Warps = 100000; // >= NumSMs * WarpSchedulerSlots
+  Prof.WarpIssueOps = K.ComputeOps / 32;
+  EXPECT_EQ(CostModel::pipeline().kernelCycles(P, K, Prof),
+            CostModel::roofline().kernelCycles(P, K, Prof));
+}
+
+//===----------------------------------------------------------------------===//
+// Typed Config errors
+//===----------------------------------------------------------------------===//
+
+TEST(CostModelTest, UnknownCostModelIsConfigError) {
+  DeviceParams DP = DeviceParams::gtx780();
+  DP.CostModelName = "warp-speed";
+  auto R = run(kMapSrc, {iv(64), ivec(randomInts(64, 1))}, DP);
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(R.getError().Kind, ErrorKind::Config);
+  EXPECT_NE(R.getError().Message.find("warp-speed"), std::string::npos);
+}
+
+TEST(CostModelTest, OverReservationIsConfigError) {
+  // The old behaviour silently clamped an over-reserved device to a
+  // 1-byte effective capacity and let the run OOM (or worse, crawl
+  // through transfers); now it is rejected before launch.
+  DeviceParams DP = DeviceParams::gtx780();
+  DP.ReservedBytes = DP.DeviceMemBytes; // reservation == capacity
+  auto R = run(kMapSrc, {iv(64), ivec(randomInts(64, 2))}, DP);
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(R.getError().Kind, ErrorKind::Config);
+  EXPECT_NE(R.getError().Message.find("over-reserved"), std::string::npos);
+
+  DP.ReservedBytes = DP.DeviceMemBytes + 12345; // beyond capacity
+  auto R2 = run(kMapSrc, {iv(64), ivec(randomInts(64, 2))}, DP);
+  ASSERT_FALSE(static_cast<bool>(R2));
+  EXPECT_EQ(R2.getError().Kind, ErrorKind::Config);
+}
+
+TEST(CostModelTest, NegativeReservationIsConfigError) {
+  DeviceParams DP = DeviceParams::gtx780();
+  DP.ReservedBytes = -1;
+  auto R = run(kMapSrc, {iv(64), ivec(randomInts(64, 3))}, DP);
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(R.getError().Kind, ErrorKind::Config);
+}
+
+TEST(CostModelTest, ValidReservationStillRuns) {
+  DeviceParams DP = DeviceParams::gtx780();
+  DP.ReservedBytes = DP.DeviceMemBytes / 2;
+  auto R = run(kMapSrc, {iv(64), ivec(randomInts(64, 4))}, DP);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError().str();
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-model agreement
+//===----------------------------------------------------------------------===//
+
+TEST(CostModelTest, CrossModelBitIdenticalOutputsAndCounters) {
+  for (const char *Src : {kMapSrc, kDivergentSrc, kHistSrc}) {
+    std::vector<Value> Args = {iv(256), ivec(randomInts(256, 5))};
+    DeviceParams Roof = DeviceParams::gtx780();
+    Roof.CostModelName = "roofline";
+    DeviceParams Pipe = Roof;
+    Pipe.CostModelName = "pipeline";
+
+    auto R = run(Src, Args, Roof);
+    auto P = run(Src, Args, Pipe);
+    ASSERT_TRUE(static_cast<bool>(R)) << R.getError().str();
+    ASSERT_TRUE(static_cast<bool>(P)) << P.getError().str();
+
+    ASSERT_EQ(R->Outputs.size(), P->Outputs.size());
+    for (size_t I = 0; I < R->Outputs.size(); ++I)
+      EXPECT_TRUE(R->Outputs[I] == P->Outputs[I])
+          << "result " << I << " diverged between cost models";
+
+    const CostReport &RC = R->Cost;
+    const CostReport &PC = P->Cost;
+    EXPECT_EQ(RC.KernelLaunches, PC.KernelLaunches);
+    EXPECT_EQ(RC.GlobalTransactions, PC.GlobalTransactions);
+    EXPECT_EQ(RC.TransferredBytes, PC.TransferredBytes);
+    EXPECT_EQ(RC.AtomicTransactions, PC.AtomicTransactions);
+    EXPECT_EQ(RC.AtomicConflicts, PC.AtomicConflicts);
+    EXPECT_EQ(RC.LocalAccesses, PC.LocalAccesses);
+    EXPECT_EQ(RC.CoalescedTransactions + RC.ScatteredTransactions,
+              RC.GlobalTransactions);
+    EXPECT_EQ(PC.CoalescedTransactions + PC.ScatteredTransactions,
+              PC.GlobalTransactions);
+
+    // Both runs price both models per launch, so the calibration pair is
+    // recorded symmetrically regardless of which model was charged.
+    EXPECT_EQ(RC.RooflineKernelCycles, PC.RooflineKernelCycles);
+    EXPECT_EQ(RC.PipelineKernelCycles, PC.PipelineKernelCycles);
+    EXPECT_GT(RC.RooflineKernelCycles, 0);
+    EXPECT_GE(RC.PipelineKernelCycles, RC.RooflineKernelCycles);
+  }
+}
+
+TEST(CostModelTest, RooflineChargesRooflineAndPipelineChargesPipeline) {
+  std::vector<Value> Args = {iv(128), ivec(randomInts(128, 6))};
+  DeviceParams Roof = DeviceParams::gtx780();
+  DeviceParams Pipe = Roof;
+  Pipe.CostModelName = "pipeline";
+  auto R = run(kDivergentSrc, Args, Roof);
+  auto P = run(kDivergentSrc, Args, Pipe);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError().str();
+  ASSERT_TRUE(static_cast<bool>(P)) << P.getError().str();
+  EXPECT_EQ(R->Cost.CostModelUsed, "roofline");
+  EXPECT_EQ(P->Cost.CostModelUsed, "pipeline");
+  EXPECT_EQ(R->Cost.KernelCycles, R->Cost.RooflineKernelCycles);
+  EXPECT_EQ(P->Cost.KernelCycles, P->Cost.PipelineKernelCycles);
+}
+
+//===----------------------------------------------------------------------===//
+// The pipeline profile's observables
+//===----------------------------------------------------------------------===//
+
+TEST(CostModelTest, UniformMapHasNoDivergentWarps) {
+  auto R = run(kMapSrc, {iv(256), ivec(randomInts(256, 7))},
+               DeviceParams::gtx780());
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError().str();
+  EXPECT_GT(R->Cost.WarpsSimulated, 0);
+  EXPECT_EQ(R->Cost.DivergentWarps, 0);
+}
+
+TEST(CostModelTest, BranchyMapHasDivergentWarps) {
+  // Mixed parity inside every warp: the two branch arms cost different op
+  // counts, so lane op counts differ within a warp.
+  std::vector<int64_t> Xs;
+  for (int64_t I = 0; I < 256; ++I)
+    Xs.push_back(I);
+  auto R = run(kDivergentSrc, {iv(256), ivec(Xs)}, DeviceParams::gtx780());
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError().str();
+  EXPECT_GT(R->Cost.WarpsSimulated, 0);
+  EXPECT_GT(R->Cost.DivergentWarps, 0);
+}
+
+TEST(CostModelTest, NarrowLocalHistogramHasBankConflicts) {
+  // 32 bins onto 32 banks with random keys: collisions within a warp
+  // batch are near-certain on the local-subhistogram path.
+  auto R = run(kHistSrc, {iv(1024), ivec(randomInts(1024, 8, 0, 1 << 20))},
+               DeviceParams::gtx780());
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError().str();
+  EXPECT_GT(R->Cost.BankConflictExtra, 0);
+}
+
+TEST(CostModelTest, CostLineMentionsModelOnlyWhenNotDefault) {
+  std::vector<Value> Args = {iv(64), ivec(randomInts(64, 9))};
+  DeviceParams Roof = DeviceParams::gtx780();
+  DeviceParams Pipe = Roof;
+  Pipe.CostModelName = "pipeline";
+  auto R = run(kMapSrc, Args, Roof);
+  auto P = run(kMapSrc, Args, Pipe);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError().str();
+  ASSERT_TRUE(static_cast<bool>(P)) << P.getError().str();
+  // Default cost lines must stay byte-identical to the pre-CostModel
+  // output, so the clause only appears under a non-default model.
+  EXPECT_EQ(R->Cost.str().find("costmodel="), std::string::npos);
+  EXPECT_NE(P->Cost.str().find("costmodel=pipeline"), std::string::npos);
+}

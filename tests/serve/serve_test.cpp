@@ -338,4 +338,40 @@ TEST(ServeFingerprint, StableAcrossServersAndRecompiles) {
   EXPECT_EQ(FA, FB) << "compilation must be deterministic";
 }
 
+TEST(ServeConfig, OverReservedDeviceIsRejectedBeforeLaunch) {
+  // Regression: a server configured with ReservedBytes at (or above) the
+  // card's capacity used to run every request against a silently clamped
+  // 1-byte device.  Now the materialised per-request DeviceParams fail
+  // validation and the request is rejected with a typed Config error
+  // before any launch — and explicitly without degrading to the
+  // interpreter, which would mask the operator mistake.
+  ServerConfig C;
+  C.Device.ReservedBytes = C.Device.DeviceMemBytes;
+  Server S(C);
+  S.submit(request(kSumSq, 64, 0));
+  auto R = drainById(S);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_FALSE(R.at(1).Ok);
+  EXPECT_EQ(R.at(1).Error, ErrorKind::Config);
+  EXPECT_NE(R.at(1).Message.find("over-reserved"), std::string::npos)
+      << R.at(1).Message;
+  EXPECT_FALSE(R.at(1).InterpFallback);
+  EXPECT_EQ(R.at(1).Attempts, 0);
+  EXPECT_EQ(S.stats().ConfigRejected, 1);
+  EXPECT_EQ(S.stats().Fallbacks, 0);
+}
+
+TEST(ServeConfig, SaneReservationStillServes) {
+  // A reservation below capacity is a legitimate configuration (some of
+  // the card belongs to another process): requests still complete.
+  ServerConfig C;
+  C.Device.ReservedBytes = C.Device.DeviceMemBytes / 4;
+  Server S(C);
+  S.submit(request(kSumSq, 64, 0));
+  auto R = drainById(S);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_TRUE(R.at(1).Ok) << R.at(1).Message;
+  EXPECT_EQ(S.stats().ConfigRejected, 0);
+}
+
 } // namespace

@@ -1,0 +1,92 @@
+//===- tune_test.cpp - Autotuner contracts ---------------------------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+// The autotuner's contracts: determinism (same seed, same descent path,
+// same answer), the bit-identity hard constraint (no candidate that
+// changes the outputs is ever accepted — and on this compiler none may
+// even exist, so OutputMismatches must be zero), and monotonicity (the
+// tuned configuration is never worse than the baseline, because the
+// baseline is in the lattice).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tune/Tune.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+using namespace fut::tune;
+
+namespace {
+
+/// A deliberately small benchmark so the whole lattice walk stays cheap:
+/// a narrow histogram (sensitive to HistLocalWidthMax and workgroup
+/// size) feeding a transpose-flavoured reduction (sensitive to tiling).
+bench::BenchmarkDef tinyBench() {
+  bench::BenchmarkDef B;
+  B.Name = "tune-tiny";
+  B.Suite = "test";
+  B.Source =
+      "fun main (n: i32) (xs: [n]i32): i32 =\n"
+      "  let bins = map (\\(x: i32): i32 -> x % 64) xs\n"
+      "  let ones = map (\\(x: i32): i32 -> 1) xs\n"
+      "  let h = reduce_by_index (replicate 64 0) (+) 0 bins ones\n"
+      "  in reduce (+) 0 h\n";
+  B.MakeInputs = [] {
+    std::vector<PrimValue> Elems;
+    for (int64_t I = 0; I < 512; ++I)
+      Elems.push_back(PrimValue::makeI32(static_cast<int32_t>(I * 37 % 911)));
+    return std::vector<Value>{
+        Value::scalar(PrimValue::makeI32(512)),
+        Value::array(ScalarKind::I32, {512}, std::move(Elems))};
+  };
+  return B;
+}
+
+TuneOptions quick() {
+  TuneOptions O;
+  O.Rounds = 1;
+  return O;
+}
+
+} // namespace
+
+TEST(TuneTest, BaselineIsNeverBeatenByWorse) {
+  auto R = tuneBenchmark(tinyBench(), quick());
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError().str();
+  EXPECT_GT(R->BaselineCycles, 0);
+  EXPECT_LE(R->BestCycles, R->BaselineCycles);
+  EXPECT_GT(R->Evals, 1);
+  EXPECT_EQ(R->OutputMismatches, 0)
+      << "a device knob changed the program's outputs";
+}
+
+TEST(TuneTest, SameSeedSameAnswer) {
+  auto A = tuneBenchmark(tinyBench(), quick());
+  auto B = tuneBenchmark(tinyBench(), quick());
+  ASSERT_TRUE(static_cast<bool>(A)) << A.getError().str();
+  ASSERT_TRUE(static_cast<bool>(B)) << B.getError().str();
+  EXPECT_TRUE(A->Best == B->Best) << A->Best.str() << " vs " << B->Best.str();
+  EXPECT_EQ(A->BestCycles, B->BestCycles);
+  EXPECT_EQ(A->Evals, B->Evals);
+}
+
+TEST(TuneTest, PipelineOracleAlsoHoldsTheConstraint) {
+  TuneOptions O = quick();
+  O.Device.CostModelName = "pipeline";
+  auto R = tuneBenchmark(tinyBench(), O);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError().str();
+  EXPECT_LE(R->BestCycles, R->BaselineCycles);
+  EXPECT_EQ(R->OutputMismatches, 0);
+}
+
+TEST(TuneTest, JsonReportIsWellFormed) {
+  auto R = tuneBenchmark(tinyBench(), quick());
+  ASSERT_TRUE(static_cast<bool>(R)) << R.getError().str();
+  std::string J = toJson({*R});
+  EXPECT_NE(J.find("\"bench\": \"tune-tiny\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"baseline_cycles\""), std::string::npos);
+  EXPECT_NE(J.find("\"best\""), std::string::npos);
+  EXPECT_NE(J.find("\"output_mismatches\": 0"), std::string::npos) << J;
+}
