@@ -315,6 +315,53 @@ EOF
   > "$BUILD_DIR"/ci_tune.log
 grep -q "benchmark(s) improved" "$BUILD_DIR"/ci_tune.log
 
+echo "== AD leg: VJP unit suites, gradient-check fuzz, training bench =="
+# The reverse-mode AD layer: per-construct adjoint rules over the core IR
+# (VjpTest), and the gradient fuzzer's own contracts including the
+# shrinker (GradFuzzTest).
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'VjpTest|GradFuzzTest'
+# 150-seed gradient-check sweep: random smooth f64 programs compiled
+# with --vjp=main through the full pipeline (every per-pass verifier and
+# the memory-plan verifier run on the adjoint code), adjoints executed
+# on the simulated device and compared against central finite
+# differences.  Any seed beyond the 1e-4 relative tolerance fails the
+# sweep and a shrunk reproducer lands in the failure directory.
+"$BUILD_DIR"/src/fuzz/futharkcc-fuzz --vjp --seed-range 1..150 \
+  --out "$BUILD_DIR"/fuzz-failures-vjp
+# bench_ad exits 1 itself unless both training workloads (logistic
+# regression through an unrolled GD loop, kmeans by host-driven GD)
+# converge, the device gradients match finite differences, and the tape
+# stays within the planned peak; the python pass re-asserts the E17
+# acceptance numbers from the machine-readable trace.  The cost-model
+# leg's rows are already set aside in BENCH_trace_costmodel.json.
+(cd "$BUILD_DIR" && ./bench/bench_ad >/dev/null)
+cp "$BUILD_DIR"/BENCH_trace.json "$BUILD_DIR"/BENCH_trace_ad.json
+python3 - "$BUILD_DIR"/BENCH_trace_ad.json <<'EOF'
+import json, sys
+rows = {r["benchmark"]: r for r in json.load(open(sys.argv[1]))["benchmarks"]}
+for name in ("ad-logreg-train", "ad-kmeans-gd"):
+    r = rows[name]
+    assert r["grad_rel_err"] < 1e-4, \
+        f"{name}: gradient error {r['grad_rel_err']:.2e} beyond 1e-4"
+    assert 0 <= r["tape_planned_bytes"] <= r["planned_peak_bytes"], \
+        f"{name}: tape {r['tape_planned_bytes']} outside plan peak " \
+        f"{r['planned_peak_bytes']}"
+    assert r["vjp_cycles"] > r["primal_cycles"] > 0, \
+        f"{name}: implausible cycle counts"
+lr = rows["ad-logreg-train"]
+# The unrolled-loop workload must actually tape loop-carried state;
+# kmeans drives GD from the host, so its device tape is legitimately 0.
+assert lr["tape_planned_bytes"] > 0, "logreg taped nothing"
+assert lr["loss_trained"] < lr["loss_untrained"], \
+    "unrolled GD failed to reduce the training loss"
+print(f"ok: grad err logreg {rows['ad-logreg-train']['grad_rel_err']:.1e} / "
+      f"kmeans {rows['ad-kmeans-gd']['grad_rel_err']:.1e}; tape "
+      f"{int(lr['tape_planned_bytes'])} B <= plan peak "
+      f"{int(lr['planned_peak_bytes'])} B; vjp overhead "
+      f"{lr['vjp_overhead']:.2f}x")
+EOF
+
 echo "== bench trajectory: merged BENCH_trace.json at repo root =="
 # Each bench binary overwrites BENCH_trace.json in its own run, so the
 # legs above set their rows aside (serve, shard, hist, costmodel).  Merge
@@ -326,7 +373,7 @@ python3 - "$BUILD_DIR" <<'EOF'
 import json, sys
 bd = sys.argv[1]
 merged = []
-for leg in ("serve", "shard", "hist", "costmodel"):
+for leg in ("serve", "shard", "hist", "costmodel", "ad"):
     merged += json.load(open(f"{bd}/BENCH_trace_{leg}.json"))["benchmarks"]
 assert merged, "no benchmark rows to merge"
 json.dump({"benchmarks": merged}, open("BENCH_trace.json", "w"), indent=1)

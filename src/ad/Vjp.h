@@ -1,0 +1,92 @@
+//===- Vjp.h - Reverse-mode AD (vector-Jacobian products) -------*- C++ -*-===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reverse-mode automatic differentiation over the core IR, following
+/// "Reverse-Mode AD of Reduce-by-Index and Scan in Futhark" (PAPERS.md):
+/// a function-level transform that takes a primal function f and adds its
+/// vector-Jacobian product f_vjp to the program.
+///
+/// Shape of the generated function, for
+///   f : (p_1: t_1) ... (p_n: t_n) -> (r_1, ..., r_m)
+/// with A = the indices of float-element ("active") parameters and
+/// S = the indices of float-element results:
+///   f_vjp : (p_1: t_1) ... (p_n: t_n) (seed_s: r_s | s in S)
+///           -> (r_1, ..., r_m, adj(p_a) | a in A)
+/// i.e. the primal outputs followed by the adjoint of every active
+/// parameter under the output seeds.  Integer and boolean values are
+/// structurally non-active: no adjoint is built or returned for them.
+///
+/// The transform is forward-sweep + reverse-sweep over each body:
+///
+///  * In a pure ANF IR the forward statements *are* the tape: every
+///    intermediate stays in scope for the reverse sweep.  Explicit taping
+///    is only needed where purity is locally given up — in-place updates
+///    (save-on-consume copies of consumed arrays, so the reverse sweep
+///    never observes a consumed name) and loops (a stack of iterates:
+///    every merge parameter is recorded per iteration into an "adtape"
+///    array carried alongside the loop, and the reverse loop restores the
+///    iterate, re-runs the body forward, and pulls the adjoint back).
+///
+///  * map pulls back through a map of the pulled-back lambda; adjoints of
+///    free variables in the lambda become per-element contribution columns
+///    reduced with (+).
+///  * reduce/scan use the linearise-exchange decomposition: the adjoint of
+///    reduce(+) is a broadcast of the seed, reduce(*) multiplies the seed
+///    by exclusive prefix/suffix products, reduce(min/max) routes the seed
+///    to the first attaining element, and scan(+)'s adjoint is the suffix
+///    sum of the seeds.  The exchange stage is emitted as host-level code;
+///    map-level adjoints stay parallel.
+///  * reduce_by_index (combine (+)) pulls the seed back through a
+///    gather-of-contributions: element j receives seed[is[j]] (0 when the
+///    bin was out of range), chained through the value-function pullback.
+///  * In-place updates are differentiated *through* the consumption rules:
+///    the adjoint of the overwritten cell is routed to the stored value
+///    and masked out of the array adjoint, and all primal re-reads go via
+///    the save-on-consume copies, so the generated code passes the
+///    verifier's consumption check unchanged.
+///
+/// Unsupported constructs (streams, non-inlined calls, non-linearisable
+/// reduction operators) fail with a typed ErrorKind::Compile
+/// diagnostic naming the construct — but only when an adjoint actually
+/// flows through them; inactive (integer) uses are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUTHARKCC_AD_VJP_H
+#define FUTHARKCC_AD_VJP_H
+
+#include "ir/IR.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace fut {
+namespace ad {
+
+/// Statistics of one vjpProgram run (reported on the trace session).
+struct VjpStats {
+  /// Statements given a reverse rule in the top-level sweep.
+  int DifferentiatedStms = 0;
+  /// Loops augmented with a stack-of-iterates tape.
+  int TapedLoops = 0;
+  /// Save-on-consume copies inserted for the reverse sweep.
+  int SavedArrays = 0;
+};
+
+/// The name of the generated VJP function for \p Fun.
+std::string vjpName(const std::string &Fun);
+
+/// Adds vjpName(Fun) to \p P (replacing any previous function of that
+/// name).  \p Fun must exist, must be call-free (run the inliner first)
+/// and must only contain differentiable constructs on active paths.
+ErrorOr<VjpStats> vjpProgram(Program &P, const std::string &Fun,
+                             NameSource &Names);
+
+} // namespace ad
+} // namespace fut
+
+#endif // FUTHARKCC_AD_VJP_H

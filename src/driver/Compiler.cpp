@@ -6,6 +6,7 @@
 
 #include "driver/Compiler.h"
 
+#include "ad/Vjp.h"
 #include "check/Check.h"
 #include "check/Verify.h"
 #include "ir/Printer.h"
@@ -39,6 +40,9 @@ std::string fut::CompilerOptions::cacheCanonical() const {
   // the golden artifact hash) byte-identical.
   if (Devices != 1)
     OS << ";devices=" << Devices;
+  // Same treatment for the AD stage: no --vjp, no key change.
+  if (!VJP.empty())
+    OS << ";vjp=" << VJP;
   return OS.str();
 }
 
@@ -117,10 +121,30 @@ ErrorOr<CompileResult> fut::compileProgram(Program P, NameSource &Names,
   if (Opts.Inline) {
     trace::ScopedSpan Span("pass:inline", "compiler");
     inlineFunctions(P, Names);
-    removeDeadFunctions(P);
+    // The function about to be differentiated must survive DCE even when
+    // main does not call it (the usual case: main *is* the primal).
+    removeDeadFunctions(P, Opts.VJP.empty()
+                               ? std::vector<std::string>{}
+                               : std::vector<std::string>{Opts.VJP});
     if (auto Err = AfterPass("inline", false))
       return Err;
   }
+
+  // Function-transform stage: reverse-mode AD.  Runs after inlining (the
+  // primal must be call-free) and before flattening, so the generated
+  // adjoint SOACs are still host-level and flow through fusion and kernel
+  // extraction like hand-written code.
+  if (!Opts.VJP.empty()) {
+    {
+      trace::ScopedSpan Span("pass:ad-vjp", "compiler");
+      auto Stats = ad::vjpProgram(P, Opts.VJP, Names);
+      if (!Stats)
+        return Stats.getError();
+    }
+    if (auto Err = AfterPass("ad-vjp", false))
+      return Err;
+  }
+
   simplifyProgram(P, Names, Opts.Simplify);
   if (auto Err = AfterPass("simplify", false))
     return Err;

@@ -56,6 +56,15 @@ struct CompilerOptions {
   /// changes the artifact: N=1 sharding is a pinned no-op.
   int Devices = 1;
 
+  /// Name of a function to differentiate (the --vjp flag).  When
+  /// non-empty, a function-transform stage runs after inlining: reverse-mode
+  /// AD adds `<VJP>_vjp` (primal results followed by the adjoint of every
+  /// active parameter) to the program, and the generated adjoint code flows
+  /// through the normal simplify/fuse/flatten/memplan/shard pipeline and
+  /// every per-pass verifier unchanged.  Empty (the default) is a pinned
+  /// no-op that keeps existing cache keys and golden hashes byte-identical.
+  std::string VJP;
+
   /// Test-only hook run after each pass rewrites the program and before
   /// the verifier sees it; used to inject a deliberately broken rewrite
   /// and assert the verifier catches it at the right pass boundary.

@@ -23,6 +23,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "ad/Vjp.h"
 #include "driver/Compiler.h"
 #include "gpusim/CostModel.h"
 #include "gpusim/Device.h"
@@ -63,6 +64,11 @@ void usage() {
           "                     allocation dynamically (ablation)\n"
           "  --print-mem-plan   dump the static memory plan (slab layout,\n"
           "                     aliases, live ranges) after compilation\n"
+          "  --vjp <f>          differentiate <f> (reverse-mode AD): adds\n"
+          "                     <f>_vjp returning the primal results plus\n"
+          "                     the adjoint of every float parameter; --run\n"
+          "                     then executes <f>_vjp (primal args followed\n"
+          "                     by one seed per float result)\n"
           "  --devices <n>      shard kernels across <n> simulated devices\n"
           "                     (default 1: single-device, bit-identical to\n"
           "                     the pre-sharding model)\n"
@@ -205,6 +211,18 @@ int main(int argc, char **argv) {
       PrintMemPlan = true;
     } else if (A == "--print-shard-plan") {
       PrintShardPlan = true;
+    } else if (A == "--vjp") {
+      if (++I >= argc) {
+        usage();
+        return 2;
+      }
+      Opts.VJP = argv[I];
+    } else if (A.rfind("--vjp=", 0) == 0) {
+      Opts.VJP = A.substr(strlen("--vjp="));
+      if (Opts.VJP.empty()) {
+        usage();
+        return 2;
+      }
     } else if (A == "--devices") {
       if (!NumArg(I, N) || N < 1) {
         usage();
@@ -386,8 +404,11 @@ int main(int argc, char **argv) {
     printf("%s", C->Shards.str().c_str());
 
   // With tracing requested but no --run, a parameterless entry point is
-  // run automatically so the trace includes kernel launches.
-  const FunDef *Main = C->P.findFun("main");
+  // run automatically so the trace includes kernel launches.  Under --vjp
+  // the entry point is the generated gradient function.
+  const std::string Entry =
+      Opts.VJP.empty() ? std::string("main") : ad::vjpName(Opts.VJP);
+  const FunDef *Main = C->P.findFun(Entry);
   bool AutoRun = Tracing && !Run && !UseInterp && Main &&
                  Main->Params.empty();
   if (RunArgs.empty() && !AutoRun && !(Run && Main && Main->Params.empty()))
@@ -409,7 +430,7 @@ int main(int argc, char **argv) {
     InterpOptions IO;
     IO.ConsumeOnUpdate = true;
     Interpreter I(C->P, IO);
-    auto R = I.run(Args);
+    auto R = I.runFunction(Entry, Args);
     if (!R) {
       fprintf(stderr, "runtime error: %s\n", R.getError().str().c_str());
       ExportTrace();
@@ -426,7 +447,7 @@ int main(int argc, char **argv) {
       RO.Shards = &C->Shards;
       RO.Devices = Opts.Devices;
     }
-    auto R = runOnDevice(C->P, Args, RO);
+    auto R = runOnDevice(C->P, Args, RO, Entry);
     if (!R) {
       fprintf(stderr, "%s\n", R.getError().str().c_str());
       ExportTrace();

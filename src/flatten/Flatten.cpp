@@ -704,7 +704,7 @@ private:
       }
       Type Ty = R.isConst() ? Type::scalar(R.getConst().kind())
                             : (St.InnerTypes.count(R.getVar())
-                                   ? St.InnerTypes[R.getVar()]
+                                   ? St.InnerTypes.at(R.getVar())
                                    : Type::scalar(ScalarKind::I32));
       VName N = NS.fresh("res");
       St.Segment.emplace_back(std::vector<Param>{Param(N, Ty)}, subExpE(R));
@@ -721,7 +721,7 @@ private:
       const VName Key =
           SegName[I].Tag >= 0 ? SegName[I] : St.Result[I].getVar();
       assert(Avail.count(Key) && "body result was not expanded");
-      Out.push_back(Avail[Key].Arr);
+      Out.push_back(Avail.at(Key).Arr);
     }
     return Out;
   }
@@ -962,7 +962,7 @@ private:
     auto *R = expCast<ReduceByIndexExp>(S.E.get());
     assert(TopTypes.count(R->IndexArr) &&
            "reduce_by_index index array must be host-available");
-    Type IdxTy = TopTypes[R->IndexArr];
+    Type IdxTy = TopTypes.at(R->IndexArr);
     SubExp N = IdxTy.outerDim();
 
     VName Tid = NS.fresh("htid");
@@ -1083,7 +1083,7 @@ private:
       VName Zs = NS.fresh(L->MergeParams[I].Name.Base + "s");
       TopMerge.emplace_back(Zs, Full);
       noteHost(Zs, Full);
-      TopInit.push_back(SubExp::var(St.Avail[InitNames[I].Name].Arr));
+      TopInit.push_back(SubExp::var(St.Avail.at(InitNames[I].Name).Arr));
     }
     TopTypes[L->IndexVar] = Type::scalar(ScalarKind::I32);
 

@@ -14,9 +14,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzz.h"
+#include "fuzz/GradFuzz.h"
 
 #include "gpusim/CostModel.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -52,6 +54,11 @@ void usage() {
           "                      under BOTH cost models and demand\n"
           "                      bit-identical outputs and exactly equal\n"
           "                      model-independent counters\n"
+          "  --vjp               gradient-check sweep: generate smooth f64\n"
+          "                      programs, compile each with --vjp=main,\n"
+          "                      and compare the adjoints on the simulated\n"
+          "                      device against central finite differences\n"
+          "                      through the reference interpreter\n"
           "  --dump <n>          print the program for seed n and exit\n"
           "  -v                  print every seed as it runs\n");
 }
@@ -74,7 +81,7 @@ bool parseRange(const std::string &S, uint64_t &Lo, uint64_t &Hi) {
 int main(int argc, char **argv) {
   uint64_t Lo = 1, Hi = 100;
   std::string OutDir = "fuzz-failures";
-  bool Shrink = true, Verbose = false, CrossModel = false;
+  bool Shrink = true, Verbose = false, CrossModel = false, VjpMode = false;
   int64_t DumpSeed = -1;
   int Devices = 1;
   gpusim::DeviceParams DP = gpusim::DeviceParams::gtx780();
@@ -133,6 +140,8 @@ int main(int argc, char **argv) {
       DP.CostModelName = V;
     } else if (A == "--cross-model") {
       CrossModel = true;
+    } else if (A == "--vjp") {
+      VjpMode = true;
     } else if (A == "--devices" || A.rfind("--devices=", 0) == 0) {
       const char *V =
           A == "--devices" ? Next() : A.c_str() + strlen("--devices=");
@@ -162,10 +171,67 @@ int main(int argc, char **argv) {
   }
 
   if (DumpSeed >= 0) {
-    FuzzCase C = generate(static_cast<uint64_t>(DumpSeed));
+    FuzzCase C = VjpMode ? generateGrad(static_cast<uint64_t>(DumpSeed))
+                         : generate(static_cast<uint64_t>(DumpSeed));
     printf("%s", toRegressionFile(C, {"seed " + std::to_string(DumpSeed)})
                      .c_str());
     return 0;
+  }
+
+  if (VjpMode) {
+    // Gradient-check sweep: every seed's adjoints (compiled VJP, full
+    // verified pipeline, simulated device) vs. central finite differences
+    // of the primal through the reference interpreter.
+    uint64_t Failures = 0;
+    double MaxRelErr = 0.0;
+    for (uint64_t Seed = Lo; Seed <= Hi; ++Seed) {
+      GradPlan P = sampleGradPlan(Seed);
+      FuzzCase C = renderGradPlan(P, Seed);
+      GradOutcome O = runGradientCheck(C, DP);
+      MaxRelErr = std::max(MaxRelErr, O.MaxRelErr);
+      if (O.Ok) {
+        if (Verbose)
+          fprintf(stderr, "seed %llu: ok (max rel err %.3g)\n",
+                  static_cast<unsigned long long>(Seed), O.MaxRelErr);
+        continue;
+      }
+
+      ++Failures;
+      fprintf(stderr, "seed %llu: GRADIENT FAIL\n%s\n",
+              static_cast<unsigned long long>(Seed), O.Message.c_str());
+
+      FuzzCase Min = C;
+      std::string MinMsg = O.Message;
+      if (Shrink) {
+        GradShrinkResult SR = shrinkGrad(P, Seed, DP);
+        Min = SR.Minimal;
+        MinMsg = SR.Message;
+        fprintf(stderr, "shrunk (%d steps removed, %d attempts) to:\n%s\n",
+                SR.StepsRemoved, SR.Attempts, Min.Source.c_str());
+      }
+
+      std::string Path =
+          OutDir + "/gradseed" + std::to_string(Seed) + ".fut";
+      std::ofstream OS(Path);
+      if (OS) {
+        std::string FirstLine = MinMsg.substr(0, MinMsg.find('\n'));
+        OS << toRegressionFile(
+            Min, {"gradient-check failure, seed " + std::to_string(Seed),
+                  FirstLine});
+        fprintf(stderr, "wrote %s\n", Path.c_str());
+      } else {
+        fprintf(stderr, "cannot write %s (create the directory first?)\n",
+                Path.c_str());
+      }
+    }
+    fprintf(stderr,
+            "gradient-checked seeds %llu..%llu: %llu failure(s), max rel "
+            "err %.3g (tol %.1g)\n",
+            static_cast<unsigned long long>(Lo),
+            static_cast<unsigned long long>(Hi),
+            static_cast<unsigned long long>(Failures), MaxRelErr,
+            GradRelTol);
+    return Failures == 0 ? 0 : 1;
   }
 
   uint64_t Failures = 0, BothFailed = 0;

@@ -365,6 +365,26 @@ struct UnionFind {
   }
 };
 
+/// Accounts the AD tape: every loop-result binding named adtape* is one
+/// stack-of-iterates array (the VJP pass binds exactly one per taped loop
+/// and merge parameter; the in-loop adtape versions alias its storage).
+void countTape(const Body &B, FunPlan &FP) {
+  for (const Stm &S : B.Stms) {
+    if (expDynCast<LoopExp>(S.E.get()))
+      for (const Param &P : S.Pat)
+        if (P.Name.Base.rfind("adtape", 0) == 0) {
+          ++FP.TapeArrays;
+          int64_t Sz = staticBytes(P.Ty);
+          if (Sz < 0)
+            ++FP.TapeSymbolic;
+          else
+            FP.TapeBytes += Sz;
+        }
+    forEachChildBody(*S.E,
+                     [&](const Body &Inner) { countTape(Inner, FP); });
+  }
+}
+
 FunPlan planFun(const FunDef &F) {
   FunMemAnalysis A = analyseFun(F);
   NameSet KernelIO;
@@ -520,6 +540,7 @@ FunPlan planFun(const FunDef &F) {
   for (const SlabInfo &SI : FP.Slabs)
     if (SI.Bytes >= 0)
       FP.StaticArenaBytes += SI.Bytes;
+  countTape(F.FBody, FP);
   return FP;
 }
 
@@ -551,6 +572,13 @@ std::string MemoryPlan::str() const {
     OS << "fun " << FP.Fun << ": " << FP.Slabs.size() << " slabs, arena "
        << FP.StaticArenaBytes << " bytes, " << FP.HoistedSlabs
        << " hoisted, " << FP.ReuseLinks << " reused\n";
+    if (FP.TapeArrays) {
+      OS << "  tape: " << FP.TapeBytes << " bytes in " << FP.TapeArrays
+         << " stack-of-iterates array(s)";
+      if (FP.TapeSymbolic)
+        OS << ", " << FP.TapeSymbolic << " runtime-sized";
+      OS << "\n";
+    }
     for (const SlabInfo &SI : FP.Slabs) {
       OS << "  slab " << SI.Id << ": ";
       if (SI.Hoisted) {

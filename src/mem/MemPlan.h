@@ -144,6 +144,14 @@ struct FunPlan {
   int64_t StaticArenaBytes = 0;
   int HoistedSlabs = 0;
   int ReuseLinks = 0; ///< Classes placed into an already-used slab.
+  /// The AD tape: stack-of-iterates arrays the VJP pass binds as adtape*
+  /// loop results (one per taped loop and merge parameter).  They are
+  /// host-resident and never join the slab colouring, but the plan
+  /// accounts for them so the tape footprint can be checked against the
+  /// device peak bound (bench_ad, the CI AD leg).
+  int64_t TapeBytes = 0; ///< Sum of the statically sized tape extents.
+  int TapeArrays = 0;
+  int TapeSymbolic = 0; ///< Tape arrays whose trip count is runtime-sized.
 
   const PlanEntry *lookup(const VName &N) const {
     auto It = EntryIndex.find(N);

@@ -652,12 +652,14 @@ void fut::inlineFunctions(Program &P, NameSource &Names) {
   Inliner(P, Names).run();
 }
 
-void fut::removeDeadFunctions(Program &P) {
+void fut::removeDeadFunctions(Program &P,
+                              const std::vector<std::string> &ExtraRoots) {
   std::vector<FunDef> Kept;
   // Reachability from main.  A set, not a defaulting bool map: membership
   // queries must never insert the queried name.
   std::unordered_set<std::string> Reachable;
   std::vector<std::string> Work{"main"};
+  Work.insert(Work.end(), ExtraRoots.begin(), ExtraRoots.end());
   while (!Work.empty()) {
     std::string Name = Work.back();
     Work.pop_back();

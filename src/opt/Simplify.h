@@ -47,8 +47,11 @@ int simplifyBody(Body &B, NameSource &Names,
 /// the entry function is typically call-free.
 void inlineFunctions(Program &P, NameSource &Names);
 
-/// Removes functions unreachable from "main".
-void removeDeadFunctions(Program &P);
+/// Removes functions unreachable from "main" or any of \p ExtraRoots
+/// (e.g. a function about to be differentiated by --vjp, which must
+/// survive dead-function elimination even if main never calls it).
+void removeDeadFunctions(Program &P,
+                         const std::vector<std::string> &ExtraRoots = {});
 
 } // namespace fut
 

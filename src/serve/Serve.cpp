@@ -7,6 +7,7 @@
 #include "serve/Serve.h"
 
 #include "interp/Interp.h"
+#include "serve/ArtifactStore.h"
 #include "parser/Desugar.h"
 #include "support/Utils.h"
 #include "trace/Trace.h"
@@ -55,6 +56,32 @@ CacheEntry *Server::lookupOrCompile(const ServeRequest &Req, bool &Hit,
     return &It->second;
   }
   Hit = false;
+  // A memory miss consults the on-disk store before paying for a compile:
+  // this is the warm-restart path.  A served load *is* a cache hit — the
+  // caller charges no compile cycles and the response reports CacheHit.
+  if (!Config.ArtifactDir.empty()) {
+    ArtifactStore Store(Config.ArtifactDir);
+    if (Store.exists(Key)) {
+      auto Loaded = Store.load(Key);
+      if (Loaded) {
+        Hit = true;
+        ++Stats.DiskHits;
+        trace::counter("serve.disk_hits");
+        CacheEntry E;
+        E.Artifact = std::make_shared<const CompileResult>(Loaded.take());
+        E.Fingerprint = E.Artifact->fingerprint();
+        E.LastUse = ++UseClock;
+        E.Hits = 1;
+        auto Ins = Cache.emplace(Key, std::move(E));
+        evictIfOverCapacity();
+        return &Ins.first->second;
+      }
+      // Truncated, bit-flipped or stale-format file: fall through to a
+      // fresh compile, whose save below overwrites the bad artifact.
+      ++Stats.DiskCorrupt;
+      trace::counter("serve.disk_corrupt");
+    }
+  }
   NameSource Names;
   trace::ScopedSpan Span("serve:compile", "serve", trace::kServeTid);
   auto C = compileSource(Req.Source, Names, Req.Compile);
@@ -68,6 +95,11 @@ CacheEntry *Server::lookupOrCompile(const ServeRequest &Req, bool &Hit,
   E.Artifact = std::make_shared<const CompileResult>(C.take());
   E.Fingerprint = E.Artifact->fingerprint();
   E.LastUse = ++UseClock;
+  if (!Config.ArtifactDir.empty() &&
+      ArtifactStore(Config.ArtifactDir).save(Key, *E.Artifact)) {
+    ++Stats.DiskStores;
+    trace::counter("serve.disk_stores");
+  }
   auto Ins = Cache.emplace(Key, std::move(E));
   evictIfOverCapacity();
   return &Ins.first->second;
@@ -253,6 +285,15 @@ ServeResponse Server::execute(const ServeRequest &Req, uint64_t Id,
         E->Recompiled = true;
         E->ConsecutiveDeviceFailures = 0;
         Resp.Recompiled = true;
+        // The quarantine hypothesis is a corrupted artifact; refresh the
+        // on-disk copy too so the next cold start gets the clean one.
+        if (!Config.ArtifactDir.empty() &&
+            ArtifactStore(Config.ArtifactDir)
+                .save(artifactCacheKey(Req.Source, Req.Compile),
+                      *E->Artifact)) {
+          ++Stats.DiskStores;
+          trace::counter("serve.disk_stores");
+        }
       }
     }
   }

@@ -158,6 +158,13 @@ struct ServerConfig {
   double RequestRetryBackoffCycles = 16000;
   /// Default limits for requests that do not override them.
   ServeLimits DefaultLimits;
+  /// Directory for the on-disk artifact store (--artifact-dir); empty
+  /// disables persistence.  A cache miss consults the store before
+  /// compiling, so a restarted server serves its former working set as
+  /// cache hits (no compile cycles charged); every fresh compile and
+  /// quarantine recompile is written back.  Loads are fingerprint-verified
+  /// (ArtifactStore.h), so a corrupt file degrades to a recompile.
+  std::string ArtifactDir;
 };
 
 /// Aggregate service counters (mirrored into the trace session as
@@ -172,6 +179,12 @@ struct ServerStats {
   int64_t DeadlineMissed = 0; ///< Ran, but finished past the deadline.
   int64_t CacheHits = 0;
   int64_t CacheMisses = 0;
+  /// On-disk artifact store traffic (0 unless ArtifactDir is set).  A
+  /// DiskHit is also a CacheHit: the request was served without
+  /// compiling.
+  int64_t DiskHits = 0;
+  int64_t DiskStores = 0;
+  int64_t DiskCorrupt = 0; ///< Files that failed decode/fingerprint check.
   int64_t Compiles = 0;
   int64_t Recompiles = 0;
   int64_t Quarantined = 0;

@@ -52,6 +52,9 @@ void usage() {
           "  --compile-cycles <c> simulated cost of a cache miss\n"
           "  --device <name>    gtx780 (default) or w8100\n"
           "  --device-mem <b>   device capacity in bytes (0 = unlimited)\n"
+          "  --artifact-dir <d> persist compiled artifacts to directory d;\n"
+          "                     a restarted server serves them as cache\n"
+          "                     hits without recompiling\n"
           "per-request limits:\n"
           "  --deadline <c>     per-request deadline in simulated cycles\n"
           "  --watchdog <c>     per-kernel watchdog budget\n"
@@ -199,6 +202,14 @@ int main(int argc, char **argv) {
         return 2;
       }
       SC.Device.DeviceMemBytes = static_cast<int64_t>(N);
+    } else if (A == "--artifact-dir") {
+      if (++I >= argc) {
+        usage();
+        return 2;
+      }
+      SC.ArtifactDir = argv[I];
+    } else if (A.rfind("--artifact-dir=", 0) == 0) {
+      SC.ArtifactDir = A.substr(strlen("--artifact-dir="));
     } else if (A == "--deadline") {
       if (!NumArg(I, N)) {
         usage();
@@ -399,6 +410,13 @@ int main(int argc, char **argv) {
           static_cast<long long>(St.PeakReservedBytes),
           static_cast<long long>(SC.Device.DeviceMemBytes),
           St.PeakQueueDepth);
+  if (!SC.ArtifactDir.empty())
+    fprintf(stderr,
+            "serve: artifact store '%s': %lld disk hits, %lld stores, %lld "
+            "corrupt\n",
+            SC.ArtifactDir.c_str(), static_cast<long long>(St.DiskHits),
+            static_cast<long long>(St.DiskStores),
+            static_cast<long long>(St.DiskCorrupt));
   if (Check)
     fprintf(stderr, "serve: --check verified %d responses, %d mismatches\n",
             CheckedOk, Mismatches);

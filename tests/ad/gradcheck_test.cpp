@@ -1,0 +1,117 @@
+//===- gradcheck_test.cpp - Tests for the gradient-check fuzzer -------------===//
+//
+// Part of futharkcc, a C++ reproduction of the PLDI'17 Futhark compiler.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The gradient oracle is itself test infrastructure (CI runs a 150-seed
+/// sweep of it), so these tests pin its load-bearing properties: seeded
+/// generation is bit-stable, a smoke range of seeds passes the check with
+/// margin, plan subsets stay well-typed under the oracle (the shrinker's
+/// soundness condition), and the shrinker actually minimises a genuinely
+/// failing case.  The failing case is honest, not an injected compiler
+/// bug: a reduce max over exactly tied inputs sits on the kink of a
+/// piecewise-differentiable function, where the VJP's subgradient (seed to
+/// the first attainer) and central differences (half the seed) must
+/// disagree — inputs the continuous random sampler produces with
+/// probability zero.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/GradFuzz.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace fut;
+using namespace fut::fuzz;
+
+TEST(GradFuzzTest, GenerationIsDeterministic) {
+  for (uint64_t Seed : {1u, 7u, 180u, 499u}) {
+    FuzzCase A = generateGrad(Seed);
+    FuzzCase B = generateGrad(Seed);
+    EXPECT_EQ(A.Source, B.Source) << "seed " << Seed;
+    ASSERT_EQ(A.Args.size(), B.Args.size());
+    for (size_t I = 0; I < A.Args.size(); ++I)
+      EXPECT_TRUE(A.Args[I] == B.Args[I]) << "seed " << Seed << " arg " << I;
+  }
+}
+
+TEST(GradFuzzTest, FixedSeedsPassTheGradientCheck) {
+  // A small always-on smoke; CI runs the 150-seed sweep.  The margin
+  // assertion keeps the oracle honest: passing with rel errors anywhere
+  // near the tolerance would mean the generator drifted towards
+  // ill-conditioned programs.
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    GradOutcome O = runGradientCheck(generateGrad(Seed));
+    EXPECT_TRUE(O.Ok) << "seed " << Seed << ":\n" << O.Message;
+    EXPECT_LT(O.MaxRelErr, GradRelTol / 100) << "seed " << Seed;
+  }
+}
+
+TEST(GradFuzzTest, PlanSubsetsStayWellTyped) {
+  // The shrinker removes arbitrary steps; any subset must still render a
+  // well-typed program whose gradients check out.
+  GradPlan P = sampleGradPlan(180);
+  ASSERT_GE(P.Steps.size(), 3u);
+  for (size_t Drop = 0; Drop < P.Steps.size(); ++Drop) {
+    GradPlan Q = P;
+    Q.Steps.erase(Q.Steps.begin() + static_cast<long>(Drop));
+    GradOutcome O = runGradientCheck(renderGradPlan(Q, 180));
+    EXPECT_TRUE(O.Ok) << "dropped step " << Drop << ":\n" << O.Message;
+  }
+}
+
+TEST(GradFuzzTest, EveryStepKindPassesInIsolation) {
+  // One-step plans per construct: a regression here names the adjoint
+  // rule that broke rather than whatever seed happened to hit it.
+  for (int K = 0; K <= static_cast<int>(GradStep::Kind::RbiGather); ++K) {
+    for (int Variant : {0, 1, 2, 3, 4}) {
+      GradPlan P;
+      P.N = 5;
+      P.X0 = 0.37;
+      P.Input = {1.25, -0.8, 0.31, 1.9, -1.33};
+      GradStep S;
+      S.K = static_cast<GradStep::Kind>(K);
+      S.Variant = Variant;
+      S.Pos = 3;
+      S.Small = -4;
+      S.SRef = 1;
+      P.Steps = {S};
+      GradOutcome O = runGradientCheck(renderGradPlan(P, 7000 + K));
+      EXPECT_TRUE(O.Ok) << "kind " << K << " variant " << Variant << ":\n"
+                        << O.Message;
+    }
+  }
+}
+
+TEST(GradFuzzTest, TiedMaxFailsAndShrinksToTheCulprit) {
+  // Exactly tied inputs put reduce max on its kink: the VJP routes the
+  // whole seed to the first attainer while central differences see half a
+  // seed, so the oracle must flag the case — and the shrinker must strip
+  // the unrelated smooth map while keeping the failure failing.
+  GradPlan P;
+  P.N = 6;
+  P.X0 = 0.4;
+  P.Input.assign(6, 1.0);
+  GradStep SmoothMap;
+  SmoothMap.K = GradStep::Kind::Map;
+  SmoothMap.Variant = 0; // sin x + cos (x * 0.5): preserves the ties
+  GradStep Max;
+  Max.K = GradStep::Kind::MaxReduce;
+  P.Steps = {SmoothMap, Max};
+
+  GradOutcome O = runGradientCheck(renderGradPlan(P, 999));
+  ASSERT_FALSE(O.Ok) << "tied max should not pass a finite-difference check";
+  EXPECT_NE(O.Message.find("gradient mismatch"), std::string::npos)
+      << O.Message;
+
+  GradShrinkResult SR = shrinkGrad(P, 999);
+  EXPECT_GE(SR.StepsRemoved, 1) << "the smooth map is removable";
+  EXPECT_LE(SR.MinimalPlan.N, P.N);
+  EXPECT_FALSE(runGradientCheck(SR.Minimal).Ok)
+      << "the minimal case must still fail";
+  EXPECT_NE(SR.Message.find("gradient mismatch"), std::string::npos);
+}

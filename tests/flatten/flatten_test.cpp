@@ -341,6 +341,35 @@ TEST(FlattenTest, FusedRedomapSequentialisedInsideMap) {
   expectSame(C, {iv(4), fvec({1, 2, 3, 4})});
 }
 
+// Regression for the checked-lookup sweep: the flattener's name-resolution
+// maps (TopTypes, Avail, InnerTypes) are read with .at() instead of
+// operator[], so a missing key is a loud lookup failure instead of a
+// silently default-inserted empty Type/Expansion that would flow onward as
+// a rank-0 i32.  These programs drive every converted read site — the
+// host-level reduce_by_index index-array type lookup, the loop-in-map
+// merge-init expansion lookup, and the segment-result typing of kernel
+// body results — and must still flatten and agree with the interpreter.
+TEST(FlattenTest, CheckedLookupsResolveAcrossConstructs) {
+  // TopTypes.at(IndexArr): a computed (non-iota) index array.
+  Compiled Hist = compileAndFlatten(
+      "fun main (n: i32) (xs: [n]i32): [8]i32 =\n"
+      "  let bins = map (\\(x: i32): i32 -> x % 8) xs\n"
+      "  let ones = map (\\(x: i32): i32 -> 1) xs\n"
+      "  in reduce_by_index (replicate 8 0) (+) 0 bins ones");
+  std::vector<int64_t> Data = randomInts(12, 11, 0, 99);
+  expectSame(Hist, {iv(12), ivec(Data)});
+
+  // Avail.at(init)/InnerTypes.at(result): a sequential loop inside a map
+  // whose merge init is an expanded inner binding (the G7 interchange
+  // path), with a multi-value flavour via the outer map's own results.
+  Compiled LoopInMap = compileAndFlatten(
+      "fun main (n: i32) (xs: [n]i32): [n]i32 =\n"
+      "  map (\\(x: i32): i32 ->\n"
+      "        let s = x + 1\n"
+      "        in loop (a = s) for i < 3 do a * 2 - 1) xs");
+  expectSame(LoopInMap, {iv(12), ivec(Data)});
+}
+
 //===----------------------------------------------------------------------===//
 // Randomised semantics-preservation sweep
 //===----------------------------------------------------------------------===//

@@ -161,6 +161,95 @@ TEST(EngineTimelineTest, BarrierSerialisesBothEngines) {
   EXPECT_GE(K.Start, Before + 64);
 }
 
+TEST(EngineTimelineTest, RecvWaitsForCrossDeviceDependencyNotTheHost) {
+  EngineTimeline TL;
+  // The producing device finishes the block at cycle 300 (on its own
+  // timeline); this device's copy engine and host are both idle at 0.
+  ScheduledCmd R = TL.recv(40, /*SrcReady=*/300);
+  EXPECT_DOUBLE_EQ(R.Start, 300);
+  EXPECT_DOUBLE_EQ(R.End, 340);
+  // Non-blocking: the receiving host does not advance — only the copy
+  // engine is committed.
+  EXPECT_DOUBLE_EQ(TL.hostClock(), 0);
+  EXPECT_DOUBLE_EQ(TL.makespan(), 340);
+  EXPECT_DOUBLE_EQ(TL.copyBusy(), 40);
+
+  // A ready source (SrcReady in the past) degenerates to upload timing:
+  // the in-order copy queue, not the dependency, decides the start.
+  ScheduledCmd R2 = TL.recv(10, /*SrcReady=*/50);
+  EXPECT_DOUBLE_EQ(R2.Start, R.End);
+  EXPECT_DOUBLE_EQ(R2.End, R.End + 10);
+  EXPECT_DOUBLE_EQ(TL.hostClock(), 0);
+}
+
+TEST(EngineTimelineTest, RecvOrderingOnTheCopyEngine) {
+  EngineTimeline TL;
+  // An upload occupies the copy engine first; the receive queues behind
+  // it in order even though its cross-device dependency was ready long
+  // before.
+  ScheduledCmd U = TL.upload(100);
+  ScheduledCmd R = TL.recv(30, /*SrcReady=*/20);
+  EXPECT_DOUBLE_EQ(R.Start, U.End);
+  EXPECT_DOUBLE_EQ(R.End, U.End + 30);
+
+  // And a later blocking download queues behind the receive: the host
+  // finally synchronises at its end.
+  ScheduledCmd D = TL.download(5, /*SrcReady=*/0);
+  EXPECT_DOUBLE_EQ(D.Start, R.End);
+  EXPECT_DOUBLE_EQ(TL.hostClock(), D.End);
+}
+
+TEST(EngineTimelineTest, RecvOverlapsInFlightKernel) {
+  EngineTimeline TL;
+  ScheduledCmd K = TL.kernel(0, 10, 0.5, 200); // in flight until 210
+  ScheduledCmd R = TL.recv(50, /*SrcReady=*/0);
+  EXPECT_DOUBLE_EQ(R.Start, 0);
+  EXPECT_TRUE(R.OverlappedOtherEngine);
+  // The kernel, not the inter-device copy, determines the makespan.
+  EXPECT_DOUBLE_EQ(TL.makespan(), K.End);
+}
+
+TEST(EngineTimelineTest, RecvRespectsBarriers) {
+  EngineTimeline TL;
+  TL.kernel(0, 10, 0.5, 100);
+  double Before = TL.makespan();
+  TL.barrier(64);
+  // A receive issued after a retry barrier cannot start before it, even
+  // with an immediately-ready source block.
+  ScheduledCmd R = TL.recv(8, /*SrcReady=*/0);
+  EXPECT_GE(R.Start, Before + 64);
+  // And a receive whose dependency lands beyond the barrier waits for
+  // the dependency, not the barrier.
+  ScheduledCmd R2 = TL.recv(8, /*SrcReady=*/R.End + 500);
+  EXPECT_DOUBLE_EQ(R2.Start, R.End + 500);
+}
+
+TEST(EngineTimelineTest, HostClockSyncAcrossPeerTimelines) {
+  // Two devices share one logical host: before issuing on B, the driver
+  // syncs B's host clock forward to A's (DeviceGroup's rule, "no device
+  // launches work the host has not reached yet").
+  EngineTimeline A, B;
+  A.host(120); // host-side work accounted on A's timeline
+  EXPECT_DOUBLE_EQ(A.hostClock(), 120);
+  EXPECT_DOUBLE_EQ(B.hostClock(), 0);
+
+  B.syncHost(A.hostClock());
+  EXPECT_DOUBLE_EQ(B.hostClock(), 120);
+  // Monotone: syncing to an older time never moves the clock backwards.
+  B.syncHost(60);
+  EXPECT_DOUBLE_EQ(B.hostClock(), 120);
+
+  // A non-blocking receive starts no earlier than the synced host time,
+  // and still leaves the host clock untouched.
+  ScheduledCmd R = B.recv(10, /*SrcReady=*/0);
+  EXPECT_DOUBLE_EQ(R.Start, 120);
+  EXPECT_DOUBLE_EQ(B.hostClock(), 120);
+  // A blocking download is what finally advances the shared host.
+  ScheduledCmd D = B.download(10, R.End);
+  EXPECT_DOUBLE_EQ(B.hostClock(), D.End);
+  EXPECT_GT(B.hostClock(), 120);
+}
+
 TEST(EngineTimelineTest, MakespanNeverExceedsSerialSum) {
   // A deterministic mixed command sequence; after every command the
   // makespan stays bounded by the sum of the serial charges.
